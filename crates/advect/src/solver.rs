@@ -1,0 +1,485 @@
+//! The adaptive dG advection solver driver.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use forust::connectivity::TreeId;
+use forust::dim::D3;
+use forust::forest::{BalanceType, Forest};
+use forust::linear;
+use forust::octant::Octant;
+use forust_comm::Communicator;
+use forust_dg::element::RefElement;
+use forust_dg::geometry::MeshGeometry;
+use forust_dg::lserk::{LSERK_A, LSERK_B};
+use forust_dg::mesh::{DgMesh, ElemRef, FaceConn};
+use forust_dg::transfer::transfer_fields;
+use forust_geom::Mapping;
+
+/// Parameters of the advection experiment (defaults follow §III-B).
+#[derive(Debug, Clone)]
+pub struct AdvectConfig {
+    /// Polynomial degree (3 in the paper: "tricubic elements").
+    pub degree: usize,
+    /// Uniform starting level per tree.
+    pub initial_level: u8,
+    /// Coarsening floor.
+    pub min_level: u8,
+    /// Refinement ceiling.
+    pub max_level: u8,
+    /// Adapt and repartition every this many steps (32 in the paper).
+    pub adapt_every: usize,
+    /// CFL number for the explicit step.
+    pub cfl: f64,
+    /// Refine an element when its nodal range exceeds this.
+    pub refine_tol: f64,
+    /// Coarsen a family when every member's range is below this.
+    pub coarsen_tol: f64,
+}
+
+impl Default for AdvectConfig {
+    fn default() -> Self {
+        AdvectConfig {
+            degree: 3,
+            initial_level: 1,
+            min_level: 1,
+            max_level: 4,
+            adapt_every: 32,
+            cfl: 0.5,
+            refine_tol: 0.1,
+            coarsen_tol: 0.05,
+        }
+    }
+}
+
+/// Wall-time accounting in the paper's Fig. 5 buckets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvectTimers {
+    /// Refine + coarsen + balance + partition + solution transfer + mesh
+    /// and metric rebuild ("AMR and projection").
+    pub amr: Duration,
+    /// RK stages including ghost exchange ("Time integration").
+    pub integrate: Duration,
+    /// Steps taken.
+    pub steps: usize,
+    /// Adapt cycles performed.
+    pub adapts: usize,
+}
+
+/// The dynamically adapted upwind-dG advection solver of §III-B.
+pub struct AdvectSolver {
+    /// Experiment parameters.
+    pub config: AdvectConfig,
+    /// The distributed forest (rebuilt every adapt cycle).
+    pub forest: Forest<D3>,
+    /// The dG mesh on the current forest.
+    pub mesh: DgMesh<D3>,
+    /// Metric terms on the current mesh.
+    pub geo: MeshGeometry,
+    map: Arc<dyn Mapping<D3> + Send + Sync>,
+    velocity: fn([f64; 3]) -> [f64; 3],
+    /// The transported field, `num_elements * (N+1)^3` values.
+    pub c: Vec<f64>,
+    resid: Vec<f64>,
+    /// Simulated time.
+    pub time: f64,
+    /// Current stable step size (recomputed after each adapt).
+    pub dt: f64,
+    /// Wall-time split.
+    pub timers: AdvectTimers,
+    // Cached per-degree constants.
+    wv: Vec<f64>,
+    wf: Vec<f64>,
+    face_idx: Vec<Vec<usize>>,
+}
+
+impl AdvectSolver {
+    /// Set up the solver: initial mesh, a few pre-adaptation passes on the
+    /// initial condition, and the initial field.
+    pub fn new(
+        comm: &impl Communicator,
+        forest: Forest<D3>,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: AdvectConfig,
+        init: fn([f64; 3]) -> f64,
+        velocity: fn([f64; 3]) -> [f64; 3],
+    ) -> Self {
+        let mut forest = forest;
+        // Static pre-adaptation: refine where the initial condition is
+        // rough, up to max_level, then balance and partition.
+        for _ in config.initial_level..config.max_level {
+            let re = RefElement::new(config.degree);
+            let needs: Vec<(TreeId, Octant<D3>)> = {
+                let mut v = Vec::new();
+                for (t, o) in forest.iter_local() {
+                    if o.level < config.max_level
+                        && element_range_of_fn(&re, &*map, t, o, init) > config.refine_tol
+                    {
+                        v.push((t, *o));
+                    }
+                }
+                v
+            };
+            let set: std::collections::HashSet<(u32, u64, u8)> = needs
+                .iter()
+                .map(|(t, o)| (*t, o.morton(), o.level))
+                .collect();
+            forest.refine(comm, false, |t, o| set.contains(&(t, o.morton(), o.level)));
+        }
+        forest.balance(comm, BalanceType::Full);
+        forest.partition(comm);
+
+        let mesh = DgMesh::build(&forest, comm, config.degree);
+        let geo = MeshGeometry::build(&mesh, &*map);
+        let re = &mesh.re;
+        let c: Vec<f64> = geo.pos.iter().map(|&x| init(x)).collect();
+        let resid = vec![0.0; c.len()];
+        let (wv, wf, face_idx) = cache_constants(re);
+
+        let mut s = AdvectSolver {
+            config,
+            forest,
+            mesh,
+            geo,
+            map,
+            velocity,
+            c,
+            resid,
+            time: 0.0,
+            dt: 0.0,
+            timers: AdvectTimers::default(),
+            wv,
+            wf,
+            face_idx,
+        };
+        s.dt = s.stable_dt(comm);
+        s
+    }
+
+    /// Global element count.
+    pub fn num_global_elements(&self) -> u64 {
+        self.forest.num_global()
+    }
+
+    /// Global unknown count.
+    pub fn num_global_unknowns(&self) -> u64 {
+        self.forest.num_global() * self.mesh.re.nodes_per_elem(3) as u64
+    }
+
+    /// Largest stable time step on the current mesh.
+    fn stable_dt(&self, comm: &impl Communicator) -> f64 {
+        let re = &self.mesh.re;
+        let npe = re.nodes_per_elem(3);
+        let mut lam_max: f64 = 1e-30;
+        for e in 0..self.mesh.num_elements() {
+            let inv = self.geo.elem_inv(e);
+            let pos = self.geo.elem_pos(e);
+            for v in 0..npe {
+                let u = (self.velocity)(pos[v]);
+                let mut lam = 0.0;
+                for r in 0..3 {
+                    let a = u[0] * inv[v][r][0] + u[1] * inv[v][r][1] + u[2] * inv[v][r][2];
+                    lam += a.abs();
+                }
+                lam_max = lam_max.max(lam);
+            }
+        }
+        let global = comm.allreduce_max_f64(lam_max);
+        let n = self.config.degree as f64;
+        self.config.cfl * 2.0 / (global * (n + 1.0) * (n + 1.0))
+    }
+
+    /// Advance one RK step; adapt every `adapt_every` steps.
+    pub fn step(&mut self, comm: &impl Communicator) {
+        let t0 = Instant::now();
+        // 2N-storage RK with a hand-rolled loop so the ghost exchange can
+        // borrow disjoint fields.
+        let mut k = vec![0.0; self.c.len()];
+        self.resid.fill(0.0);
+        for s in 0..5 {
+            self.compute_rhs(comm, &mut k);
+            for i in 0..self.c.len() {
+                self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
+                self.c[i] += LSERK_B[s] * self.resid[i];
+            }
+        }
+        self.time += self.dt;
+        self.timers.integrate += t0.elapsed();
+        self.timers.steps += 1;
+        if self.timers.steps % self.config.adapt_every == 0 {
+            self.adapt(comm);
+        }
+    }
+
+    /// The upwind nodal dG right-hand side (advective volume form plus
+    /// upwind surface correction, mortar-consistent on 2:1 faces).
+    fn compute_rhs(&self, comm: &impl Communicator, out: &mut [f64]) {
+        let re = &self.mesh.re;
+        let npe = re.nodes_per_elem(3);
+        let npf = re.nodes_per_face(3);
+        let nel = self.mesh.num_elements();
+        let ghost_c = self.mesh.exchange_element_data(comm, &self.c, npe);
+        let elem_vals = |r: ElemRef, buf: &mut Vec<f64>| match r {
+            ElemRef::Local(i) => {
+                buf.clear();
+                buf.extend_from_slice(&self.c[i as usize * npe..(i as usize + 1) * npe]);
+            }
+            ElemRef::Ghost(i) => {
+                buf.clear();
+                buf.extend_from_slice(&ghost_c[i as usize * npe..(i as usize + 1) * npe]);
+            }
+        };
+
+        let mut nbr_buf: Vec<f64> = Vec::with_capacity(npe);
+        for e in 0..nel {
+            let ce = &self.c[e * npe..(e + 1) * npe];
+            let inv = self.geo.elem_inv(e);
+            let det = self.geo.elem_det(e);
+            let pos = self.geo.elem_pos(e);
+            // Volume term: -(u . grad C).
+            let grads = re.gradient(ce, 3);
+            for v in 0..npe {
+                let u = (self.velocity)(pos[v]);
+                let mut adv = 0.0;
+                for i in 0..3 {
+                    let mut gi = 0.0;
+                    for r in 0..3 {
+                        gi += inv[v][r][i] * grads[r][v];
+                    }
+                    adv += u[i] * gi;
+                }
+                out[e * npe + v] = -adv;
+            }
+            // Surface terms.
+            for f in 0..6 {
+                let fg = self.geo.face(e, f, 6);
+                let fidx = &self.face_idx[f];
+                let cm: Vec<f64> = fidx.iter().map(|&i| ce[i]).collect();
+                match self.mesh.face(e, f) {
+                    FaceConn::Boundary => {
+                        // Tangential velocity at shell boundaries: the
+                        // reflective flux difference vanishes identically.
+                    }
+                    FaceConn::Conforming { nbr, nbr_face, from_nbr }
+                    | FaceConn::CoarseNbr { nbr, nbr_face, from_nbr } => {
+                        elem_vals(*nbr, &mut nbr_buf);
+                        let their: Vec<f64> = re
+                            .face_nodes(3, *nbr_face)
+                            .iter()
+                            .map(|&i| nbr_buf[i])
+                            .collect();
+                        let cp = from_nbr.matvec(&their);
+                        for j in 0..npf {
+                            let v = fidx[j];
+                            let u = (self.velocity)(pos[v]);
+                            let n = fg.normal[j];
+                            let un = u[0] * n[0] + u[1] * n[1] + u[2] * n[2];
+                            let fstar = if un >= 0.0 { un * cm[j] } else { un * cp[j] };
+                            let coef = self.wf[j] * fg.sj[j] / (self.wv[v] * det[v]);
+                            out[e * npe + v] += coef * (un * cm[j] - fstar);
+                        }
+                    }
+                    FaceConn::FineNbrs { subs } => {
+                        for (s, sub) in subs.iter().enumerate() {
+                            let sg = &fg.subs[s];
+                            let mine_at_fine = sub.to_fine.matvec(&cm);
+                            elem_vals(sub.nbr, &mut nbr_buf);
+                            let their: Vec<f64> = re
+                                .face_nodes(3, sub.nbr_face)
+                                .iter()
+                                .map(|&i| nbr_buf[i])
+                                .collect();
+                            for j in 0..npf {
+                                let u = (self.velocity)(sg.pos[j]);
+                                let n = sg.normal[j];
+                                let un = u[0] * n[0] + u[1] * n[1] + u[2] * n[2];
+                                let fstar = if un >= 0.0 {
+                                    un * mine_at_fine[j]
+                                } else {
+                                    un * their[j]
+                                };
+                                let diff = un * mine_at_fine[j] - fstar;
+                                // Lift back through the mortar transpose.
+                                let w = self.wf[j] * sg.sj[j] * diff;
+                                if w != 0.0 {
+                                    for i in 0..npf {
+                                        let v = fidx[i];
+                                        out[e * npe + v] += sub.to_fine.data[j * npf + i] * w
+                                            / (self.wv[v] * det[v]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adapt the mesh to the current solution and repartition, carrying
+    /// the field along (the paper's every-32-steps cycle).
+    pub fn adapt(&mut self, comm: &impl Communicator) {
+        let t0 = Instant::now();
+        let re = RefElement::new(self.config.degree);
+        let npe = re.nodes_per_elem(3);
+
+        // Per-element indicator: nodal range.
+        let old = self.forest.clone();
+        let mut indicator: Vec<f64> = Vec::with_capacity(self.mesh.num_elements());
+        for e in 0..self.mesh.num_elements() {
+            let ce = &self.c[e * npe..(e + 1) * npe];
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in ce {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            indicator.push(hi - lo);
+        }
+        // Indicator lookup for arbitrary octants of the OLD forest.
+        let old_offsets: Vec<usize> = {
+            let mut v = Vec::with_capacity(old.conn.num_trees() + 1);
+            let mut acc = 0;
+            v.push(0);
+            for t in 0..old.conn.num_trees() as u32 {
+                acc += old.tree(t).len();
+                v.push(acc);
+            }
+            v
+        };
+        let lookup = |t: TreeId, o: &Octant<D3>| -> f64 {
+            let leaves = old.tree(t);
+            if let Some(i) = linear::find_containing(leaves, o) {
+                return indicator[old_offsets[t as usize] + i];
+            }
+            // o is coarser than the old leaves: max over descendants.
+            let r = linear::find_overlapping_range(leaves, o);
+            r.map(|i| indicator[old_offsets[t as usize] + i])
+                .fold(0.0, f64::max)
+        };
+
+        let cfg = self.config.clone();
+        self.forest.refine(comm, false, |t, o| {
+            o.level < cfg.max_level && lookup(t, o) > cfg.refine_tol
+        });
+        self.forest.coarsen(comm, false, |t, fam| {
+            fam[0].level > cfg.min_level
+                && fam.iter().all(|o| lookup(t, o) < cfg.coarsen_tol)
+        });
+        self.forest.balance(comm, BalanceType::Full);
+
+        // Transfer the solution to the new local mesh, then repartition.
+        self.c = transfer_fields(&re, &old, &self.c, &self.forest, 1);
+        let chunks: Vec<Vec<f64>> = self
+            .c
+            .chunks(npe)
+            .map(|c| c.to_vec())
+            .collect();
+        let moved = self
+            .forest
+            .partition_with_payload(comm, |_, _| 1, chunks);
+        self.c = moved.into_iter().flatten().collect();
+
+        // Rebuild mesh-dependent state.
+        self.mesh = DgMesh::build(&self.forest, comm, self.config.degree);
+        self.geo = MeshGeometry::build(&self.mesh, &*self.map);
+        self.resid = vec![0.0; self.c.len()];
+        let (wv, wf, face_idx) = cache_constants(&self.mesh.re);
+        self.wv = wv;
+        self.wf = wf;
+        self.face_idx = face_idx;
+        self.dt = self.stable_dt(comm);
+        self.timers.amr += t0.elapsed();
+        self.timers.adapts += 1;
+    }
+
+    /// Total mass `integral of C dV` (diagnostic; conserved up to the
+    /// aliasing of the advective volume form on curved elements).
+    pub fn total_mass(&self, comm: &impl Communicator) -> f64 {
+        let re = &self.mesh.re;
+        let npe = re.nodes_per_elem(3);
+        let mut m = 0.0;
+        for e in 0..self.mesh.num_elements() {
+            let det = self.geo.elem_det(e);
+            for v in 0..npe {
+                m += self.wv[v] * det[v] * self.c[e * npe + v];
+            }
+        }
+        comm.allreduce_sum_f64(m)
+    }
+
+    /// Discrete L2 error against a reference solution function.
+    pub fn l2_error(
+        &self,
+        comm: &impl Communicator,
+        reference: impl Fn([f64; 3]) -> f64,
+    ) -> f64 {
+        let re = &self.mesh.re;
+        let npe = re.nodes_per_elem(3);
+        let mut err = 0.0;
+        for e in 0..self.mesh.num_elements() {
+            let det = self.geo.elem_det(e);
+            let pos = self.geo.elem_pos(e);
+            for v in 0..npe {
+                let d = self.c[e * npe + v] - reference(pos[v]);
+                err += self.wv[v] * det[v] * d * d;
+            }
+        }
+        comm.allreduce_sum_f64(err).sqrt()
+    }
+
+    /// Fractions of elements refined/coarsened in the last adapt cycle are
+    /// not tracked individually; expose element counts for the harness.
+    pub fn local_elements(&self) -> usize {
+        self.mesh.num_elements()
+    }
+}
+
+/// Volume quadrature weights, face quadrature weights, and face node
+/// indices, cached per degree.
+fn cache_constants(re: &RefElement) -> (Vec<f64>, Vec<f64>, Vec<Vec<usize>>) {
+    let np = re.np;
+    let mut wv = Vec::with_capacity(np * np * np);
+    for k in 0..np {
+        for j in 0..np {
+            for i in 0..np {
+                wv.push(re.weights[i] * re.weights[j] * re.weights[k]);
+            }
+        }
+    }
+    let mut wf = Vec::with_capacity(np * np);
+    for b in 0..np {
+        for a in 0..np {
+            wf.push(re.weights[a] * re.weights[b]);
+        }
+    }
+    let face_idx: Vec<Vec<usize>> = (0..6).map(|f| re.face_nodes(3, f)).collect();
+    (wv, wf, face_idx)
+}
+
+/// Nodal range of a function over one element (pre-adaptation indicator).
+fn element_range_of_fn(
+    re: &RefElement,
+    map: &dyn Mapping<D3>,
+    t: TreeId,
+    o: &Octant<D3>,
+    f: fn([f64; 3]) -> f64,
+) -> f64 {
+    let np = re.np;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for k in 0..np {
+        for j in 0..np {
+            for i in 0..np {
+                let frac = [
+                    0.5 * (re.nodes[i] + 1.0),
+                    0.5 * (re.nodes[j] + 1.0),
+                    0.5 * (re.nodes[k] + 1.0),
+                ];
+                let xi = forust_geom::octant_ref_coords(o, frac);
+                let v = f(map.map(t, xi));
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    hi - lo
+}

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the core forest algorithms — the
+//! building blocks whose scaling Fig. 4 measures — on a single rank
+//! (serial communicator), at fixed small sizes so `cargo bench` finishes
+//! quickly. The figure-level harnesses live in `src/bin/fig*.rs`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use forust::connectivity::builders;
+use forust::dim::D3;
+use forust::forest::{BalanceType, Forest};
+use forust_comm::SerialComm;
+
+fn fractal_forest(level: u8) -> (SerialComm, Forest<D3>) {
+    let comm = SerialComm::new();
+    let conn = Arc::new(builders::rotcubes6());
+    let mut f = Forest::<D3>::new_uniform(conn, &comm, level);
+    let maxl = level + 2;
+    f.refine(&comm, true, |_, o| {
+        o.level < maxl && matches!(o.child_id(), 0 | 3 | 5 | 6)
+    });
+    (comm, f)
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forest-core");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+
+    g.bench_function("refine_fractal_l2", |b| {
+        b.iter(|| fractal_forest(2).1.num_local())
+    });
+
+    let (comm, forest) = fractal_forest(2);
+    g.bench_function("balance_full", |b| {
+        b.iter_batched(
+            || forest.clone(),
+            |mut f| f.balance(&comm, BalanceType::Full),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let mut balanced = forest.clone();
+    balanced.balance(&comm, BalanceType::Full);
+    g.bench_function("ghost", |b| b.iter(|| balanced.ghost(&comm)));
+
+    let ghost = balanced.ghost(&comm);
+    g.bench_function("nodes_degree1", |b| b.iter(|| balanced.nodes(&comm, &ghost, 1)));
+
+    g.bench_function("partition", |b| {
+        b.iter_batched(
+            || balanced.clone(),
+            |mut f| f.partition(&comm),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_core);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! # forust-bench — harnesses regenerating the paper's evaluation
+//!
+//! One binary per table/figure of the SC10 evaluation (see DESIGN.md §4
+//! for the experiment index):
+//!
+//! - `fig4_weak_p4est`: weak scaling of the core forest algorithms on the
+//!   six-octree fractal mesh (Fig. 4);
+//! - `fig5_weak_advection`: weak scaling of the dynamically adapted dG
+//!   advection solver on the 24-octree shell (Fig. 5);
+//! - `fig7_mantle_split`: runtime percentages of the mantle-convection
+//!   solve (Fig. 7);
+//! - `fig9_strong_seismic`: strong scaling of the seismic solver (Fig. 9);
+//! - `fig10_weak_gpu`: weak scaling of the single-precision device backend
+//!   (Fig. 10).
+//!
+//! Each prints the paper's rows plus a CSV block, and scales the problem
+//! to laptop size: simulated ranks stand in for Jaguar cores (DESIGN.md
+//! §3, substitution 1) — the *shape* of the results is the reproduction
+//! target, not Jaguar's absolute numbers.
+
+use std::time::Duration;
+
+/// Format a duration in seconds with millisecond resolution.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Simple fixed-width row printer for the harness tables.
+pub fn print_row(cols: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}

@@ -1,0 +1,238 @@
+//! The [`Communicator`] trait: MPI-semantics message passing.
+//!
+//! Only four primitives are required of an implementation — rank/size,
+//! point-to-point send/recv of byte buffers, and a barrier. Every collective
+//! the AMR algorithms need (`Allgather`, `Allgatherv`, `Allreduce`,
+//! exclusive scan, `Alltoallv`) is provided as a default method built from
+//! those primitives with simple, deadlock-free schedules: sends never block
+//! (transports are required to buffer), and message matching is FIFO per
+//! `(source, tag)` pair, so back-to-back collectives cannot interleave.
+
+use crate::stats::TrafficStats;
+use crate::wire::{read_vec, write_vec, Wire};
+
+/// Tag space reserved for the default collective implementations.
+/// User point-to-point traffic must use tags below this value.
+pub(crate) const TAG_COLLECTIVE: u32 = 0xFFFF_0000;
+
+/// An MPI-like communicator connecting `size()` SPMD ranks.
+///
+/// Implementations must guarantee:
+/// - `send_bytes` never blocks (buffered transport);
+/// - messages between a fixed `(source, destination, tag)` triple are
+///   delivered in FIFO order;
+/// - `recv_bytes` blocks until a matching message arrives.
+pub trait Communicator {
+    /// This rank's index in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Send `data` to rank `dest` with message tag `tag`. Non-blocking.
+    fn send_bytes(&self, dest: usize, tag: u32, data: Vec<u8>);
+
+    /// Receive the next message from rank `src` with tag `tag`, blocking.
+    fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8>;
+
+    /// Block until all ranks have entered the barrier.
+    fn barrier(&self);
+
+    /// Traffic counters for this rank.
+    fn stats(&self) -> &TrafficStats;
+
+    // ------------------------------------------------------------------
+    // Typed point-to-point helpers
+    // ------------------------------------------------------------------
+
+    /// Send a slice of `Wire` values to `dest`.
+    fn send<T: Wire>(&self, dest: usize, tag: u32, items: &[T]) {
+        self.send_bytes(dest, tag, write_vec(items));
+    }
+
+    /// Receive a whole message from `src` and decode it as consecutive values.
+    fn recv<T: Wire>(&self, src: usize, tag: u32) -> Vec<T> {
+        read_vec(&self.recv_bytes(src, tag))
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (default implementations over point-to-point)
+    // ------------------------------------------------------------------
+
+    /// Gather one byte buffer from every rank onto every rank,
+    /// returned in rank order.
+    fn allgather_bytes(&self, mine: Vec<u8>) -> Vec<Vec<u8>> {
+        let (p, me) = (self.size(), self.rank());
+        self.stats().record_collective(mine.len());
+        if p == 1 {
+            return vec![mine];
+        }
+        for dest in 0..p {
+            if dest != me {
+                self.send_bytes(dest, TAG_COLLECTIVE, mine.clone());
+            }
+        }
+        let mut out = Vec::with_capacity(p);
+        for src in 0..p {
+            if src == me {
+                out.push(mine.clone());
+            } else {
+                out.push(self.recv_bytes(src, TAG_COLLECTIVE));
+            }
+        }
+        out
+    }
+
+    /// `MPI_Allgather` of exactly one value per rank.
+    fn allgather<T: Wire>(&self, mine: T) -> Vec<T> {
+        let bufs = self.allgather_bytes(write_vec(std::slice::from_ref(&mine)));
+        bufs.into_iter()
+            .map(|b| {
+                let mut s = b.as_slice();
+                T::decode(&mut s).expect("allgather: malformed contribution")
+            })
+            .collect()
+    }
+
+    /// `MPI_Allgatherv`: gather a variable-length vector from every rank.
+    fn allgatherv<T: Wire>(&self, mine: &[T]) -> Vec<Vec<T>> {
+        self.allgather_bytes(write_vec(mine))
+            .into_iter()
+            .map(|b| read_vec(&b))
+            .collect()
+    }
+
+    /// `MPI_Allreduce` with a user-supplied associative fold.
+    ///
+    /// The fold is applied in rank order on every rank, so the result is
+    /// deterministic and identical across ranks even for non-commutative
+    /// or floating-point operations.
+    fn allreduce<T: Wire + Clone>(&self, mine: T, op: impl Fn(T, T) -> T) -> T {
+        let all = self.allgather(mine);
+        let mut it = all.into_iter();
+        let first = it.next().expect("allreduce on empty communicator");
+        it.fold(first, op)
+    }
+
+    /// Sum-allreduce of a `u64` (the most common case in the forest code).
+    fn allreduce_sum_u64(&self, mine: u64) -> u64 {
+        self.allreduce(mine, |a, b| a + b)
+    }
+
+    /// Max-allreduce of a `u64`.
+    fn allreduce_max_u64(&self, mine: u64) -> u64 {
+        self.allreduce(mine, |a, b| a.max(b))
+    }
+
+    /// Logical-or allreduce — used e.g. to certify `Balance` convergence.
+    fn allreduce_or(&self, mine: bool) -> bool {
+        self.allreduce(mine, |a, b| a || b)
+    }
+
+    /// Sum-allreduce of an `f64`, deterministic across ranks.
+    fn allreduce_sum_f64(&self, mine: f64) -> f64 {
+        self.allreduce(mine, |a, b| a + b)
+    }
+
+    /// Max-allreduce of an `f64`.
+    fn allreduce_max_f64(&self, mine: f64) -> f64 {
+        self.allreduce(mine, f64::max)
+    }
+
+    /// Exclusive prefix sum: rank `r` receives `sum(values of ranks < r)`.
+    fn exscan_sum_u64(&self, mine: u64) -> u64 {
+        let all = self.allgather(mine);
+        all[..self.rank()].iter().sum()
+    }
+
+    /// `MPI_Alltoallv` over byte buffers: element `d` of `outgoing` is sent
+    /// to rank `d`; the result's element `s` is the buffer received from
+    /// rank `s`. Every rank must call this with `outgoing.len() == size()`.
+    fn alltoallv_bytes(&self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let (p, me) = (self.size(), self.rank());
+        assert_eq!(outgoing.len(), p, "alltoallv: need one buffer per rank");
+        let total: usize = outgoing.iter().map(Vec::len).sum();
+        self.stats().record_collective(total);
+        let mut incoming: Vec<Vec<u8>> = (0..p).map(|_| Vec::new()).collect();
+        for (dest, buf) in outgoing.into_iter().enumerate() {
+            if dest == me {
+                incoming[me] = buf;
+            } else {
+                self.send_bytes(dest, TAG_COLLECTIVE + 1, buf);
+            }
+        }
+        for src in 0..p {
+            if src != me {
+                incoming[src] = self.recv_bytes(src, TAG_COLLECTIVE + 1);
+            }
+        }
+        incoming
+    }
+
+    /// Typed `MPI_Alltoallv`: send `outgoing[d]` to rank `d`, receive the
+    /// vector each source rank addressed to us.
+    fn alltoallv<T: Wire>(&self, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let bufs = outgoing.iter().map(|v| write_vec(v)).collect();
+        self.alltoallv_bytes(bufs)
+            .into_iter()
+            .map(|b| read_vec(&b))
+            .collect()
+    }
+
+    /// Broadcast a value from rank `root` to all ranks.
+    fn broadcast<T: Wire + Clone>(&self, root: usize, mine: Option<T>) -> T {
+        let (p, me) = (self.size(), self.rank());
+        if me == root {
+            let v = mine.expect("broadcast: root must supply a value");
+            let buf = write_vec(std::slice::from_ref(&v));
+            self.stats().record_collective(buf.len());
+            for dest in 0..p {
+                if dest != root {
+                    self.send_bytes(dest, TAG_COLLECTIVE + 2, buf.clone());
+                }
+            }
+            v
+        } else {
+            self.stats().record_collective(0);
+            let buf = self.recv_bytes(root, TAG_COLLECTIVE + 2);
+            let mut s = buf.as_slice();
+            T::decode(&mut s).expect("broadcast: malformed payload")
+        }
+    }
+}
+
+#[cfg(test)]
+mod default_collective_tests {
+    use super::*;
+    use crate::thread::run_spmd;
+
+    #[test]
+    fn allreduce_is_deterministic_in_rank_order() {
+        // Non-commutative fold: string-like concatenation encoded as
+        // digit-shifting; every rank must compute the same value, equal to
+        // the rank-ordered fold.
+        let results = run_spmd(4, |c| {
+            c.allreduce((c.rank() + 1) as u64, |a, b| a * 10 + b)
+        });
+        assert!(results.iter().all(|&r| r == 1234));
+    }
+
+    #[test]
+    fn allgather_bytes_preserves_payload_sizes() {
+        let results = run_spmd(3, |c| {
+            let mine = vec![c.rank() as u8; c.rank() + 1];
+            c.allgather_bytes(mine)
+        });
+        for r in results {
+            assert_eq!(r[0], vec![0]);
+            assert_eq!(r[1], vec![1, 1]);
+            assert_eq!(r[2], vec![2, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn exscan_of_zeroes() {
+        let results = run_spmd(3, |c| c.exscan_sum_u64(0));
+        assert_eq!(results, vec![0, 0, 0]);
+    }
+}

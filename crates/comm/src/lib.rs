@@ -1,0 +1,43 @@
+//! # forust-comm — rank-parallel SPMD message-passing substrate
+//!
+//! The SC10 *Extreme-Scale AMR* paper runs its forest-of-octrees algorithms
+//! on MPI across up to 224K Cray XT5 cores. This crate is the workspace's
+//! substitute substrate: it provides a [`Communicator`] trait with MPI-like
+//! semantics (point-to-point messages plus the collectives the paper's
+//! algorithms use: `Allgather`, `Allgatherv`, `Allreduce`, exclusive `Scan`,
+//! `Alltoallv`, `Barrier`) and an SPMD driver [`run_spmd`] that executes the
+//! same rank function on `P` OS threads connected by unbounded crossbeam
+//! channels.
+//!
+//! Because every algorithm in the workspace is written against the trait and
+//! communicates *only* through owned byte buffers, the algorithms are the
+//! distributed-memory algorithms of the paper — the substitution changes the
+//! transport, not the logic. Unbounded channels make every send non-blocking,
+//! so the simple collective schedules used here are deadlock-free.
+//!
+//! Every communicator keeps per-rank [`TrafficStats`] (message and byte
+//! counts, split by point-to-point vs. collective) so benchmark harnesses can
+//! report communication volume alongside wall time, as the paper discusses
+//! for `Balance` and `Ghost`.
+//!
+//! ```
+//! use forust_comm::{run_spmd, Communicator};
+//!
+//! let sums = run_spmd(4, |comm| {
+//!     let mine = (comm.rank() + 1) as u64;
+//!     comm.allreduce_sum_u64(mine)
+//! });
+//! assert_eq!(sums, vec![10, 10, 10, 10]);
+//! ```
+
+mod communicator;
+mod serial;
+mod stats;
+mod thread;
+mod wire;
+
+pub use communicator::Communicator;
+pub use serial::SerialComm;
+pub use stats::{StatsSnapshot, TrafficStats};
+pub use thread::{run_spmd, ThreadComm};
+pub use wire::{read_vec, write_vec, Wire};

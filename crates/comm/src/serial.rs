@@ -1,0 +1,88 @@
+//! Single-rank communicator for serial runs and tests.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+
+use crate::communicator::Communicator;
+use crate::stats::TrafficStats;
+
+/// A communicator with `size() == 1`.
+///
+/// Self-sends are legal (as in MPI) and are buffered in an internal mailbox
+/// keyed by tag, so algorithms that uniformly send to "the owner rank"
+/// (which may be themselves) need no special casing when run serially.
+#[derive(Debug, Default)]
+pub struct SerialComm {
+    mailbox: RefCell<HashMap<u32, VecDeque<Vec<u8>>>>,
+    stats: TrafficStats,
+}
+
+impl SerialComm {
+    /// Create a fresh single-rank communicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Communicator for SerialComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn send_bytes(&self, dest: usize, tag: u32, data: Vec<u8>) {
+        assert_eq!(dest, 0, "SerialComm: destination rank out of range");
+        self.stats.record_p2p(data.len());
+        self.mailbox.borrow_mut().entry(tag).or_default().push_back(data);
+    }
+
+    fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8> {
+        assert_eq!(src, 0, "SerialComm: source rank out of range");
+        self.mailbox
+            .borrow_mut()
+            .get_mut(&tag)
+            .and_then(VecDeque::pop_front)
+            .expect("SerialComm: recv with no matching message would deadlock")
+    }
+
+    fn barrier(&self) {}
+
+    fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_send_recv_fifo() {
+        let c = SerialComm::new();
+        c.send(0, 7, &[1u32, 2, 3]);
+        c.send(0, 7, &[4u32]);
+        assert_eq!(c.recv::<u32>(0, 7), vec![1, 2, 3]);
+        assert_eq!(c.recv::<u32>(0, 7), vec![4]);
+    }
+
+    #[test]
+    fn collectives_degenerate_to_identity() {
+        let c = SerialComm::new();
+        assert_eq!(c.allgather(42u64), vec![42]);
+        assert_eq!(c.allreduce_sum_u64(7), 7);
+        assert_eq!(c.exscan_sum_u64(9), 0);
+        assert_eq!(c.alltoallv(vec![vec![1u8, 2]]), vec![vec![1, 2]]);
+        assert_eq!(c.broadcast(0, Some(5u32)), 5);
+        assert_eq!(c.allgatherv(&[1.0f64, 2.0]), vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn recv_without_send_panics() {
+        let c = SerialComm::new();
+        let _ = c.recv_bytes(0, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-rank communication traffic accounting.
+//!
+//! The paper reports that the communication volumes of `Balance` and `Ghost`
+//! "scale roughly with the number of octants on the partition boundaries",
+//! and that `Partition` needs one `MPI_Allgather` of a single long integer
+//! per core. The benchmark harnesses verify those claims on the Rust
+//! implementation by reading these counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters of messages and payload bytes, split into
+/// point-to-point and collective traffic.
+///
+/// Counters use relaxed ordering: they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    p2p_msgs: AtomicU64,
+    p2p_bytes: AtomicU64,
+    coll_calls: AtomicU64,
+    coll_bytes: AtomicU64,
+}
+
+/// A plain-data copy of [`TrafficStats`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Number of point-to-point messages sent by this rank.
+    pub p2p_msgs: u64,
+    /// Payload bytes of point-to-point messages sent by this rank.
+    pub p2p_bytes: u64,
+    /// Number of collective operations this rank participated in.
+    pub coll_calls: u64,
+    /// Payload bytes this rank contributed to collectives.
+    pub coll_bytes: u64,
+}
+
+impl TrafficStats {
+    /// Record one point-to-point send of `bytes` payload bytes.
+    #[inline]
+    pub fn record_p2p(&self, bytes: usize) {
+        self.p2p_msgs.fetch_add(1, Ordering::Relaxed);
+        self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record participation in one collective contributing `bytes` bytes.
+    #[inline]
+    pub fn record_collective(&self, bytes: usize) {
+        self.coll_calls.fetch_add(1, Ordering::Relaxed);
+        self.coll_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Read the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            p2p_msgs: self.p2p_msgs.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+            coll_calls: self.coll_calls.load(Ordering::Relaxed),
+            coll_bytes: self.coll_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (e.g. between benchmark phases).
+    pub fn reset(&self) {
+        self.p2p_msgs.store(0, Ordering::Relaxed);
+        self.p2p_bytes.store(0, Ordering::Relaxed);
+        self.coll_calls.store(0, Ordering::Relaxed);
+        self.coll_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            p2p_msgs: self.p2p_msgs - earlier.p2p_msgs,
+            p2p_bytes: self.p2p_bytes - earlier.p2p_bytes,
+            coll_calls: self.coll_calls - earlier.coll_calls,
+            coll_bytes: self.coll_bytes - earlier.coll_bytes,
+        }
+    }
+
+    /// Total bytes moved by this rank (p2p + collective contributions).
+    pub fn total_bytes(&self) -> u64 {
+        self.p2p_bytes + self.coll_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = TrafficStats::default();
+        s.record_p2p(10);
+        s.record_p2p(20);
+        s.record_collective(8);
+        let snap = s.snapshot();
+        assert_eq!(snap.p2p_msgs, 2);
+        assert_eq!(snap.p2p_bytes, 30);
+        assert_eq!(snap.coll_calls, 1);
+        assert_eq!(snap.coll_bytes, 8);
+        assert_eq!(snap.total_bytes(), 38);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = TrafficStats::default();
+        s.record_p2p(10);
+        let a = s.snapshot();
+        s.record_p2p(5);
+        s.record_collective(3);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.p2p_msgs, 1);
+        assert_eq!(d.p2p_bytes, 5);
+        assert_eq!(d.coll_bytes, 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = TrafficStats::default();
+        s.record_p2p(10);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,300 @@
+//! Thread-backed SPMD execution: `P` ranks as OS threads.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::communicator::Communicator;
+use crate::stats::TrafficStats;
+
+type Envelope = (usize, u32, Vec<u8>); // (source rank, tag, payload)
+
+/// One rank's endpoint of a thread-backed communicator.
+///
+/// Transport is an unbounded crossbeam channel per destination rank, so
+/// sends never block. Receives drain the channel into a private mailbox
+/// keyed by `(source, tag)` until a matching message is found; matching is
+/// FIFO per key, mirroring MPI ordering guarantees.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    inbox: Receiver<Envelope>,
+    peers: Vec<Sender<Envelope>>,
+    barrier: Arc<Barrier>,
+    mailbox: Mutex<HashMap<(usize, u32), VecDeque<Vec<u8>>>>,
+    stats: TrafficStats,
+    /// Set when any rank of this communicator panics, so blocked peers
+    /// fail fast instead of deadlocking on a receive that will never
+    /// complete.
+    poisoned: Arc<AtomicBool>,
+}
+
+impl ThreadComm {
+    /// Create all `p` connected endpoints of a communicator.
+    ///
+    /// Endpoint `r` must be moved to the thread executing rank `r`.
+    pub fn create(p: usize) -> Vec<ThreadComm> {
+        assert!(p >= 1, "communicator needs at least one rank");
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(p));
+        let poisoned = Arc::new(AtomicBool::new(false));
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| ThreadComm {
+                rank,
+                size: p,
+                inbox,
+                peers: senders.clone(),
+                barrier: barrier.clone(),
+                mailbox: Mutex::new(HashMap::new()),
+                stats: TrafficStats::default(),
+                poisoned: poisoned.clone(),
+            })
+            .collect()
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_bytes(&self, dest: usize, tag: u32, data: Vec<u8>) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        self.stats.record_p2p(data.len());
+        // Unbounded channel: never blocks. Failure means the destination
+        // thread exited early, which is a harness bug worth a loud panic.
+        self.peers[dest]
+            .send((self.rank, tag, data))
+            .expect("ThreadComm: destination rank hung up");
+    }
+
+    fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let key = (src, tag);
+        loop {
+            if let Some(buf) = self
+                .mailbox
+                .lock()
+                .get_mut(&key)
+                .and_then(VecDeque::pop_front)
+            {
+                return buf;
+            }
+            let (from, t, data) = loop {
+                match self.inbox.recv_timeout(Duration::from_millis(50)) {
+                    Ok(msg) => break msg,
+                    Err(RecvTimeoutError::Timeout) => {
+                        assert!(
+                            !self.poisoned.load(Ordering::Relaxed),
+                            "ThreadComm: a peer rank panicked; aborting receive"
+                        );
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("ThreadComm: all senders hung up while receiving")
+                    }
+                }
+            };
+            if (from, t) == key {
+                return data;
+            }
+            self.mailbox
+                .lock()
+                .entry((from, t))
+                .or_default()
+                .push_back(data);
+        }
+    }
+
+    fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+}
+
+/// Run `f` as an SPMD program on `p` ranks (OS threads) and return each
+/// rank's result, in rank order.
+///
+/// This is the workspace's analogue of `mpirun -np P`: the same function
+/// body executes on every rank, ranks communicate only through the
+/// [`Communicator`] passed to them, and a rank panic aborts the whole run
+/// with that panic's payload.
+pub fn run_spmd<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&ThreadComm) -> R + Sync,
+{
+    let comms = ThreadComm::create(p);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                std::thread::Builder::new()
+                    .name(format!("rank-{}", comm.rank()))
+                    .stack_size(16 << 20)
+                    .spawn_scoped(scope, move || {
+                        let poisoned = comm.poisoned.clone();
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&comm)
+                        }));
+                        match r {
+                            Ok(v) => v,
+                            Err(e) => {
+                                poisoned.store(true, std::sync::atomic::Ordering::Relaxed);
+                                std::panic::resume_unwind(e);
+                            }
+                        }
+                    })
+                    .expect("failed to spawn rank thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results = run_spmd(5, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 1, &[c.rank() as u64]);
+            c.recv::<u64>(prev, 1)[0]
+        });
+        assert_eq!(results, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let results = run_spmd(7, |c| c.allgather((c.rank() as u32) * 10));
+        for r in results {
+            assert_eq!(r, vec![0, 10, 20, 30, 40, 50, 60]);
+        }
+    }
+
+    #[test]
+    fn allgatherv_variable_lengths() {
+        let results = run_spmd(4, |c| {
+            let mine: Vec<u64> = (0..c.rank() as u64).collect();
+            c.allgatherv(&mine)
+        });
+        for r in results {
+            assert_eq!(r, vec![vec![], vec![0], vec![0, 1], vec![0, 1, 2]]);
+        }
+    }
+
+    #[test]
+    fn allreduce_and_scan() {
+        let results = run_spmd(6, |c| {
+            let x = (c.rank() + 1) as u64;
+            (c.allreduce_sum_u64(x), c.exscan_sum_u64(x), c.allreduce_max_u64(x))
+        });
+        for (rank, (sum, scan, max)) in results.into_iter().enumerate() {
+            assert_eq!(sum, 21);
+            assert_eq!(max, 6);
+            let expect: u64 = (1..=rank as u64).sum();
+            assert_eq!(scan, expect);
+        }
+    }
+
+    #[test]
+    fn alltoallv_transposes() {
+        let p = 4;
+        let results = run_spmd(p, |c| {
+            // Rank r sends the value 100*r + d to each destination d.
+            let outgoing: Vec<Vec<u64>> = (0..p)
+                .map(|d| vec![100 * c.rank() as u64 + d as u64])
+                .collect();
+            c.alltoallv(outgoing)
+        });
+        for (d, incoming) in results.into_iter().enumerate() {
+            for (s, v) in incoming.into_iter().enumerate() {
+                assert_eq!(v, vec![100 * s as u64 + d as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let results = run_spmd(3, |c| {
+            let mine = (c.rank() == 2).then_some(99u32);
+            c.broadcast(2, mine)
+        });
+        assert_eq!(results, vec![99, 99, 99]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, &[5u8]);
+                c.send(1, 6, &[6u8]);
+                0u8
+            } else {
+                // Receive in the opposite order they were sent.
+                let six = c.recv::<u8>(0, 6)[0];
+                let five = c.recv::<u8>(0, 5)[0];
+                six * 10 + five
+            }
+        });
+        assert_eq!(results[1], 65);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let results = run_spmd(3, |c| {
+            c.send(0, 1, &[1u64, 2, 3]);
+            if c.rank() == 0 {
+                for src in 0..3 {
+                    let _ = c.recv::<u64>(src, 1);
+                }
+            }
+            c.barrier();
+            c.stats().snapshot()
+        });
+        for s in &results {
+            assert_eq!(s.p2p_msgs, 1);
+            assert_eq!(s.p2p_bytes, 24);
+        }
+    }
+
+    #[test]
+    fn nested_collectives_back_to_back() {
+        let results = run_spmd(5, |c| {
+            let mut acc = 0u64;
+            for i in 0..20 {
+                acc = acc.wrapping_add(c.allreduce_sum_u64(i + c.rank() as u64));
+            }
+            acc
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+}

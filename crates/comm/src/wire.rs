@@ -1,0 +1,206 @@
+//! Minimal fixed-layout serialization for message payloads.
+//!
+//! Messages between ranks are owned byte buffers. The [`Wire`] trait encodes
+//! a value into a little-endian byte stream and decodes it back; it is
+//! implemented here for the primitive types the workspace sends, and
+//! downstream crates implement it for their own POD-like types (octants,
+//! node keys, field chunks). A trait with explicit encode/decode keeps the
+//! byte layout independent of Rust struct layout, so no `unsafe` casts are
+//! needed anywhere in the transport.
+
+/// A value that can be encoded to and decoded from a byte stream.
+///
+/// Encoding must be self-delimiting given the type: `decode` consumes
+/// exactly the bytes `encode` produced. All provided impls are
+/// little-endian and fixed-width.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decode one value from the front of `buf`, advancing the slice.
+    ///
+    /// Returns `None` if `buf` is too short or malformed.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+}
+
+macro_rules! impl_wire_prim {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            #[inline]
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn decode(buf: &mut &[u8]) -> Option<Self> {
+                const N: usize = std::mem::size_of::<$t>();
+                if buf.len() < N {
+                    return None;
+                }
+                let (head, tail) = buf.split_at(N);
+                *buf = tail;
+                Some(<$t>::from_le_bytes(head.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+impl_wire_prim!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64, usize, isize);
+
+impl Wire for bool {
+    #[inline]
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    #[inline]
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let b = u8::decode(buf)?;
+        Some(b != 0)
+    }
+}
+
+impl<T: Wire, const N: usize> Wire for [T; N] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for x in self {
+            x.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        // Decode into a Vec first to avoid requiring T: Default/Copy.
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::decode(buf)?);
+        }
+        v.try_into().ok()
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, E: Wire> Wire for (A, B, C, E) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?, E::decode(buf)?))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for x in self {
+            x.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let n = u64::decode(buf)? as usize;
+        let mut v = Vec::with_capacity(n.min(buf.len().max(16)));
+        for _ in 0..n {
+            v.push(T::decode(buf)?);
+        }
+        Some(v)
+    }
+}
+
+/// Encode a slice of values into a fresh buffer (without a length prefix).
+pub fn write_vec<T: Wire>(items: &[T]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for x in items {
+        x.encode(&mut buf);
+    }
+    buf
+}
+
+/// Decode a whole buffer (produced by [`write_vec`]) as consecutive values.
+///
+/// Panics if the buffer does not decode cleanly to an integral number of
+/// items — inside the SPMD harness a malformed message is a program bug,
+/// not a recoverable condition.
+pub fn read_vec<T: Wire>(mut buf: &[u8]) -> Vec<T> {
+    let mut v = Vec::new();
+    while !buf.is_empty() {
+        let item = T::decode(&mut buf).expect("malformed wire buffer: trailing bytes do not decode");
+        v.push(item);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(x: T) {
+        let mut buf = Vec::new();
+        x.encode(&mut buf);
+        let mut s = buf.as_slice();
+        let y = T::decode(&mut s).unwrap();
+        assert_eq!(x, y);
+        assert!(s.is_empty(), "decode must consume exactly the encoding");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u32::MAX);
+        roundtrip(-1i64);
+        roundtrip(3.5f64);
+        roundtrip(f32::NEG_INFINITY);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        roundtrip([1u32, 2, 3]);
+        roundtrip((7u8, -9i32));
+        roundtrip((1u64, 2.5f64, 3u8));
+        roundtrip(vec![1.0f64, -2.0, 3.0]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn write_read_vec_roundtrip() {
+        let xs = vec![(1u32, 2u64), (3, 4), (5, 6)];
+        let buf = write_vec(&xs);
+        let ys: Vec<(u32, u64)> = read_vec(&buf);
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn decode_short_buffer_is_none() {
+        let mut s: &[u8] = &[1, 2, 3];
+        assert!(u64::decode(&mut s).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed wire buffer")]
+    fn read_vec_trailing_garbage_panics() {
+        let mut buf = write_vec(&[1u64, 2]);
+        buf.push(0xFF);
+        let _: Vec<u64> = read_vec(&buf);
+    }
+}

@@ -1,0 +1,422 @@
+//! Ready-made forest connectivities.
+//!
+//! These mirror p4est's builder suite and cover every configuration the
+//! paper uses: the unit cube/square, bricks with optional periodicity, the
+//! five-quadtree periodic **Möbius strip** and the six-octree **rotated
+//! cubes** configuration of Fig. 1, the **cubed sphere** (6 caps) and the
+//! 24-tree **spherical shell** (6 caps × 4) used for the advection and
+//! mantle-convection experiments (§III-B, §IV-A), and a two-tree rotated
+//! pair for transform tests (Fig. 3).
+//!
+//! Builders place tree corners on an exact integer lattice; the generic
+//! matching in [`Connectivity::from_corner_positions`] then derives all
+//! face/edge/corner gluings and the coordinate transforms between rotated
+//! trees.
+
+use super::Connectivity;
+use crate::dim::{D2, D3};
+
+/// Signed-permutation rotation of the unit cube: maps corner offsets
+/// `(0/1)^3` to corner offsets, as `out[perm[d]] = flip[d] ? 1-c[d] : c[d]`.
+#[derive(Debug, Clone, Copy)]
+pub struct CubeRotation {
+    /// Axis permutation.
+    pub perm: [usize; 3],
+    /// Per-source-axis reflection.
+    pub flip: [bool; 3],
+}
+
+impl CubeRotation {
+    /// The identity placement.
+    pub const IDENTITY: CubeRotation = CubeRotation { perm: [0, 1, 2], flip: [false, false, false] };
+
+    /// Quarter-turn about the x axis: y -> z, z -> -y.
+    pub const ROT_X: CubeRotation = CubeRotation { perm: [0, 2, 1], flip: [false, false, true] };
+
+    /// Quarter-turn about the y axis: z -> x, x -> -z.
+    pub const ROT_Y: CubeRotation = CubeRotation { perm: [2, 1, 0], flip: [true, false, false] };
+
+    /// Quarter-turn about the z axis: x -> y, y -> -x.
+    pub const ROT_Z: CubeRotation = CubeRotation { perm: [1, 0, 2], flip: [false, true, false] };
+
+    /// Apply to a unit-cube corner offset.
+    pub fn apply(&self, c: [i64; 3]) -> [i64; 3] {
+        let mut out = [0i64; 3];
+        for d in 0..3 {
+            out[self.perm[d]] = if self.flip[d] { 1 - c[d] } else { c[d] };
+        }
+        out
+    }
+
+    /// Compose: apply `self` after `other`.
+    pub fn then(&self, other: &CubeRotation) -> CubeRotation {
+        let mut perm = [0usize; 3];
+        let mut flip = [false; 3];
+        for d in 0..3 {
+            perm[d] = other.perm[self.perm[d]];
+            flip[d] = self.flip[d] ^ other.flip[self.perm[d]];
+        }
+        CubeRotation { perm, flip }
+    }
+}
+
+/// Corner positions of a unit cube placed with rotation `rot` and integer
+/// translation `t`, in z-order.
+fn placed_cube(rot: &CubeRotation, t: [i64; 3]) -> Vec<[i64; 3]> {
+    (0..8)
+        .map(|c| {
+            let off = [(c & 1) as i64, ((c >> 1) & 1) as i64, ((c >> 2) & 1) as i64];
+            let r = rot.apply(off);
+            [r[0] + t[0], r[1] + t[1], r[2] + t[2]]
+        })
+        .collect()
+}
+
+/// A single octree: the unit cube (all faces are domain boundaries).
+pub fn unit3d() -> Connectivity<D3> {
+    Connectivity::from_corner_positions(&[placed_cube(&CubeRotation::IDENTITY, [0, 0, 0])])
+}
+
+/// A single quadtree: the unit square.
+pub fn unit2d() -> Connectivity<D2> {
+    Connectivity::from_corner_positions(&[vec![[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]]])
+}
+
+/// An `n[0] x n[1] x n[2]` brick of axis-aligned octrees, optionally
+/// periodic per axis. Periodic axes need at least two trees.
+pub fn brick3d(n: [usize; 3], periodic: [bool; 3]) -> Connectivity<D3> {
+    for d in 0..3 {
+        assert!(n[d] >= 1, "brick needs at least one tree per axis");
+        assert!(
+            !periodic[d] || n[d] >= 3,
+            "periodic brick axes need at least three trees (fewer would \
+             alias distinct faces onto the same lattice corners)"
+        );
+    }
+    let mut trees = Vec::new();
+    for k in 0..n[2] {
+        for j in 0..n[1] {
+            for i in 0..n[0] {
+                let base = [i as i64, j as i64, k as i64];
+                let corners = (0..8)
+                    .map(|c| {
+                        let mut p = [
+                            base[0] + (c & 1) as i64,
+                            base[1] + ((c >> 1) & 1) as i64,
+                            base[2] + ((c >> 2) & 1) as i64,
+                        ];
+                        for (d, item) in p.iter_mut().enumerate() {
+                            if periodic[d] {
+                                *item %= n[d] as i64;
+                            }
+                        }
+                        p
+                    })
+                    .collect();
+                trees.push(corners);
+            }
+        }
+    }
+    Connectivity::from_corner_positions(&trees)
+}
+
+/// An `nx x ny` brick of quadtrees, optionally periodic per axis.
+pub fn brick2d(nx: usize, ny: usize, periodic_x: bool, periodic_y: bool) -> Connectivity<D2> {
+    assert!(nx >= 1 && ny >= 1);
+    assert!(!periodic_x || nx >= 3, "periodic brick axes need at least three trees");
+    assert!(!periodic_y || ny >= 3, "periodic brick axes need at least three trees");
+    let mut trees = Vec::new();
+    for j in 0..ny {
+        for i in 0..nx {
+            let corners = (0..4)
+                .map(|c| {
+                    let mut p = [i as i64 + (c & 1) as i64, j as i64 + ((c >> 1) & 1) as i64, 0];
+                    if periodic_x {
+                        p[0] %= nx as i64;
+                    }
+                    if periodic_y {
+                        p[1] %= ny as i64;
+                    }
+                    p
+                })
+                .collect();
+            trees.push(corners);
+        }
+    }
+    Connectivity::from_corner_positions(&trees)
+}
+
+/// A ring of `n >= 3` quadtrees, periodic along x (a 2D torus strip).
+pub fn torus2d(n: usize) -> Connectivity<D2> {
+    brick2d(n, 1, true, false)
+}
+
+/// The periodic **Möbius strip** of five quadtrees (paper Fig. 1, top).
+///
+/// Trees 0–3 are glued side by side; tree 4 closes the loop with a half
+/// twist (its x+ face meets tree 0's x− face with reversed orientation).
+pub fn moebius() -> Connectivity<D2> {
+    let n = 5usize;
+    // Topological corner ids: bottom ring b_t = t, top ring u_t = n + t.
+    let b = |t: usize| t % n;
+    let u = |t: usize| n + t % n;
+    let mut ids = Vec::new();
+    for t in 0..n - 1 {
+        ids.extend_from_slice(&[b(t), b(t + 1), u(t), u(t + 1)]);
+    }
+    // The twisted closure: right side of tree 4 attaches upside-down.
+    ids.extend_from_slice(&[b(n - 1), u(0), u(n - 1), b(0)]);
+    // Lattice positions (geometry hint only): an open strip.
+    let mut lattice = Vec::new();
+    for t in 0..n {
+        lattice.push([t as i64, 0, 0]);
+    }
+    for t in 0..n {
+        lattice.push([t as i64, 1, 0]);
+    }
+    Connectivity::from_tree_corners(n, ids, lattice)
+}
+
+/// Two octrees sharing one face, the right tree rotated a quarter-turn
+/// about the x axis (used by the Fig. 3 transform tests).
+pub fn two_trees_rotated() -> Connectivity<D3> {
+    let t0 = placed_cube(&CubeRotation::IDENTITY, [0, 0, 0]);
+    let t1 = placed_cube(&CubeRotation::ROT_X, [1, 0, 0]);
+    Connectivity::from_corner_positions(&[t0, t1])
+}
+
+/// Six octrees with mutually rotated coordinate systems; four of them share
+/// the central axis segment (paper Fig. 1, bottom: the configuration used
+/// for the Fig. 4 weak-scaling study, activating many inter-octree
+/// connection types including a multi-tree macro-edge).
+pub fn rotcubes6() -> Connectivity<D3> {
+    let r0 = CubeRotation::IDENTITY;
+    let rx = CubeRotation::ROT_X;
+    let rx2 = rx.then(&rx);
+    let rx3 = rx2.then(&rx);
+    let trees = vec![
+        // Four cubes around the x axis (the segment y=0, z=0, 0<=x<=1),
+        // each in a coordinate system rotated by a different quarter-turn.
+        placed_cube(&r0, [0, 0, 0]),
+        placed_cube(&rx, [0, -1, 0]),
+        placed_cube(&rx2, [0, -1, -1]),
+        placed_cube(&rx3, [0, 0, -1]),
+        // One cube attached beyond +x of tree 0, rotated about z.
+        placed_cube(&CubeRotation::ROT_Z, [1, 0, 0]),
+        // One cube attached beyond -x of tree 1, rotated about y.
+        placed_cube(&CubeRotation::ROT_Y, [-1, -1, 0]),
+    ];
+    Connectivity::from_corner_positions(&trees)
+}
+
+/// Corner positions for one cap subtree of a cubed-sphere construction.
+///
+/// `face` is the cube face the cap covers; `(a, b)` selects the subtree in
+/// the 2x2 angular split (pass `(0, 0)` with `split = 1` for an unsplit
+/// cap); `split` is 1 or 2. The cube surface lives on the lattice
+/// `[-2, 2]^3`; the outer radial layer doubles every coordinate.
+fn cap_subtree(face: usize, a: i64, b: i64, split: i64) -> Vec<[i64; 3]> {
+    use crate::dim::Dim;
+    let corners = D3::FACE_CORNERS[face];
+    let step = 4 / split; // tangential lattice step per subtree
+    (0..8)
+        .map(|c| {
+            let (cx, cy, cz) = ((c & 1) as i64, ((c >> 1) & 1) as i64, ((c >> 2) & 1) as i64);
+            // Tangential parameters in [-2, 2].
+            let u = -2 + (a + cx) * step;
+            let v = -2 + (b + cy) * step;
+            // Interpolate the cube-face geometry from its 4 corner points.
+            let p = |q: usize| {
+                let off = D3::corner_offset(corners[q]);
+                [4 * off[0] as i64 - 2, 4 * off[1] as i64 - 2, 4 * off[2] as i64 - 2]
+            };
+            let (p0, p1, p2, p3) = (p(0), p(1), p(2), p(3));
+            let mut s = [0i64; 3];
+            for d in 0..3 {
+                // Bilinear in (u, v) over the face, exact in integers.
+                let du = p1[d] - p0[d]; // along u, total span 4
+                let dv = p2[d] - p0[d]; // along v, total span 4
+                debug_assert_eq!(p3[d] - p0[d], du + dv);
+                s[d] = p0[d] + du * (u + 2) / 4 + dv * (v + 2) / 4;
+            }
+            // Radial layer: inner at |.|, outer at 2x.
+            let r = 1 + cz;
+            [s[0] * r, s[1] * r, s[2] * r]
+        })
+        .collect()
+}
+
+/// The cubed sphere: six octrees covering a spherical shell, one per cube
+/// face, with the tree z axis pointing radially outward.
+pub fn cubed_sphere() -> Connectivity<D3> {
+    let trees: Vec<_> = (0..6).map(|f| cap_subtree(f, 0, 0, 1)).collect();
+    Connectivity::from_corner_positions(&trees)
+}
+
+/// The 24-octree spherical shell of §III-B and §IV-A: six cubed-sphere
+/// caps, each split 2x2 in the angular directions.
+///
+/// Tree `4*f + 2*b + a` is subtree `(a, b)` of cap `f`.
+pub fn shell24() -> Connectivity<D3> {
+    let mut trees = Vec::with_capacity(24);
+    for f in 0..6 {
+        for b in 0..2 {
+            for a in 0..2 {
+                trees.push(cap_subtree(f, a, b, 2));
+            }
+        }
+    }
+    Connectivity::from_corner_positions(&trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Dim;
+
+    fn glued_faces<D: Dim>(c: &Connectivity<D>, k: u32) -> usize {
+        (0..D::FACES).filter(|&f| c.face_transform(k, f).is_some()).count()
+    }
+
+    #[test]
+    fn unit_has_no_connections() {
+        let c = unit3d();
+        c.validate();
+        assert_eq!(c.num_trees(), 1);
+        assert_eq!(glued_faces(&c, 0), 0);
+        let q = unit2d();
+        q.validate();
+        assert_eq!(glued_faces(&q, 0), 0);
+    }
+
+    #[test]
+    fn brick_3d_face_counts() {
+        let c = brick3d([2, 2, 2], [false; 3]);
+        c.validate();
+        assert_eq!(c.num_trees(), 8);
+        for k in 0..8 {
+            assert_eq!(glued_faces(&c, k), 3, "corner tree of 2x2x2 brick");
+        }
+        let c = brick3d([3, 1, 1], [false; 3]);
+        c.validate();
+        assert_eq!(glued_faces(&c, 0), 1);
+        assert_eq!(glued_faces(&c, 1), 2);
+        assert_eq!(glued_faces(&c, 2), 1);
+    }
+
+    #[test]
+    fn brick_periodic_closes() {
+        let c = brick3d([3, 1, 1], [true, false, false]);
+        c.validate();
+        // Every tree of the ring has both x faces glued.
+        for k in 0..3 {
+            assert_eq!(glued_faces(&c, k), 2);
+        }
+        let t = c.face_transform(0, 0).unwrap();
+        assert_eq!(t.target, 2);
+        assert_eq!(t.target_face, 1);
+    }
+
+    #[test]
+    fn torus2d_ring() {
+        let c = torus2d(4);
+        c.validate();
+        for k in 0..4 {
+            assert_eq!(glued_faces(&c, k), 2);
+        }
+        assert_eq!(c.face_transform(3, 1).unwrap().target, 0);
+    }
+
+    #[test]
+    fn moebius_has_twist() {
+        let c = moebius();
+        c.validate();
+        assert_eq!(c.num_trees(), 5);
+        for k in 0..5 {
+            assert_eq!(glued_faces(&c, k), 2, "tree {k}");
+            // y faces are the open boundary of the strip.
+            assert!(c.face_transform(k, 2).is_none());
+            assert!(c.face_transform(k, 3).is_none());
+        }
+        // The closure tree connects back to tree 0 with a flip: the y axis
+        // must be reversed by the transform.
+        let t = c.face_transform(4, 1).unwrap();
+        assert_eq!(t.target, 0);
+        assert_eq!(t.target_face, 0);
+        assert_eq!(t.sign[1], -1, "Möbius closure must reverse the strip");
+        // Straight interior gluings are orientation-preserving.
+        let t01 = c.face_transform(0, 1).unwrap();
+        assert_eq!(t01.sign[1], 1);
+    }
+
+    #[test]
+    fn two_trees_rotated_transform_is_rotation() {
+        let c = two_trees_rotated();
+        c.validate();
+        let t = c.face_transform(0, 1).unwrap();
+        assert_eq!(t.target, 1);
+        // Tree 1 is rotated about x, so its face meeting tree 0 is not
+        // face 0: the transform is a genuine rotation.
+        assert!(t.perm != [0, 1, 2] || t.sign != [1, 1, 1]);
+    }
+
+    #[test]
+    fn rotcubes_center_axis_shared_by_four() {
+        let c = rotcubes6();
+        c.validate();
+        assert_eq!(c.num_trees(), 6);
+        // Tree 0's edge 0 (x-running at y=0, z=0) is the central axis:
+        // four trees share it.
+        let nbs = c.edge_neighbors(0, 0);
+        assert_eq!(nbs.len(), 4, "central axis must be shared by 4 trees: {nbs:?}");
+        let mut trees: Vec<u32> = nbs.iter().map(|n| n.tree).collect();
+        trees.sort_unstable();
+        assert_eq!(trees, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cubed_sphere_topology() {
+        let c = cubed_sphere();
+        c.validate();
+        assert_eq!(c.num_trees(), 6);
+        for k in 0..6 {
+            // 4 angular gluings; radial faces (4: inner, 5: outer) open.
+            assert_eq!(glued_faces(&c, k), 4, "tree {k}");
+            assert!(c.face_transform(k, 4).is_none());
+            assert!(c.face_transform(k, 5).is_none());
+        }
+        // Each cube corner is shared by three caps: the radial tree edges
+        // there have three members.
+        let mut seen3 = 0;
+        for k in 0..6u32 {
+            for e in 8..12 {
+                if c.edge_neighbors(k, e).len() == 3 {
+                    seen3 += 1;
+                }
+            }
+        }
+        assert_eq!(seen3, 24, "every radial edge shared by exactly 3 caps");
+    }
+
+    #[test]
+    fn shell24_topology() {
+        let c = shell24();
+        c.validate();
+        assert_eq!(c.num_trees(), 24);
+        for k in 0..24 {
+            assert_eq!(glued_faces(&c, k), 4, "tree {k}");
+            assert!(c.face_transform(k, 4).is_none(), "inner radial boundary");
+            assert!(c.face_transform(k, 5).is_none(), "outer radial boundary");
+        }
+    }
+
+    #[test]
+    fn cube_rotation_composition() {
+        let rx = CubeRotation::ROT_X;
+        let rx4 = rx.then(&rx).then(&rx).then(&rx);
+        for c in 0..8 {
+            let off = [(c & 1) as i64, ((c >> 1) & 1) as i64, ((c >> 2) & 1) as i64];
+            assert_eq!(rx4.apply(off), off, "four quarter turns = identity");
+        }
+    }
+}

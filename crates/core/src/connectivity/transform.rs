@@ -1,0 +1,360 @@
+//! Integer coordinate transforms between neighboring trees.
+//!
+//! When two trees of a forest meet at a macro-face, their coordinate systems
+//! may be arbitrarily rotated with respect to one another (paper §II-D,
+//! Fig. 3). A [`FaceTransform`] is the affine integer map — axis permutation,
+//! per-axis reflection, translation — that carries points and octants from
+//! one tree's coordinate system into its face-neighbor's, valid in the
+//! vicinity of the shared face (and, being affine, on all of space, which is
+//! what lets it route diagonal "insulation" octants during `Balance`).
+//!
+//! Transforms across macro-edges and macro-corners are simpler: the
+//! transverse position of a neighboring octant is fully determined by which
+//! edge/corner of the target tree is shared, so only the coordinate running
+//! along an edge needs an orientation bit.
+
+use crate::dim::Dim;
+use crate::octant::Octant;
+use crate::connectivity::TreeId;
+
+/// Affine integer map from one tree's coordinates to a face-neighbor's:
+/// `p_out[perm[d]] = sign[d] * p_in[d] + offset[d]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaceTransform {
+    /// Tree the transform maps into.
+    pub target: TreeId,
+    /// The shared face as numbered by the target tree.
+    pub target_face: usize,
+    /// Axis permutation: source axis `d` becomes target axis `perm[d]`.
+    pub perm: [usize; 3],
+    /// Per-source-axis direction: `+1` or `-1`.
+    pub sign: [i32; 3],
+    /// Per-source-axis translation, applied after the sign.
+    pub offset: [i32; 3],
+}
+
+impl FaceTransform {
+    /// Identity transform into the given tree (used for self/boundary).
+    pub fn identity(target: TreeId, target_face: usize) -> Self {
+        FaceTransform {
+            target,
+            target_face,
+            perm: [0, 1, 2],
+            sign: [1, 1, 1],
+            offset: [0, 0, 0],
+        }
+    }
+
+    /// Map a point (e.g. a node coordinate) into the target tree.
+    #[inline]
+    pub fn apply_point(&self, p: [i32; 3]) -> [i32; 3] {
+        self.apply_point_scaled(p, 1)
+    }
+
+    /// Map a point expressed in coordinates scaled by `scale` (used for
+    /// degree-`N` node lattices, where positions are `N * x`).
+    #[inline]
+    pub fn apply_point_scaled(&self, p: [i32; 3], scale: i32) -> [i32; 3] {
+        let mut out = [0i32; 3];
+        for d in 0..3 {
+            out[self.perm[d]] = self.sign[d] * p[d] + scale * self.offset[d];
+        }
+        out
+    }
+
+    /// Map an octant into the target tree.
+    ///
+    /// On reflected axes the anchor moves by the octant size, since the
+    /// anchor is always the corner closest to the target origin.
+    #[inline]
+    pub fn apply_octant<D: Dim>(&self, o: &Octant<D>) -> Octant<D> {
+        let h = o.len();
+        let c = o.coords();
+        let mut out = [0i32; 3];
+        for d in 0..3 {
+            let v = self.sign[d] * c[d] + self.offset[d];
+            out[self.perm[d]] = if self.sign[d] < 0 { v - h } else { v };
+        }
+        Octant::from_coords(out, o.level)
+    }
+
+    /// The inverse map (back into the source tree).
+    pub fn inverse(&self, source: TreeId, source_face: usize) -> Self {
+        let mut perm = [0usize; 3];
+        let mut sign = [0i32; 3];
+        let mut offset = [0i32; 3];
+        for d in 0..3 {
+            let t = self.perm[d];
+            perm[t] = d;
+            sign[t] = self.sign[d];
+            offset[t] = -self.sign[d] * self.offset[d];
+        }
+        FaceTransform {
+            target: source,
+            target_face: source_face,
+            perm,
+            sign,
+            offset,
+        }
+    }
+
+    /// Whether `perm` is a permutation and all signs are ±1.
+    pub fn is_well_formed(&self) -> bool {
+        let mut seen = [false; 3];
+        for d in 0..3 {
+            if self.perm[d] > 2 || seen[self.perm[d]] || self.sign[d].abs() != 1 {
+                return false;
+            }
+            seen[self.perm[d]] = true;
+        }
+        true
+    }
+}
+
+/// Connection of one tree edge to another tree's edge (3D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeNeighbor {
+    /// Tree sharing the macro-edge.
+    pub tree: TreeId,
+    /// The shared edge as numbered by that tree.
+    pub edge: usize,
+    /// Whether the edge's running coordinate is reversed between the trees.
+    pub reversed: bool,
+}
+
+impl EdgeNeighbor {
+    /// Map an octant of the source tree that lies diagonally across the
+    /// source edge (exterior on both transverse axes) into this neighbor
+    /// tree, where it sits interior, flush against the shared edge.
+    pub fn apply_octant<D: Dim>(&self, source_edge: usize, o: &Octant<D>) -> Octant<D> {
+        debug_assert!(D::DIM == 3);
+        let big = D::root_len();
+        let h = o.len();
+        let a_src = D::edge_axis(source_edge);
+        let a_dst = D::edge_axis(self.edge);
+        let run = o.coords()[a_src];
+        let run_out = if self.reversed { big - run - h } else { run };
+        let mut out = [0i32; 3];
+        out[a_dst] = run_out;
+        // Transverse coordinates: flush against the target edge, on the
+        // interior side determined by the edge's offset bits.
+        let bits = self.edge % 4;
+        let mut b = 0;
+        for (d, item) in out.iter_mut().enumerate() {
+            if d != a_dst {
+                *item = if (bits >> b) & 1 == 1 { big - h } else { 0 };
+                b += 1;
+            }
+        }
+        Octant::from_coords(out, o.level)
+    }
+
+    /// Map the running coordinate of a point on the source edge to the
+    /// target edge, returning the full target-tree point.
+    pub fn apply_edge_point<D: Dim>(&self, run: i32) -> [i32; 3] {
+        self.apply_edge_point_scaled::<D>(run, 1)
+    }
+
+    /// Scaled variant of [`EdgeNeighbor::apply_edge_point`] for node
+    /// lattices (coordinates multiplied by `scale`).
+    pub fn apply_edge_point_scaled<D: Dim>(&self, run: i32, scale: i32) -> [i32; 3] {
+        let big = scale * D::root_len();
+        let a_dst = D::edge_axis(self.edge);
+        let run_out = if self.reversed { big - run } else { run };
+        let bits = self.edge % 4;
+        let mut out = [0i32; 3];
+        out[a_dst] = run_out;
+        let mut b = 0;
+        for (d, item) in out.iter_mut().enumerate() {
+            if d != a_dst {
+                *item = if (bits >> b) & 1 == 1 { big } else { 0 };
+                b += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Connection of one tree corner to another tree's corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CornerNeighbor {
+    /// Tree sharing the macro-corner.
+    pub tree: TreeId,
+    /// The shared corner as numbered by that tree.
+    pub corner: usize,
+}
+
+impl CornerNeighbor {
+    /// Place an octant of size `h = len(level)` interior to the target
+    /// tree, flush against the shared corner.
+    pub fn octant_at_corner<D: Dim>(&self, level: u8) -> Octant<D> {
+        let big = D::root_len();
+        let h = big >> level;
+        let off = D::corner_offset(self.corner);
+        let coord = |d: usize| if off[d] == 1 { big - h } else { 0 };
+        let z = if D::DIM == 3 { coord(2) } else { 0 };
+        Octant::from_coords([coord(0), coord(1), z], level)
+    }
+
+    /// The target-tree coordinates of the shared corner point itself.
+    pub fn corner_point<D: Dim>(&self) -> [i32; 3] {
+        self.corner_point_scaled::<D>(1)
+    }
+
+    /// Scaled variant of [`CornerNeighbor::corner_point`].
+    pub fn corner_point_scaled<D: Dim>(&self, scale: i32) -> [i32; 3] {
+        let big = scale * D::root_len();
+        let off = D::corner_offset(self.corner);
+        [off[0] * big, off[1] * big, off[2] * big]
+    }
+}
+
+/// How an exterior octant was routed into a neighboring tree; carries the
+/// point map valid near the crossed entity (used to transform node
+/// coordinates alongside octants).
+#[derive(Debug, Clone, Copy)]
+pub enum Route<'a> {
+    /// The octant was interior: identity.
+    Interior,
+    /// Crossed a macro-face: the full affine transform applies.
+    Face(&'a FaceTransform),
+    /// Crossed a macro-edge: valid for points on the macro-edge line.
+    Edge {
+        /// The crossed edge as numbered by the source tree.
+        source_edge: usize,
+        /// The connection used.
+        nb: EdgeNeighbor,
+    },
+    /// Crossed a macro-corner: valid for the corner point itself.
+    Corner {
+        /// The crossed corner as numbered by the source tree.
+        source_corner: usize,
+        /// The connection used.
+        nb: CornerNeighbor,
+    },
+}
+
+impl Route<'_> {
+    /// Map a point near the crossed entity into the target tree, in
+    /// coordinates scaled by `scale`.
+    ///
+    /// For `Edge` routes the point must lie on the macro-edge line; for
+    /// `Corner` routes it must be the corner point.
+    pub fn map_point_scaled<D: Dim>(&self, p: [i32; 3], scale: i32) -> [i32; 3] {
+        match self {
+            Route::Interior => p,
+            Route::Face(t) => t.apply_point_scaled(p, scale),
+            Route::Edge { source_edge, nb } => {
+                let big = scale * D::root_len();
+                let axis = D::edge_axis(*source_edge);
+                // Debug-check the point is on the source macro-edge line.
+                if cfg!(debug_assertions) {
+                    let bits = source_edge % 4;
+                    let mut b = 0;
+                    for d in 0..3 {
+                        if d != axis {
+                            let want = if (bits >> b) & 1 == 1 { big } else { 0 };
+                            debug_assert_eq!(p[d], want, "point not on macro-edge");
+                            b += 1;
+                        }
+                    }
+                }
+                nb.apply_edge_point_scaled::<D>(p[axis], scale)
+            }
+            Route::Corner { nb, .. } => nb.corner_point_scaled::<D>(scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::D3;
+
+    #[test]
+    fn identity_maps_octant_to_itself() {
+        let t = FaceTransform::identity(0, 0);
+        let o = Octant::<D3>::root().child(5).child(2);
+        assert_eq!(t.apply_octant(&o), o);
+        assert_eq!(t.apply_point([7, 8, 9]), [7, 8, 9]);
+    }
+
+    #[test]
+    fn inverse_roundtrips_points_and_octants() {
+        let big = D3::root_len();
+        // A quarter-turn about z plus a shift along x: x'=-y+big, y'=x, z'=z.
+        let t = FaceTransform {
+            target: 1,
+            target_face: 0,
+            perm: [1, 0, 2],
+            sign: [1, -1, 1],
+            offset: [0, big, 0],
+        };
+        assert!(t.is_well_formed());
+        let inv = t.inverse(0, 3);
+        assert!(inv.is_well_formed());
+        let p = [3, 5, 9];
+        assert_eq!(inv.apply_point(t.apply_point(p)), p);
+        let o = Octant::<D3>::root().child(3).child(6).child(1);
+        assert_eq!(inv.apply_octant(&t.apply_octant(&o)), o);
+    }
+
+    #[test]
+    fn reflection_adjusts_anchor_by_size() {
+        let big = D3::root_len();
+        // Pure reflection of x: x' = big - x (point map).
+        let t = FaceTransform {
+            target: 0,
+            target_face: 0,
+            perm: [0, 1, 2],
+            sign: [-1, 1, 1],
+            offset: [big, 0, 0],
+        };
+        let o = Octant::<D3>::new(0, 0, 0, 1); // left half slab at origin
+        let m = t.apply_octant(&o);
+        // Image anchor must be big/2 (the reflected octant occupies the
+        // upper half along x), not big.
+        assert_eq!(m.x, big / 2);
+        assert_eq!(m.level, 1);
+    }
+
+    #[test]
+    fn edge_neighbor_places_octant_flush() {
+        let big = D3::root_len();
+        let h = big / 4;
+        // Octant diagonally across edge 0 of the source tree (x-running
+        // edge at y=0, z=0): exterior at y=-h, z=-h.
+        let o = Octant::<D3>::new(2 * h, -h, -h, 2);
+        let nb = EdgeNeighbor { tree: 4, edge: 3, reversed: true };
+        let m = nb.apply_octant::<D3>(0, &o);
+        // Edge 3 runs along x at y=1,z=1: target coords flush at big-h.
+        assert_eq!(m.y, big - h);
+        assert_eq!(m.z, big - h);
+        assert_eq!(m.x, big - 2 * h - h); // reversed running coordinate
+        assert!(m.is_inside_root());
+    }
+
+    #[test]
+    fn edge_point_map_reverses_run() {
+        let big = D3::root_len();
+        let nb = EdgeNeighbor { tree: 1, edge: 8, reversed: false };
+        // Edge 8 runs along z at x=0, y=0.
+        assert_eq!(nb.apply_edge_point::<D3>(5), [0, 0, 5]);
+        let nb_rev = EdgeNeighbor { tree: 1, edge: 11, reversed: true };
+        // Edge 11 runs along z at x=1, y=1.
+        assert_eq!(nb_rev.apply_edge_point::<D3>(5), [big, big, big - 5]);
+    }
+
+    #[test]
+    fn corner_neighbor_octant_interior() {
+        let nb = CornerNeighbor { tree: 2, corner: 7 };
+        let o = nb.octant_at_corner::<D3>(3);
+        let big = D3::root_len();
+        let h = big >> 3;
+        assert_eq!(o.coords(), [big - h, big - h, big - h]);
+        assert!(o.is_inside_root());
+        assert_eq!(nb.corner_point::<D3>(), [big, big, big]);
+        let nb0 = CornerNeighbor { tree: 2, corner: 0 };
+        assert_eq!(nb0.octant_at_corner::<D3>(3).coords(), [0, 0, 0]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Dimension abstraction: quadtrees (2D) and octrees (3D) from one code base.
+//!
+//! The paper's `p4est` library is generated for 2D and 3D from a single
+//! source via preprocessor macros. Here the same is achieved with a sealed
+//! [`Dim`] trait carrying the incidence tables (which corners bound which
+//! face, which edges bound which face, …) as associated constants, so that
+//! all octant and forest algorithms are written once, generic over `D: Dim`.
+//!
+//! Conventions follow p4est (paper Fig. 3):
+//! - Children, corners and nodes are numbered in **z-order**: bit 0 of the
+//!   id is the x-offset, bit 1 the y-offset, bit 2 (3D) the z-offset.
+//! - Faces are numbered `−x, +x, −y, +y, −z, +z` = `0..2*DIM`.
+//! - Edges (3D only) 0–3 are parallel to the x axis, 4–7 to y, 8–11 to z;
+//!   within each group the two transverse offsets are the low bits of the
+//!   index, in increasing axis order.
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::D2 {}
+    impl Sealed for super::D3 {}
+}
+
+/// Spatial dimension marker: implemented by [`D2`] and [`D3`] only.
+pub trait Dim:
+    sealed::Sealed + Copy + Clone + Default + std::fmt::Debug + PartialEq + Eq + Send + Sync + 'static
+{
+    /// Spatial dimension (2 or 3).
+    const DIM: u32;
+    /// Children per refined octant: `2^DIM`.
+    const CHILDREN: usize;
+    /// Faces per octant: `2 * DIM`.
+    const FACES: usize;
+    /// Edges per octant: 12 in 3D, 0 in 2D (2D "edges" are its faces).
+    const EDGES: usize;
+    /// Corners per octant: `2^DIM`.
+    const CORNERS: usize;
+    /// Children (equivalently corners) per face: `2^(DIM-1)`.
+    const FACE_CHILDREN: usize;
+    /// Maximum refinement level. Coordinates are integers in
+    /// `[0, 2^MAX_LEVEL)`, so anchors of all levels are exactly
+    /// representable; exterior octants one root-length outside the tree
+    /// still fit comfortably in an `i32`.
+    const MAX_LEVEL: u8;
+
+    /// Corner ids bounding each face, in z-order within the face.
+    ///
+    /// The z-order within a face enumerates the face's own coordinate
+    /// system: the lower axis of the face varies fastest.
+    const FACE_CORNERS: &'static [&'static [usize]];
+
+    /// Edge ids bounding each face (empty in 2D).
+    const FACE_EDGES: &'static [&'static [usize]];
+
+    /// Corner ids bounding each edge (empty in 2D).
+    const EDGE_CORNERS: &'static [[usize; 2]];
+
+    /// Side length of the root octant in integer coordinates.
+    #[inline]
+    fn root_len() -> i32 {
+        1 << Self::MAX_LEVEL
+    }
+
+    /// The axis a face is orthogonal to.
+    #[inline]
+    fn face_axis(face: usize) -> usize {
+        face / 2
+    }
+
+    /// Whether a face is on the positive side of its axis.
+    #[inline]
+    fn face_positive(face: usize) -> bool {
+        face % 2 == 1
+    }
+
+    /// The axis an edge is parallel to (3D only).
+    #[inline]
+    fn edge_axis(edge: usize) -> usize {
+        edge / 4
+    }
+
+    /// Integer offset (0 or 1 per axis) of corner `c` within its octant.
+    #[inline]
+    fn corner_offset(c: usize) -> [i32; 3] {
+        [
+            (c & 1) as i32,
+            ((c >> 1) & 1) as i32,
+            if Self::DIM == 3 { ((c >> 2) & 1) as i32 } else { 0 },
+        ]
+    }
+}
+
+/// Two dimensions: forests of quadtrees (`p4est` proper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct D2;
+
+/// Three dimensions: forests of octrees (`p8est`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct D3;
+
+impl Dim for D2 {
+    const DIM: u32 = 2;
+    const CHILDREN: usize = 4;
+    const FACES: usize = 4;
+    const EDGES: usize = 0;
+    const CORNERS: usize = 4;
+    const FACE_CHILDREN: usize = 2;
+    const MAX_LEVEL: u8 = 24;
+
+    const FACE_CORNERS: &'static [&'static [usize]] =
+        &[&[0, 2], &[1, 3], &[0, 1], &[2, 3]];
+    const FACE_EDGES: &'static [&'static [usize]] = &[&[], &[], &[], &[]];
+    const EDGE_CORNERS: &'static [[usize; 2]] = &[];
+}
+
+impl Dim for D3 {
+    const DIM: u32 = 3;
+    const CHILDREN: usize = 8;
+    const FACES: usize = 6;
+    const EDGES: usize = 12;
+    const CORNERS: usize = 8;
+    const FACE_CHILDREN: usize = 4;
+    const MAX_LEVEL: u8 = 19;
+
+    const FACE_CORNERS: &'static [&'static [usize]] = &[
+        &[0, 2, 4, 6], // -x: (y,z) vary, y fastest
+        &[1, 3, 5, 7], // +x
+        &[0, 1, 4, 5], // -y: (x,z) vary, x fastest
+        &[2, 3, 6, 7], // +y
+        &[0, 1, 2, 3], // -z: (x,y) vary, x fastest
+        &[4, 5, 6, 7], // +z
+    ];
+    const FACE_EDGES: &'static [&'static [usize]] = &[
+        &[4, 6, 8, 10],
+        &[5, 7, 9, 11],
+        &[0, 2, 8, 9],
+        &[1, 3, 10, 11],
+        &[0, 1, 4, 5],
+        &[2, 3, 6, 7],
+    ];
+    const EDGE_CORNERS: &'static [[usize; 2]] = &[
+        [0, 1],
+        [2, 3],
+        [4, 5],
+        [6, 7], // x-parallel
+        [0, 2],
+        [1, 3],
+        [4, 6],
+        [5, 7], // y-parallel
+        [0, 4],
+        [1, 5],
+        [2, 6],
+        [3, 7], // z-parallel
+    ];
+}
+
+/// Integer offset of edge `e`'s anchor corner within a unit octant, with the
+/// running axis's offset reported as `-1` (3D only).
+///
+/// Useful for computing edge-neighbor displacement vectors.
+pub fn edge_fixed_offsets<D: Dim>(edge: usize) -> [i32; 3] {
+    debug_assert!(D::DIM == 3 && edge < D::EDGES);
+    let axis = D::edge_axis(edge);
+    let bits = edge % 4;
+    let mut out = [-1i32; 3];
+    let mut b = 0;
+    for (a, item) in out.iter_mut().enumerate() {
+        if a != axis {
+            *item = ((bits >> b) & 1) as i32;
+            b += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_corner_tables_consistent_3d() {
+        // Every corner in FACE_CORNERS[f] must lie on face f.
+        for f in 0..D3::FACES {
+            let axis = D3::face_axis(f);
+            let want = D3::face_positive(f) as i32;
+            for &c in D3::FACE_CORNERS[f] {
+                assert_eq!(D3::corner_offset(c)[axis], want, "face {f} corner {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn face_corner_tables_consistent_2d() {
+        for f in 0..D2::FACES {
+            let axis = D2::face_axis(f);
+            let want = D2::face_positive(f) as i32;
+            for &c in D2::FACE_CORNERS[f] {
+                assert_eq!(D2::corner_offset(c)[axis], want, "face {f} corner {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn face_edge_tables_consistent() {
+        // Every edge listed for a face must have both corners on that face.
+        for f in 0..D3::FACES {
+            for &e in D3::FACE_EDGES[f] {
+                for &c in &D3::EDGE_CORNERS[e] {
+                    assert!(
+                        D3::FACE_CORNERS[f].contains(&c),
+                        "face {f} edge {e} corner {c} not on face"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_corners_differ_only_along_axis() {
+        for e in 0..D3::EDGES {
+            let [a, b] = D3::EDGE_CORNERS[e];
+            let (oa, ob) = (D3::corner_offset(a), D3::corner_offset(b));
+            let axis = D3::edge_axis(e);
+            for d in 0..3 {
+                if d == axis {
+                    assert_eq!(oa[d], 0);
+                    assert_eq!(ob[d], 1);
+                } else {
+                    assert_eq!(oa[d], ob[d]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_fixed_offsets_match_corner_table() {
+        for e in 0..D3::EDGES {
+            let off = edge_fixed_offsets::<D3>(e);
+            let anchor = D3::corner_offset(D3::EDGE_CORNERS[e][0]);
+            let axis = D3::edge_axis(e);
+            for d in 0..3 {
+                if d == axis {
+                    assert_eq!(off[d], -1);
+                } else {
+                    assert_eq!(off[d], anchor[d]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_corner_on_dim_faces() {
+        // In d dimensions each corner belongs to exactly d faces.
+        for c in 0..D3::CORNERS {
+            let n = (0..D3::FACES)
+                .filter(|&f| D3::FACE_CORNERS[f].contains(&c))
+                .count();
+            assert_eq!(n, 3);
+        }
+        for c in 0..D2::CORNERS {
+            let n = (0..D2::FACES)
+                .filter(|&f| D2::FACE_CORNERS[f].contains(&c))
+                .count();
+            assert_eq!(n, 2);
+        }
+    }
+}

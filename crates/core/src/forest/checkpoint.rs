@@ -1,0 +1,186 @@
+//! Forest checkpoint and restore (the `p4est_save`/`p4est_load` analogue).
+//!
+//! Serializes each rank's partition segment with the shared metadata using
+//! the workspace's `Wire` encoding (independent of Rust struct layout, so
+//! checkpoints are portable across builds). Restoring onto a communicator
+//! with a different rank count re-partitions the restored forest.
+
+use std::io::{Read, Write as IoWrite};
+use std::path::Path;
+
+use forust_comm::{read_vec, write_vec, Communicator, Wire};
+
+use crate::dim::Dim;
+use crate::forest::Forest;
+use crate::octant::Octant;
+
+/// Magic header guarding against loading a checkpoint of the wrong
+/// dimension or format version.
+const MAGIC: u64 = 0x464f_5255_5354_0001; // "FORUST" v1
+
+impl<D: Dim> Forest<D> {
+    /// Write this rank's partition segment to `dir/forest_<rank>.fst`.
+    ///
+    /// Every rank must call this; the forest's octants are saved exactly
+    /// (topology only — the connectivity is rebuilt by the caller, since
+    /// it is a small static structure created by a builder).
+    pub fn save(&self, comm: &impl Communicator, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut buf = Vec::new();
+        MAGIC.encode(&mut buf);
+        (D::DIM as u64).encode(&mut buf);
+        (self.conn.num_trees() as u64).encode(&mut buf);
+        (comm.size() as u64).encode(&mut buf);
+        let octs: Vec<(u32, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
+        buf.extend_from_slice(&write_vec(&[octs.len() as u64]));
+        buf.extend_from_slice(&write_vec(&octs));
+        let path = dir.join(format!("forest_{}.fst", comm.rank()));
+        std::fs::File::create(path)?.write_all(&buf)
+    }
+
+    /// Restore a forest saved with [`Forest::save`]. The saved rank count
+    /// may differ from the current one: the saved files, in rank order,
+    /// form the global SFC-ordered octant list, so each current rank reads
+    /// exactly its contiguous interval of that list (as `p4est_load` does
+    /// from its single-file layout).
+    pub fn load(
+        conn: std::sync::Arc<crate::connectivity::Connectivity<D>>,
+        comm: &impl Communicator,
+        dir: &Path,
+    ) -> std::io::Result<Self> {
+        let parse = |path: &Path| -> std::io::Result<Vec<(u32, Octant<D>)>> {
+            let mut bytes = Vec::new();
+            std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+            let mut s = bytes.as_slice();
+            let magic = u64::decode(&mut s).ok_or(bad("truncated header"))?;
+            if magic != MAGIC {
+                return Err(bad("not a forust checkpoint"));
+            }
+            let dim = u64::decode(&mut s).ok_or(bad("truncated header"))?;
+            if dim != D::DIM as u64 {
+                return Err(bad("checkpoint dimension mismatch"));
+            }
+            let _trees = u64::decode(&mut s).ok_or(bad("truncated header"))?;
+            let _saved_ranks = u64::decode(&mut s).ok_or(bad("truncated header"))?;
+            let n = u64::decode(&mut s).ok_or(bad("truncated header"))? as usize;
+            let octs: Vec<(u32, Octant<D>)> = read_vec(s);
+            if octs.len() != n {
+                return Err(bad("octant count mismatch"));
+            }
+            Ok(octs)
+        };
+
+        // Enumerate the saved segments (rank order == SFC order).
+        let mut segments = Vec::new();
+        let mut total = 0u64;
+        loop {
+            let path = dir.join(format!("forest_{}.fst", segments.len()));
+            if !path.exists() {
+                break;
+            }
+            let octs = parse(&path)?;
+            total += octs.len() as u64;
+            segments.push(octs);
+        }
+        if segments.is_empty() {
+            return Err(bad("no checkpoint files found"));
+        }
+        // This rank's contiguous interval of the global list.
+        let (p, r) = (comm.size() as u64, comm.rank() as u64);
+        let lo = total * r / p;
+        let hi = total * (r + 1) / p;
+        let mut trees: Vec<Vec<Octant<D>>> = vec![Vec::new(); conn.num_trees()];
+        let mut off = 0u64;
+        for seg in segments {
+            for (t, o) in seg {
+                if off >= lo && off < hi {
+                    trees[t as usize].push(o);
+                }
+                off += 1;
+            }
+        }
+        Ok(Forest::from_parts(conn, trees, comm))
+    }
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::builders;
+    use crate::dim::{D2, D3};
+    use crate::forest::BalanceType;
+    use forust_comm::run_spmd;
+    use std::sync::Arc;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("forust_ckpt").join(name);
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip_same_ranks() {
+        let dir = tmpdir("same");
+        let dir2 = dir.clone();
+        let before = run_spmd(3, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            let mut f = Forest::<D2>::new_uniform(Arc::clone(&conn), comm, 1);
+            f.refine(comm, true, |t, o| t == 2 && o.level < 3);
+            f.balance(comm, BalanceType::Full);
+            f.save(comm, &dir2).unwrap();
+            f.num_global()
+        });
+        let dir3 = dir.clone();
+        let after = run_spmd(3, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            let f = Forest::<D2>::load(conn, comm, &dir3).unwrap();
+            f.check_valid(comm);
+            f.num_global()
+        });
+        assert_eq!(before[0], after[0]);
+    }
+
+    #[test]
+    fn load_onto_different_rank_count() {
+        let dir = tmpdir("differ");
+        let dir2 = dir.clone();
+        let before = run_spmd(4, move |comm| {
+            let conn = Arc::new(builders::rotcubes6());
+            let mut f = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
+            f.refine(comm, false, |t, _| t == 0);
+            f.save(comm, &dir2).unwrap();
+            f.num_global()
+        });
+        let dir3 = dir.clone();
+        let after = run_spmd(2, move |comm| {
+            let conn = Arc::new(builders::rotcubes6());
+            let f = Forest::<D3>::load(conn, comm, &dir3).unwrap();
+            f.check_valid(comm);
+            let counts = f.counts().to_vec();
+            assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+            f.num_global()
+        });
+        assert_eq!(before[0], after[0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let dir = tmpdir("dim");
+        let dir2 = dir.clone();
+        run_spmd(1, move |comm| {
+            let conn = Arc::new(builders::unit2d());
+            let f = Forest::<D2>::new_uniform(conn, comm, 1);
+            f.save(comm, &dir2).unwrap();
+        });
+        run_spmd(1, move |comm| {
+            let conn = Arc::new(builders::unit3d());
+            let err = Forest::<D3>::load(conn, comm, &dir).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        });
+    }
+}

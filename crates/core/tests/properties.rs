@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) of the core octant and forest
+//! invariants, driven by randomized refinement patterns and rank counts.
+
+use std::sync::Arc;
+
+use forust::connectivity::builders;
+use forust::dim::{Dim, D2, D3};
+use forust::forest::{BalanceType, Forest};
+use forust::linear;
+use forust::octant::{from_morton, Octant};
+use forust_comm::{run_spmd, Communicator};
+use proptest::prelude::*;
+
+/// An arbitrary valid octant, built from a random descent path.
+fn arb_octant3() -> impl Strategy<Value = Octant<D3>> {
+    proptest::collection::vec(0usize..8, 0..10).prop_map(|path| {
+        let mut o = Octant::<D3>::root();
+        for c in path {
+            o = o.child(c);
+        }
+        o
+    })
+}
+
+fn arb_octant2() -> impl Strategy<Value = Octant<D2>> {
+    proptest::collection::vec(0usize..4, 0..12).prop_map(|path| {
+        let mut o = Octant::<D2>::root();
+        for c in path {
+            o = o.child(c);
+        }
+        o
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn morton_roundtrip_3d(o in arb_octant3()) {
+        prop_assert_eq!(from_morton::<D3>(o.morton(), o.level), o);
+    }
+
+    #[test]
+    fn parent_child_inverse(o in arb_octant3()) {
+        if o.level > 0 {
+            let p = o.parent();
+            prop_assert_eq!(p.child(o.child_id()), o);
+            prop_assert!(p.is_ancestor_of(&o));
+        }
+    }
+
+    #[test]
+    fn sfc_order_strict_and_nesting(a in arb_octant3(), b in arb_octant3()) {
+        // Total order: exactly one of <, ==, > holds, and containment
+        // implies SFC-interval containment.
+        use std::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Less => prop_assert!(a < b),
+            Greater => prop_assert!(b < a),
+            Equal => prop_assert_eq!(a, b),
+        }
+        if a.is_ancestor_of(&b) {
+            prop_assert!(a <= b);
+            prop_assert!(b.last_descendant(D3::MAX_LEVEL) <= a.last_descendant(D3::MAX_LEVEL));
+        }
+    }
+
+    #[test]
+    fn neighbor_round_trips(o in arb_octant3(), f in 0usize..6) {
+        prop_assert_eq!(o.face_neighbor(f).face_neighbor(f ^ 1), o);
+    }
+
+    #[test]
+    fn refine_coarsen_roundtrip_2d(o in arb_octant2()) {
+        // Refining a single leaf and coarsening greedily returns it.
+        if o.level < D2::MAX_LEVEL {
+            let mut v = vec![o];
+            linear::refine_marked(&mut v, false, |_| true);
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(linear::is_linear(&v));
+            linear::coarsen_marked(&mut v, false, |_| true);
+            prop_assert_eq!(v, vec![o]);
+        }
+    }
+
+    #[test]
+    fn linearize_produces_linear(paths in proptest::collection::vec(
+        proptest::collection::vec(0usize..8, 0..6), 1..20)) {
+        let mut octs: Vec<Octant<D3>> = paths
+            .into_iter()
+            .map(|p| {
+                let mut o = Octant::<D3>::root();
+                for c in p {
+                    o = o.child(c);
+                }
+                o
+            })
+            .collect();
+        octs.sort();
+        linear::linearize(&mut octs);
+        prop_assert!(linear::is_linear(&octs));
+    }
+}
+
+/// Randomized end-to-end invariant: for arbitrary refinement seeds and
+/// rank counts, refine + balance + partition keeps the forest valid,
+/// balanced, and identical in global content across rank counts.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn forest_pipeline_randomized(seed in 0u64..1000, p in 1usize..5) {
+        let totals: Vec<u64> = [1usize, p]
+            .iter()
+            .map(|&ranks| {
+                run_spmd(ranks, |comm| {
+                    let conn = Arc::new(builders::cubed_sphere());
+                    let mut f = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
+                    f.refine(comm, true, |t, o| {
+                        o.level < 3
+                            && (o.morton() ^ seed.wrapping_mul(t as u64 + 1)) % 5 == 0
+                    });
+                    f.balance(comm, BalanceType::Full);
+                    f.partition(comm);
+                    f.check_valid(comm);
+                    f.check_balanced(comm, BalanceType::Full);
+                    // Ghost layer duals must match.
+                    let ghost = f.ghost(comm);
+                    let total_ghosts = comm.allreduce_sum_u64(ghost.ghosts.len() as u64);
+                    let my_sends: u64 =
+                        ghost.mirror_idx_by_rank.iter().map(|v| v.len() as u64).sum();
+                    let total_sends = comm.allreduce_sum_u64(my_sends);
+                    assert_eq!(total_ghosts, total_sends);
+                    f.num_global()
+                })[0]
+            })
+            .collect();
+        prop_assert_eq!(totals[0], totals[1], "refinement depends on rank count");
+    }
+}

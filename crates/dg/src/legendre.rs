@@ -1,0 +1,236 @@
+//! Legendre polynomials and Legendre–Gauss–Lobatto (LGL) nodes/weights.
+//!
+//! The paper's discretizations associate unknowns "with tensor product
+//! Legendre-Gauss-Lobatto (LGL) points, as in the spectral element method",
+//! and perform "all integrations using LGL quadrature, which reduces the dG
+//! mass matrix to diagonal form" (§III-B). This module provides those
+//! primitives for arbitrary degree.
+
+/// Evaluate the Legendre polynomial `P_n` and its derivative at `x` via the
+/// three-term recurrence. Returns `(P_n(x), P_n'(x))`.
+pub fn legendre(n: usize, x: f64) -> (f64, f64) {
+    match n {
+        0 => (1.0, 0.0),
+        1 => (x, 1.0),
+        _ => {
+            let (mut pm, mut p) = (1.0f64, x);
+            for k in 1..n {
+                let next = ((2 * k + 1) as f64 * x * p - k as f64 * pm) / (k + 1) as f64;
+                pm = p;
+                p = next;
+            }
+            // Derivative from the standard identity (valid for |x| != 1).
+            let dp = if (x * x - 1.0).abs() < 1e-14 {
+                // P_n'(±1) = ±^(n+1) n(n+1)/2
+                let s = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 + 1) };
+                s * (n * (n + 1)) as f64 / 2.0
+            } else {
+                n as f64 * (x * p - pm) / (x * x - 1.0)
+            };
+            (p, dp)
+        }
+    }
+}
+
+/// Degree-`n` LGL nodes in `[-1, 1]`, ascending (the `n+1` extrema of
+/// `P_n`, i.e. roots of `(1 - x^2) P_n'(x)`).
+pub fn lgl_nodes(n: usize) -> Vec<f64> {
+    assert!(n >= 1, "LGL needs degree >= 1");
+    let np = n + 1;
+    let mut x = vec![0.0f64; np];
+    x[0] = -1.0;
+    x[n] = 1.0;
+    // Interior nodes by Newton on P_n' with Chebyshev-Gauss-Lobatto seeds.
+    for i in 1..n {
+        let mut xi = -(std::f64::consts::PI * i as f64 / n as f64).cos();
+        for _ in 0..100 {
+            // Newton step for f = P_n'(x): f' = P_n''(x) from the Legendre
+            // ODE (1-x^2) P'' - 2x P' + n(n+1) P = 0.
+            let (p, dp) = legendre(n, xi);
+            let ddp = (2.0 * xi * dp - (n * (n + 1)) as f64 * p) / (1.0 - xi * xi);
+            let step = dp / ddp;
+            xi -= step;
+            if step.abs() < 1e-15 {
+                break;
+            }
+        }
+        x[i] = xi;
+    }
+    // Enforce exact symmetry.
+    for i in 0..np / 2 {
+        let s = 0.5 * (x[i] - x[np - 1 - i]);
+        x[i] = s;
+        x[np - 1 - i] = -s;
+    }
+    if np % 2 == 1 {
+        x[np / 2] = 0.0;
+    }
+    x
+}
+
+/// LGL quadrature weights for the given nodes: `w_i = 2 / (n(n+1) P_n(x_i)^2)`.
+///
+/// Exact for polynomials of degree `2n - 1`.
+pub fn lgl_weights(nodes: &[f64]) -> Vec<f64> {
+    let n = nodes.len() - 1;
+    nodes
+        .iter()
+        .map(|&x| {
+            let (p, _) = legendre(n, x);
+            2.0 / ((n * (n + 1)) as f64 * p * p)
+        })
+        .collect()
+}
+
+/// Barycentric weights of an interpolation node set.
+pub fn barycentric_weights(nodes: &[f64]) -> Vec<f64> {
+    let np = nodes.len();
+    (0..np)
+        .map(|i| {
+            let mut w = 1.0;
+            for j in 0..np {
+                if j != i {
+                    w *= nodes[i] - nodes[j];
+                }
+            }
+            1.0 / w
+        })
+        .collect()
+}
+
+/// Evaluate all Lagrange basis polynomials of the node set at `x`
+/// (barycentric form; exact at the nodes).
+pub fn lagrange_eval(nodes: &[f64], bary: &[f64], x: f64) -> Vec<f64> {
+    let np = nodes.len();
+    // At (or extremely near) a node, return the Kronecker delta.
+    for i in 0..np {
+        if (x - nodes[i]).abs() < 1e-14 {
+            let mut v = vec![0.0; np];
+            v[i] = 1.0;
+            return v;
+        }
+    }
+    let mut v: Vec<f64> = (0..np).map(|i| bary[i] / (x - nodes[i])).collect();
+    let s: f64 = v.iter().sum();
+    for vi in &mut v {
+        *vi /= s;
+    }
+    v
+}
+
+/// Differentiation matrix `D` of the Lagrange basis on `nodes`:
+/// `(D u)_i = u'(x_i)` for the interpolant `u`. Row-major `(n+1)^2`.
+pub fn differentiation_matrix(nodes: &[f64]) -> Vec<f64> {
+    let np = nodes.len();
+    let bary = barycentric_weights(nodes);
+    let mut d = vec![0.0f64; np * np];
+    for i in 0..np {
+        let mut diag = 0.0;
+        for j in 0..np {
+            if i != j {
+                let v = (bary[j] / bary[i]) / (nodes[i] - nodes[j]);
+                d[i * np + j] = v;
+                diag -= v;
+            }
+        }
+        d[i * np + i] = diag;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legendre_values() {
+        // P_2(x) = (3x^2 - 1)/2
+        let (p, dp) = legendre(2, 0.5);
+        assert!((p - (-0.125)).abs() < 1e-14);
+        assert!((dp - 1.5).abs() < 1e-14);
+        // P_5(1) = 1 for all n.
+        for n in 0..10 {
+            assert!((legendre(n, 1.0).0 - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn lgl_nodes_known_values() {
+        // N=1: endpoints.
+        assert_eq!(lgl_nodes(1), vec![-1.0, 1.0]);
+        // N=2: {-1, 0, 1}.
+        let x2 = lgl_nodes(2);
+        assert!((x2[1]).abs() < 1e-15);
+        // N=3: +-1, +-1/sqrt(5).
+        let x3 = lgl_nodes(3);
+        assert!((x3[1] + 1.0 / 5.0f64.sqrt()).abs() < 1e-14);
+        assert!((x3[2] - 1.0 / 5.0f64.sqrt()).abs() < 1e-14);
+        // N=6: symmetric, ascending, in (-1, 1).
+        let x6 = lgl_nodes(6);
+        for w in x6.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for i in 0..7 {
+            assert!((x6[i] + x6[6 - i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn lgl_quadrature_exactness() {
+        // Degree-N LGL quadrature integrates x^k exactly for k <= 2N-1.
+        for n in 1..=8usize {
+            let x = lgl_nodes(n);
+            let w = lgl_weights(&x);
+            assert!((w.iter().sum::<f64>() - 2.0).abs() < 1e-12, "weights sum to 2");
+            for k in 0..=(2 * n - 1) {
+                let q: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(k as i32)).sum();
+                let exact = if k % 2 == 0 { 2.0 / (k as f64 + 1.0) } else { 0.0 };
+                assert!(
+                    (q - exact).abs() < 1e-12,
+                    "n={n} k={k}: {q} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lagrange_is_cardinal() {
+        let x = lgl_nodes(4);
+        let b = barycentric_weights(&x);
+        for (i, &xi) in x.iter().enumerate() {
+            let v = lagrange_eval(&x, &b, xi);
+            for (j, &vj) in v.iter().enumerate() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((vj - want).abs() < 1e-13);
+            }
+        }
+        // Partition of unity off-node.
+        let v = lagrange_eval(&x, &b, 0.3123);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn differentiation_exact_for_polynomials() {
+        for n in 2..=7usize {
+            let x = lgl_nodes(n);
+            let d = differentiation_matrix(&x);
+            let np = n + 1;
+            // Differentiate x^3 (n >= 3 exact; for n == 2 skip).
+            if n >= 3 {
+                let u: Vec<f64> = x.iter().map(|&xi| xi.powi(3)).collect();
+                for i in 0..np {
+                    let du: f64 = (0..np).map(|j| d[i * np + j] * u[j]).sum();
+                    assert!(
+                        (du - 3.0 * x[i] * x[i]).abs() < 1e-11,
+                        "n={n} i={i}: {du}"
+                    );
+                }
+            }
+            // Derivative of a constant is zero (row sums vanish).
+            for i in 0..np {
+                let s: f64 = (0..np).map(|j| d[i * np + j]).sum();
+                assert!(s.abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # forust-dg — high-order cG/dG machinery on forest meshes (`mangll`)
+//!
+//! The paper's `mangll` library "provides the functions needed to
+//! discretize PDEs using this mesh structure created by p4est" (§II-E):
+//! construction of high-order element shape functions and quadrature rules,
+//! numerical integration, high-order interpolation on hanging faces and
+//! edges, and parallel scatter-gather for shared unknowns. This crate is
+//! its analogue:
+//!
+//! - [`legendre`]: Legendre polynomials, LGL nodes/weights, Lagrange bases;
+//! - [`matrix`]: small dense operators;
+//! - [`element`]: the tensor-product reference element with sum-factorized
+//!   operator application and 2:1 half-interval interpolation;
+//! - [`lserk`]: the five-stage fourth-order low-storage Runge–Kutta scheme
+//!   used by every time-dependent solver in the paper;
+//! - [`mesh`]: the dG element mesh extracted from a balanced forest and its
+//!   ghost layer — neighbor classification per face (conforming, 2:1
+//!   mortar, inter-tree with rotation) and ghost field exchange;
+//! - [`cg`]: continuous-Galerkin hanging-node interpolation built on
+//!   `forust`'s `Nodes`.
+
+pub mod cg;
+pub mod transfer;
+pub mod geometry;
+pub mod element;
+pub mod legendre;
+pub mod lserk;
+pub mod matrix;
+pub mod mesh;
+
+pub use element::RefElement;
+pub use matrix::Matrix;

@@ -1,0 +1,558 @@
+//! Trilinear FEM for variable-viscosity Stokes on a forest mesh.
+//!
+//! Velocity (3 components) and pressure share the trilinear node basis of
+//! `forust`'s `Nodes` (the paper: "Rhea discretizes the velocity, pressure,
+//! and temperature fields with trilinear hexahedral finite elements");
+//! equal order is stabilized by the polynomial pressure projection
+//! (paper ref. [40]). Everything is matrix-free: the saddle operator
+//! `[A Bt; B -C]` is applied element by element with 2x2x2 Gauss
+//! quadrature, with hanging-node constraints and cross-rank assembly
+//! applied around each operator application.
+
+use std::sync::Arc;
+
+use forust::dim::{Dim, D3};
+use forust::forest::Forest;
+use forust::nodes::{NodeStatus, Nodes};
+use forust_comm::Communicator;
+use forust_dg::cg::HangingInterp;
+use forust_geom::{octant_ref_coords, Mapping};
+
+use crate::rheology::{synthetic_temperature, viscosity, RheologyParams};
+
+/// Gauss points of the 2-point rule on [-1, 1].
+const GP: [f64; 2] = [-0.577350269189625764509148780502, 0.577350269189625764509148780502];
+
+/// Matrix-free Stokes discretization state for one mesh.
+pub struct StokesFem {
+    /// The trilinear node numbering.
+    pub nodes: Nodes<D3>,
+    /// Hanging-node constraint weights.
+    pub interp: HangingInterp,
+    /// Local node count.
+    pub nn: usize,
+    /// Per element x quadrature point: physical basis gradients
+    /// (`[basis][xyz]`).
+    qp_grads: Vec<[[f64; 3]; 8]>,
+    /// Per element x quadrature point: `w * detJ`.
+    qp_wdet: Vec<f64>,
+    /// Per element x quadrature point: physical position.
+    pub qp_pos: Vec<[f64; 3]>,
+    /// Basis values at quadrature points (`[qp][basis]`, constant).
+    basis: [[f64; 8]; 8],
+    /// Viscosity at quadrature points (updated by Picard).
+    pub eta_qp: Vec<f64>,
+    /// Nodal temperature (from the synthetic model).
+    pub temp: Vec<f64>,
+    /// Dirichlet (no-slip) flag per node: shell boundaries.
+    pub bc: Vec<bool>,
+    /// Ownership mask for global dot products.
+    owned: Vec<bool>,
+}
+
+/// Trilinear basis value at a reference point (`xi` in `[-1,1]^3`).
+fn phi(j: usize, xi: [f64; 3]) -> f64 {
+    let s = |b: usize, x: f64| if b == 1 { 0.5 * (1.0 + x) } else { 0.5 * (1.0 - x) };
+    s(j & 1, xi[0]) * s((j >> 1) & 1, xi[1]) * s((j >> 2) & 1, xi[2])
+}
+
+/// Reference gradient of the trilinear basis.
+fn dphi(j: usize, xi: [f64; 3]) -> [f64; 3] {
+    let s = |b: usize, x: f64| if b == 1 { 0.5 * (1.0 + x) } else { 0.5 * (1.0 - x) };
+    let ds = |b: usize| if b == 1 { 0.5 } else { -0.5 };
+    let (bx, by, bz) = (j & 1, (j >> 1) & 1, (j >> 2) & 1);
+    [
+        ds(bx) * s(by, xi[1]) * s(bz, xi[2]),
+        s(bx, xi[0]) * ds(by) * s(bz, xi[2]),
+        s(bx, xi[0]) * s(by, xi[1]) * ds(bz),
+    ]
+}
+
+impl StokesFem {
+    /// Build the FEM state on a balanced forest (trilinear numbering,
+    /// quadrature geometry, temperature, boundary flags; viscosity starts
+    /// at the linear (strain-rate-free) value).
+    pub fn build(
+        forest: &Forest<D3>,
+        comm: &impl Communicator,
+        map: &Arc<dyn Mapping<D3> + Send + Sync>,
+        rheology: &RheologyParams,
+    ) -> Self {
+        let ghost = forest.ghost(comm);
+        let nodes = forest.nodes(comm, &ghost, 1);
+        let interp = HangingInterp::build(&nodes);
+        let nn = nodes.num_local();
+        let nel = nodes.elements.len();
+
+        // Quadrature geometry.
+        let mut qp_grads = Vec::with_capacity(nel * 8);
+        let mut qp_wdet = Vec::with_capacity(nel * 8);
+        let mut qp_pos = Vec::with_capacity(nel * 8);
+        let mut basis = [[0.0; 8]; 8];
+        for (q, row) in basis.iter_mut().enumerate() {
+            let xi = [GP[q & 1], GP[(q >> 1) & 1], GP[(q >> 2) & 1]];
+            for (j, item) in row.iter_mut().enumerate() {
+                *item = phi(j, xi);
+            }
+        }
+        for &(t, o) in &nodes.elements {
+            for q in 0..8 {
+                let xi = [GP[q & 1], GP[(q >> 1) & 1], GP[(q >> 2) & 1]];
+                let frac = [0.5 * (xi[0] + 1.0), 0.5 * (xi[1] + 1.0), 0.5 * (xi[2] + 1.0)];
+                let tref = octant_ref_coords(&o, frac);
+                let jt = map.jacobian(t, tref);
+                let scale = o.len() as f64 / (2.0 * D3::root_len() as f64);
+                let mut jac = [[0.0f64; 3]; 3];
+                for r in 0..3 {
+                    for c in 0..3 {
+                        jac[r][c] = jt[r][c] * scale;
+                    }
+                }
+                let det = det3(&jac);
+                assert!(det != 0.0, "degenerate element");
+                let inv = inv3(&jac, det);
+                let mut grads = [[0.0; 3]; 8];
+                for (j, g) in grads.iter_mut().enumerate() {
+                    let dr = dphi(j, xi);
+                    for i in 0..3 {
+                        // dphi/dx_i = sum_r inv[r][i] dphi/dxi_r.
+                        g[i] = (0..3).map(|r| inv[r][i] * dr[r]).sum();
+                    }
+                }
+                qp_grads.push(grads);
+                // Gauss weights are all 1; |det| handles left-handed
+                // tree frames (cubed-sphere caps).
+                qp_wdet.push(det.abs());
+                qp_pos.push(map.map(t, tref));
+            }
+        }
+
+        // Nodal temperature and boundary flags from the canonical key
+        // positions (key scaled coords = positions for degree 1).
+        let bigl = D3::root_len();
+        let mut temp = vec![0.0; nn];
+        let mut bc = vec![false; nn];
+        // Positions: evaluate through the elements so every node gets one.
+        for (e, &(t, o)) in nodes.elements.iter().enumerate() {
+            let en = nodes.element(e);
+            for (c, &ni) in en.iter().enumerate() {
+                let off = D3::corner_offset(c);
+                let xi = octant_ref_coords(&o, [off[0] as f64, off[1] as f64, off[2] as f64]);
+                let x = map.map(t, xi);
+                temp[ni as usize] = synthetic_temperature(x);
+                // Shell boundary: tree z at 0 or root_len.
+                let z = o.z + off[2] * o.len();
+                if z == 0 || z == bigl {
+                    bc[ni as usize] = true;
+                }
+            }
+        }
+
+        let owned: Vec<bool> = nodes
+            .status
+            .iter()
+            .map(|s| matches!(s, NodeStatus::Independent { owner, .. } if *owner == comm.rank()))
+            .collect();
+
+        let mut fem = StokesFem {
+            nodes,
+            interp,
+            nn,
+            qp_grads,
+            qp_wdet,
+            qp_pos,
+            basis,
+            eta_qp: vec![1.0; nel * 8],
+            temp,
+            bc,
+            owned,
+        };
+        // Initial viscosity from temperature at a reference strain rate.
+        let u0 = vec![0.0; 4 * nn];
+        fem.update_viscosity(rheology, &u0);
+        fem
+    }
+
+    /// Number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.nodes.elements.len()
+    }
+
+    /// Total solution length: `3 nn` velocity + `nn` pressure.
+    pub fn vec_len(&self) -> usize {
+        4 * self.nn
+    }
+
+    /// Global number of velocity+pressure unknowns.
+    pub fn num_global_unknowns(&self) -> u64 {
+        self.nodes.num_global * 4
+    }
+
+    /// Globally consistent inner product (owned dofs only).
+    pub fn dot(&self, comm: &impl Communicator, a: &[f64], b: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.nn {
+            if self.owned[i] {
+                for c in 0..4 {
+                    s += a[c * self.nn + i] * b[c * self.nn + i];
+                }
+            }
+        }
+        comm.allreduce_sum_f64(s)
+    }
+
+    /// Picard viscosity update from the current velocity.
+    pub fn update_viscosity(&mut self, p: &RheologyParams, x: &[f64]) {
+        let nn = self.nn;
+        for e in 0..self.num_elements() {
+            let en: Vec<usize> =
+                self.nodes.element(e).iter().map(|&i| i as usize).collect();
+            for q in 0..8 {
+                let g = &self.qp_grads[e * 8 + q];
+                // Strain rate second invariant at the quadrature point.
+                let mut grad = [[0.0f64; 3]; 3];
+                for (j, &ni) in en.iter().enumerate() {
+                    for d in 0..3 {
+                        for i in 0..3 {
+                            grad[d][i] += x[d * nn + ni] * g[j][i];
+                        }
+                    }
+                }
+                let mut eps2 = 0.0;
+                for d in 0..3 {
+                    for i in 0..3 {
+                        let s = 0.5 * (grad[d][i] + grad[i][d]);
+                        eps2 += s * s;
+                    }
+                }
+                let eps_ii = eps2.sqrt().max(1e-8);
+                let pos = self.qp_pos[e * 8 + q];
+                // Temperature at the qp from the nodal field.
+                let mut t = 0.0;
+                for (j, &ni) in en.iter().enumerate() {
+                    t += self.basis[q][j] * self.temp[ni];
+                }
+                self.eta_qp[e * 8 + q] = viscosity(p, pos, t, eps_ii);
+            }
+        }
+    }
+
+    /// Apply boundary/hanging pre-state: distribute hanging values,
+    /// zero Dirichlet velocities.
+    fn pre(&self, x: &[f64]) -> Vec<f64> {
+        let nn = self.nn;
+        let mut z = x.to_vec();
+        for c in 0..4 {
+            self.interp.distribute(&mut z[c * nn..(c + 1) * nn]);
+        }
+        for i in 0..nn {
+            if self.bc[i] {
+                for c in 0..3 {
+                    z[c * nn + i] = 0.0;
+                }
+            }
+        }
+        z
+    }
+
+    /// Post-state: collect hanging transposes, assemble across ranks,
+    /// enforce identity rows for Dirichlet and hanging slots.
+    fn post(&self, comm: &impl Communicator, x: &[f64], y: &mut [f64]) {
+        let nn = self.nn;
+        for c in 0..4 {
+            self.interp.collect_add(&mut y[c * nn..(c + 1) * nn]);
+            self.nodes.assemble_add(comm, &mut y[c * nn..(c + 1) * nn]);
+        }
+        for i in 0..nn {
+            if self.bc[i] {
+                for c in 0..3 {
+                    y[c * nn + i] = x[c * nn + i];
+                }
+            }
+        }
+        // Hanging slots are not unknowns: identity keeps MINRES happy.
+        for (i, s) in self.nodes.status.iter().enumerate() {
+            if matches!(s, NodeStatus::Hanging { .. }) {
+                for c in 0..4 {
+                    y[c * nn + i] = x[c * nn + i];
+                }
+            }
+        }
+    }
+
+    /// The saddle operator: `y = [A Bt; B -C] x` with
+    /// `A u = -div(2 eta eps(u))`, `B = div`, and the pressure-projection
+    /// stabilization `C`.
+    pub fn apply(&self, comm: &impl Communicator, x: &[f64], y: &mut [f64]) {
+        let nn = self.nn;
+        let z = self.pre(x);
+        y.fill(0.0);
+        for e in 0..self.num_elements() {
+            let en: Vec<usize> =
+                self.nodes.element(e).iter().map(|&i| i as usize).collect();
+            // Element-mean pressure for the stabilization.
+            let (mut pbar, mut vol) = (0.0, 0.0);
+            let mut eta_bar = 0.0;
+            for q in 0..8 {
+                let w = self.qp_wdet[e * 8 + q];
+                let mut pq = 0.0;
+                for (j, &ni) in en.iter().enumerate() {
+                    pq += self.basis[q][j] * z[3 * nn + ni];
+                }
+                pbar += w * pq;
+                vol += w;
+                eta_bar += w * self.eta_qp[e * 8 + q];
+            }
+            pbar /= vol;
+            eta_bar /= vol;
+
+            for q in 0..8 {
+                let w = self.qp_wdet[e * 8 + q];
+                let g = &self.qp_grads[e * 8 + q];
+                let eta = self.eta_qp[e * 8 + q];
+                // State at the quadrature point.
+                let mut grad = [[0.0f64; 3]; 3];
+                let mut pq = 0.0;
+                for (j, &ni) in en.iter().enumerate() {
+                    pq += self.basis[q][j] * z[3 * nn + ni];
+                    for d in 0..3 {
+                        for i in 0..3 {
+                            grad[d][i] += z[d * nn + ni] * g[j][i];
+                        }
+                    }
+                }
+                let divu = grad[0][0] + grad[1][1] + grad[2][2];
+                let mut sym = [[0.0f64; 3]; 3];
+                for d in 0..3 {
+                    for i in 0..3 {
+                        sym[d][i] = 0.5 * (grad[d][i] + grad[i][d]);
+                    }
+                }
+                // Test against every basis function.
+                for (j, &ni) in en.iter().enumerate() {
+                    let gj = g[j];
+                    for d in 0..3 {
+                        // 2 eta eps(u) : eps(phi_j e_d) = 2 eta
+                        // sum_i sym[d][i] gj[i] (symmetry halves fold in).
+                        let mut a = 0.0;
+                        for i in 0..3 {
+                            a += sym[d][i] * gj[i];
+                        }
+                        y[d * nn + ni] += w * (2.0 * eta * a - pq * gj[d]);
+                    }
+                    // Pressure row: B u - C p.
+                    let stab = (pq - pbar) * (self.basis[q][j] - 0.125);
+                    y[3 * nn + ni] += w * (self.basis[q][j] * divu - stab / eta_bar);
+                }
+            }
+        }
+        self.post(comm, x, y);
+    }
+
+    /// Buoyancy right-hand side: `f = Ra T r_hat` tested against the
+    /// velocity basis (pressure RHS zero).
+    pub fn buoyancy_rhs(&self, comm: &impl Communicator, ra: f64) -> Vec<f64> {
+        let nn = self.nn;
+        let mut b = vec![0.0; 4 * nn];
+        for e in 0..self.num_elements() {
+            let en: Vec<usize> =
+                self.nodes.element(e).iter().map(|&i| i as usize).collect();
+            for q in 0..8 {
+                let w = self.qp_wdet[e * 8 + q];
+                let x = self.qp_pos[e * 8 + q];
+                let r = (x[0] * x[0] + x[1] * x[1] + x[2] * x[2]).sqrt().max(1e-12);
+                let mut t = 0.0;
+                for (j, &ni) in en.iter().enumerate() {
+                    t += self.basis[q][j] * self.temp[ni];
+                }
+                // Hot material rises: force along +r_hat proportional to T.
+                let f = ra * (t - 0.5);
+                for (j, &ni) in en.iter().enumerate() {
+                    for d in 0..3 {
+                        b[d * nn + ni] += w * self.basis[q][j] * f * x[d] / r;
+                    }
+                }
+            }
+        }
+        let zero = vec![0.0; 4 * nn];
+        self.post(comm, &zero, &mut b);
+        b
+    }
+
+    /// Assembled diagonal of the viscous block (for Jacobi/Chebyshev) and
+    /// of the inverse-viscosity pressure mass (Schur approximation).
+    pub fn preconditioner_diagonals(&self, comm: &impl Communicator) -> (Vec<f64>, Vec<f64>) {
+        let nn = self.nn;
+        let mut du = vec![0.0; 3 * nn];
+        let mut dp = vec![0.0; nn];
+        for e in 0..self.num_elements() {
+            let en: Vec<usize> =
+                self.nodes.element(e).iter().map(|&i| i as usize).collect();
+            let mut eta_bar = 0.0;
+            let mut vol = 0.0;
+            for q in 0..8 {
+                eta_bar += self.qp_wdet[e * 8 + q] * self.eta_qp[e * 8 + q];
+                vol += self.qp_wdet[e * 8 + q];
+            }
+            eta_bar /= vol;
+            for q in 0..8 {
+                let w = self.qp_wdet[e * 8 + q];
+                let g = &self.qp_grads[e * 8 + q];
+                let eta = self.eta_qp[e * 8 + q];
+                for (j, &ni) in en.iter().enumerate() {
+                    let gj = g[j];
+                    let norm2 = gj[0] * gj[0] + gj[1] * gj[1] + gj[2] * gj[2];
+                    for d in 0..3 {
+                        du[d * nn + ni] += w * eta * (norm2 + gj[d] * gj[d]);
+                    }
+                    dp[ni] += w * self.basis[q][j] * self.basis[q][j] / eta_bar;
+                }
+            }
+        }
+        for c in 0..3 {
+            self.interp.collect_add(&mut du[c * nn..(c + 1) * nn]);
+            self.nodes.assemble_add(comm, &mut du[c * nn..(c + 1) * nn]);
+        }
+        self.interp.collect_add(&mut dp);
+        self.nodes.assemble_add(comm, &mut dp);
+        // Identity rows.
+        for i in 0..nn {
+            let hanging = matches!(self.nodes.status[i], NodeStatus::Hanging { .. });
+            if self.bc[i] || hanging {
+                for c in 0..3 {
+                    du[c * nn + i] = 1.0;
+                }
+            }
+            if hanging || dp[i] == 0.0 {
+                dp[i] = 1.0;
+            }
+        }
+        for v in du.iter_mut() {
+            if *v == 0.0 {
+                *v = 1.0;
+            }
+        }
+        (du, dp)
+    }
+}
+
+fn det3(j: &[[f64; 3]; 3]) -> f64 {
+    j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1])
+        - j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0])
+        + j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0])
+}
+
+fn inv3(j: &[[f64; 3]; 3], det: f64) -> [[f64; 3]; 3] {
+    [
+        [
+            (j[1][1] * j[2][2] - j[1][2] * j[2][1]) / det,
+            (j[0][2] * j[2][1] - j[0][1] * j[2][2]) / det,
+            (j[0][1] * j[1][2] - j[0][2] * j[1][1]) / det,
+        ],
+        [
+            (j[1][2] * j[2][0] - j[1][0] * j[2][2]) / det,
+            (j[0][0] * j[2][2] - j[0][2] * j[2][0]) / det,
+            (j[0][2] * j[1][0] - j[0][0] * j[1][2]) / det,
+        ],
+        [
+            (j[1][0] * j[2][1] - j[1][1] * j[2][0]) / det,
+            (j[0][1] * j[2][0] - j[0][0] * j[2][1]) / det,
+            (j[0][0] * j[1][1] - j[0][1] * j[1][0]) / det,
+        ],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forust::connectivity::builders;
+    use forust::forest::BalanceType;
+    use forust_comm::run_spmd;
+    use forust_geom::ShellMap;
+
+    fn setup(comm: &impl Communicator, level: u8) -> StokesFem {
+        let conn = Arc::new(builders::cubed_sphere());
+        let mut forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, level);
+        forest.refine(comm, false, |t, o| t == 0 && o.child_id() == 0 && o.level == level);
+        forest.balance(comm, BalanceType::Full);
+        forest.partition(comm);
+        let map: Arc<dyn Mapping<D3> + Send + Sync> =
+            Arc::new(ShellMap::new(conn, 0.55, 1.0));
+        StokesFem::build(&forest, comm, &map, &RheologyParams::default())
+    }
+
+    #[test]
+    fn operator_is_symmetric() {
+        run_spmd(2, |comm| {
+            let fem = setup(comm, 1);
+            let n = fem.vec_len();
+            // Deterministic pseudo-random vectors.
+            let mk = |seed: u64| -> Vec<f64> {
+                (0..n)
+                    .map(|i| {
+                        let h = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                        ((h >> 33) as f64 / 2f64.powi(31)) - 1.0
+                    })
+                    .collect()
+            };
+            let a = mk(1);
+            let b = mk(2);
+            let mut ya = vec![0.0; n];
+            let mut yb = vec![0.0; n];
+            fem.apply(comm, &a, &mut ya);
+            fem.apply(comm, &b, &mut yb);
+            let d1 = fem.dot(comm, &ya, &b);
+            let d2 = fem.dot(comm, &a, &yb);
+            let scale = fem.dot(comm, &ya, &ya).sqrt() * fem.dot(comm, &b, &b).sqrt();
+            assert!(
+                (d1 - d2).abs() < 1e-9 * scale.max(1.0),
+                "<Ax,y>={d1} != <x,Ay>={d2}"
+            );
+        });
+    }
+
+    #[test]
+    fn viscous_block_is_positive() {
+        run_spmd(1, |comm| {
+            let fem = setup(comm, 1);
+            let n = fem.vec_len();
+            let nn = fem.nn;
+            // Velocity-only test vector (zero pressure).
+            let mut x = vec![0.0; n];
+            for i in 0..3 * nn {
+                x[i] = ((i * 37) % 17) as f64 / 17.0 - 0.5;
+            }
+            let mut y = vec![0.0; n];
+            fem.apply(comm, &x, &mut y);
+            // <x, [A 0] x> = <u, A u> must be positive.
+            let mut s = 0.0;
+            for i in 0..3 * nn {
+                s += x[i] * y[i];
+            }
+            assert!(s > 0.0, "viscous energy {s}");
+        });
+    }
+
+    #[test]
+    fn rhs_points_radially() {
+        run_spmd(1, |comm| {
+            let fem = setup(comm, 1);
+            let b = fem.buoyancy_rhs(comm, 100.0);
+            let norm = fem.dot(comm, &b, &b).sqrt();
+            assert!(norm > 0.0, "empty RHS");
+            // Pressure part must be zero.
+            let nn = fem.nn;
+            assert!(b[3 * nn..].iter().all(|&v| v == 0.0));
+        });
+    }
+
+    #[test]
+    fn diagonals_positive() {
+        run_spmd(2, |comm| {
+            let fem = setup(comm, 1);
+            let (du, dp) = fem.preconditioner_diagonals(comm);
+            assert!(du.iter().all(|&v| v > 0.0));
+            assert!(dp.iter().all(|&v| v > 0.0));
+        });
+    }
+}

@@ -1,0 +1,159 @@
+//! Nonlinear mantle rheology and the synthetic present-day temperature.
+//!
+//! The paper's viscosity law (§IV-A):
+//! `eta(v, T) = c1 exp(c2 / T) eps_II(v)^c3`, with additional yielding at
+//! high strain rates, and narrow (~10 km) plate-boundary zones where the
+//! viscosity is lowered by five orders of magnitude. The temperature model
+//! replaces the energy equation: the paper derives it from sea-floor age,
+//! slab seismicity and tomography; here a synthetic field with the same
+//! character (thermal boundary layers plus cold slab-like anomalies) is
+//! used (DESIGN.md §3, substitution 5).
+
+/// Parameters of the viscosity law (nondimensional).
+#[derive(Debug, Clone)]
+pub struct RheologyParams {
+    /// Prefactor `c1`.
+    pub c1: f64,
+    /// Activation coefficient `c2` (temperature dependence).
+    pub c2: f64,
+    /// Strain-rate exponent `c3 = (1-n)/n` for dislocation creep
+    /// (negative: shear thinning).
+    pub c3: f64,
+    /// Yield stress for plastic failure at high strain rates.
+    pub yield_stress: f64,
+    /// Viscosity clamp.
+    pub eta_min: f64,
+    /// Viscosity clamp.
+    pub eta_max: f64,
+    /// Viscosity reduction inside plate-boundary weak zones (1e-5).
+    pub weak_factor: f64,
+    /// Angular half-width of the weak zones (radians; ~10 km wide bands).
+    pub weak_width: f64,
+}
+
+impl Default for RheologyParams {
+    fn default() -> Self {
+        RheologyParams {
+            c1: 1.0,
+            c2: 4.0,
+            c3: -0.5,
+            yield_stress: 50.0,
+            eta_min: 1e-5,
+            eta_max: 1e3,
+            weak_factor: 1e-5,
+            weak_width: 0.02,
+        }
+    }
+}
+
+/// Effective viscosity at a point: temperature- and strain-rate-dependent
+/// creep, capped by yielding, scaled by the weak-zone factor, clamped.
+pub fn viscosity(p: &RheologyParams, x: [f64; 3], temp: f64, eps_ii: f64) -> f64 {
+    let t = temp.clamp(0.05, 1.0);
+    let e = eps_ii.max(1e-8);
+    let creep = p.c1 * (p.c2 / t).exp() * e.powf(p.c3);
+    let yielding = p.yield_stress / (2.0 * e);
+    let eta = creep.min(yielding) * plate_boundary_factor(p, x);
+    eta.clamp(p.eta_min, p.eta_max)
+}
+
+/// Weak-zone multiplier: two great-circle bands near the surface model
+/// plate boundaries (red lines of the paper's Fig. 6); away from the
+/// surface or the bands the factor is 1.
+pub fn plate_boundary_factor(p: &RheologyParams, x: [f64; 3]) -> f64 {
+    let r = (x[0] * x[0] + x[1] * x[1] + x[2] * x[2]).sqrt();
+    if r < 0.9 || r == 0.0 {
+        return 1.0; // weak zones only in the upper ~600 km
+    }
+    let u = [x[0] / r, x[1] / r, x[2] / r];
+    // Band 1: great circle normal to z (the "equator"); band 2: tilted.
+    let d1 = u[2].abs();
+    let n2 = [0.8, 0.0, 0.6];
+    let d2 = (u[0] * n2[0] + u[1] * n2[1] + u[2] * n2[2]).abs();
+    if d1 < p.weak_width || d2 < p.weak_width {
+        p.weak_factor
+    } else {
+        1.0
+    }
+}
+
+/// Synthetic present-day temperature: hot core-side boundary layer, cold
+/// surface boundary layer, and two cold slab-like downwellings.
+pub fn synthetic_temperature(x: [f64; 3]) -> f64 {
+    let r = (x[0] * x[0] + x[1] * x[1] + x[2] * x[2]).sqrt().clamp(0.55, 1.0);
+    // Conductive profile with boundary layers.
+    let s = (r - 0.55) / 0.45;
+    let mut t = 0.5 + 0.45 * (-(s / 0.12)).exp() - 0.45 * (-((1.0 - s) / 0.12)).exp();
+    // Two cold slabs: Gaussian anomalies hanging from the surface.
+    let slabs = [[0.9f64, 0.3, 0.0], [-0.5, 0.7, 0.4]];
+    for c in slabs {
+        let nc = (c[0] * c[0] + c[1] * c[1] + c[2] * c[2]).sqrt();
+        let d2 = (x[0] - c[0] / nc * r).powi(2)
+            + (x[1] - c[1] / nc * r).powi(2)
+            + (x[2] - c[2] / nc * r).powi(2);
+        t -= 0.3 * (-d2 / 0.02).exp() * ((r - 0.75) / 0.25).clamp(0.0, 1.0);
+    }
+    t.clamp(0.02, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_zones_reduce_viscosity_five_orders() {
+        let p = RheologyParams::default();
+        let on_band = [0.95, 0.0, 0.0]; // equatorial surface point
+        let off_band = [0.6, 0.5, 0.55]; // away from both bands
+        let f_on = plate_boundary_factor(&p, on_band);
+        let f_off = plate_boundary_factor(&p, off_band);
+        assert_eq!(f_on, 1e-5);
+        assert_eq!(f_off, 1.0);
+        // Deep points are never weak.
+        assert_eq!(plate_boundary_factor(&p, [0.6, 0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn viscosity_shear_thins_and_yields() {
+        let p = RheologyParams::default();
+        let x = [0.0, 0.7, 0.0];
+        let lo = viscosity(&p, x, 0.5, 1e-3);
+        let hi = viscosity(&p, x, 0.5, 1.0);
+        assert!(hi < lo, "dislocation creep must shear-thin: {hi} vs {lo}");
+        // Very high strain rates hit the yield branch.
+        let y = viscosity(&p, x, 0.5, 1e4);
+        assert!((y - p.yield_stress / 2e4).abs() / y < 1e-12 || y == p.eta_min);
+    }
+
+    #[test]
+    fn viscosity_is_clamped() {
+        let p = RheologyParams::default();
+        for &(t, e) in &[(0.02f64, 1e-9f64), (1.0, 1e6)] {
+            let eta = viscosity(&p, [0.0, 0.0, 0.6], t, e);
+            assert!(eta >= p.eta_min && eta <= p.eta_max);
+        }
+    }
+
+    #[test]
+    fn temperature_has_boundary_layers() {
+        // Hot near the CMB, cold near the surface, moderate mid-mantle.
+        let bottom = synthetic_temperature([0.56, 0.0, 0.0]);
+        let mid = synthetic_temperature([0.0, 0.78, 0.0]);
+        let top = synthetic_temperature([0.0, 0.0, 0.999]);
+        assert!(bottom > 0.8, "bottom {bottom}");
+        assert!(top < 0.2, "top {top}");
+        assert!(mid > 0.3 && mid < 0.7, "mid {mid}");
+    }
+
+    #[test]
+    fn slabs_are_cold() {
+        // A point inside slab 1 near the surface is colder than the same
+        // radius elsewhere.
+        let r = 0.93;
+        let slab_dir = [0.9f64, 0.3, 0.0];
+        let n = (slab_dir[0] * slab_dir[0] + slab_dir[1] * slab_dir[1]).sqrt();
+        let in_slab = synthetic_temperature([slab_dir[0] / n * r, slab_dir[1] / n * r, 0.0]);
+        let away = synthetic_temperature([0.0, -r, 0.0]);
+        assert!(in_slab < away, "{in_slab} vs {away}");
+    }
+}

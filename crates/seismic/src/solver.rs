@@ -1,0 +1,592 @@
+//! The elastic wave propagation solver (dGea analogue).
+//!
+//! Velocity–strain form (paper eqs. 3a/3b), nine unknowns per node
+//! (3 velocity + 6 strain), discretized with nodal dG and integrated with
+//! the five-stage fourth-order low-storage RK scheme. The numerical flux
+//! is an impedance-weighted central-plus-penalty (Rusanov-type) flux — a
+//! documented substitution for the exact Godunov flux of the paper's
+//! companion reference [8]; it upwinds the same characteristics with the
+//! same maximal wave speed and is what the scaling experiments exercise.
+//!
+//! Both shell boundaries are traction-free (the paper couples the mantle
+//! to an acoustic core; the truncation is documented in DESIGN.md).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use forust::dim::D3;
+use forust::forest::{BalanceType, Forest};
+use forust_comm::Communicator;
+use forust_dg::geometry::MeshGeometry;
+use forust_dg::lserk::{LSERK_A, LSERK_B, LSERK_C};
+use forust_dg::mesh::{DgMesh, ElemRef, FaceConn};
+use forust_geom::Mapping;
+
+use crate::model::{ricker, Material};
+
+/// Number of state components: `(vx, vy, vz, Exx, Eyy, Ezz, Eyz, Exz, Exy)`.
+pub const NCOMP: usize = 9;
+
+/// Seismic experiment parameters.
+#[derive(Debug, Clone)]
+pub struct SeismicConfig {
+    /// Polynomial degree (6 in the paper's Fig. 9, 7 in Fig. 10).
+    pub degree: usize,
+    /// Coarsest / finest refinement levels of the wavelength meshing.
+    pub min_level: u8,
+    /// Refinement ceiling.
+    pub max_level: u8,
+    /// Source peak frequency (Hz-like normalized units).
+    pub f0: f64,
+    /// Points per wavelength the mesh must resolve (10 in the paper).
+    pub ppw: f64,
+    /// CFL number.
+    pub cfl: f64,
+    /// Source position.
+    pub src: [f64; 3],
+    /// Source direction (body force).
+    pub src_dir: [f64; 3],
+}
+
+impl Default for SeismicConfig {
+    fn default() -> Self {
+        SeismicConfig {
+            degree: 3,
+            min_level: 0,
+            max_level: 3,
+            f0: 2.0,
+            ppw: 10.0,
+            cfl: 0.4,
+            src: [0.0, 0.0, 0.9],
+            src_dir: [0.0, 0.0, 1.0],
+        }
+    }
+}
+
+/// Wall-time split reported by Fig. 9 (meshing vs wave propagation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeismicTimers {
+    /// Parallel adaptive mesh generation (the "meshing" column).
+    pub meshing: Duration,
+    /// Total wave-propagation time (the per-step column divides by steps).
+    pub wave_prop: Duration,
+    /// Steps taken.
+    pub steps: usize,
+}
+
+/// The elastic wave solver on a wavelength-adapted forest mesh.
+pub struct SeismicSolver {
+    /// Parameters.
+    pub config: SeismicConfig,
+    /// The (static) forest.
+    pub forest: Forest<D3>,
+    /// dG mesh.
+    pub mesh: DgMesh<D3>,
+    /// Metric terms.
+    pub geo: MeshGeometry,
+    /// State, `num_elements * npe * NCOMP`, component-major per element.
+    pub q: Vec<f64>,
+    resid: Vec<f64>,
+    /// Nodal material: (rho, lambda, mu) per volume node.
+    pub mat: Vec<[f64; 3]>,
+    /// Simulated time and step size.
+    pub time: f64,
+    /// Stable step size.
+    pub dt: f64,
+    /// Wall-time split.
+    pub timers: SeismicTimers,
+    wv: Vec<f64>,
+    wf: Vec<f64>,
+    face_idx: Vec<Vec<usize>>,
+}
+
+impl SeismicSolver {
+    /// Build the wavelength-adapted mesh ("adapted to local wave speed")
+    /// and the solver state. The meshing wall time lands in
+    /// `timers.meshing` — Fig. 9's first column.
+    pub fn new(
+        comm: &impl Communicator,
+        mut forest: Forest<D3>,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: SeismicConfig,
+        model: impl Fn([f64; 3]) -> Material + Copy,
+    ) -> Self {
+        let t0 = Instant::now();
+        // Wavelength meshing: refine while the element is larger than the
+        // local minimum wavelength allows: h > N * lambda_min / ppw, with
+        // lambda_min = vs_min / (2.5 f0) (Ricker bandwidth).
+        let fmax = 2.5 * config.f0;
+        let n = config.degree as f64;
+        for _ in 0..(config.max_level - config.min_level) {
+            let marks: std::collections::HashSet<(u32, u64, u8)> = forest
+                .iter_local()
+                .filter(|(t, o)| {
+                    if o.level >= config.max_level {
+                        return false;
+                    }
+                    // Element size and minimum vs from the corner points.
+                    let mut h: f64 = 0.0;
+                    let mut vs_min = f64::INFINITY;
+                    let corners: Vec<[f64; 3]> = (0..8)
+                        .map(|c| {
+                            let off = <D3 as forust::dim::Dim>::corner_offset(c);
+                            let xi = forust_geom::octant_ref_coords::<D3>(
+                                o,
+                                [off[0] as f64, off[1] as f64, off[2] as f64],
+                            );
+                            map.map(*t, xi)
+                        })
+                        .collect();
+                    for i in 0..8 {
+                        vs_min = vs_min.min(model(corners[i]).vs);
+                        for j in (i + 1)..8 {
+                            let d = (0..3)
+                                .map(|k| (corners[i][k] - corners[j][k]).powi(2))
+                                .sum::<f64>()
+                                .sqrt();
+                            h = h.max(d / 3f64.sqrt()); // diagonal -> edge scale
+                        }
+                    }
+                    let lambda_min = vs_min / fmax;
+                    h > n * lambda_min / config.ppw
+                })
+                .map(|(t, o)| (t, o.morton(), o.level))
+                .collect();
+            if comm.allreduce_sum_u64(marks.len() as u64) == 0 {
+                break;
+            }
+            forest.refine(comm, false, |t, o| marks.contains(&(t, o.morton(), o.level)));
+        }
+        forest.balance(comm, BalanceType::Full);
+        forest.partition(comm);
+
+        let mesh = DgMesh::build(&forest, comm, config.degree);
+        let geo = MeshGeometry::build(&mesh, &*map);
+        let meshing = t0.elapsed();
+
+        let npe = mesh.re.nodes_per_elem(3);
+        let q = vec![0.0; mesh.num_elements() * npe * NCOMP];
+        let resid = vec![0.0; q.len()];
+        let mat: Vec<[f64; 3]> = geo
+            .pos
+            .iter()
+            .map(|&x| {
+                let m = model(x);
+                [m.rho, m.lambda(), m.mu()]
+            })
+            .collect();
+        let (wv, wf, face_idx) = cache_constants(&mesh.re);
+        let mut s = SeismicSolver {
+            config,
+            forest,
+            mesh,
+            geo,
+            q,
+            resid,
+            mat,
+            time: 0.0,
+            dt: 0.0,
+            timers: SeismicTimers { meshing, ..Default::default() },
+            wv,
+            wf,
+            face_idx,
+        };
+        s.dt = s.stable_dt(comm);
+        s
+    }
+
+    /// Global unknown count (9 per node).
+    pub fn num_global_unknowns(&self) -> u64 {
+        self.forest.num_global() * (self.mesh.re.nodes_per_elem(3) * NCOMP) as u64
+    }
+
+    fn stable_dt(&self, comm: &impl Communicator) -> f64 {
+        let npe = self.mesh.re.nodes_per_elem(3);
+        let mut lam_max: f64 = 1e-30;
+        for e in 0..self.mesh.num_elements() {
+            let inv = self.geo.elem_inv(e);
+            for v in 0..npe {
+                let m = self.mat[e * npe + v];
+                let cp = ((m[1] + 2.0 * m[2]) / m[0]).sqrt();
+                let mut lam = 0.0;
+                for r in 0..3 {
+                    let nrm = (inv[v][r][0].powi(2) + inv[v][r][1].powi(2)
+                        + inv[v][r][2].powi(2))
+                    .sqrt();
+                    lam += cp * nrm;
+                }
+                lam_max = lam_max.max(lam);
+            }
+        }
+        let global = comm.allreduce_max_f64(lam_max);
+        let n = self.config.degree as f64;
+        self.config.cfl * 2.0 / (global * (n + 1.0) * (n + 1.0))
+    }
+
+    /// Advance one RK step.
+    pub fn step(&mut self, comm: &impl Communicator) {
+        let t0 = Instant::now();
+        let mut k = vec![0.0; self.q.len()];
+        self.resid.fill(0.0);
+        for s in 0..5 {
+            let ts = self.time + LSERK_C[s] * self.dt;
+            self.compute_rhs(comm, ts, &mut k);
+            for i in 0..self.q.len() {
+                self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
+                self.q[i] += LSERK_B[s] * self.resid[i];
+            }
+        }
+        self.time += self.dt;
+        self.timers.wave_prop += t0.elapsed();
+        self.timers.steps += 1;
+    }
+
+    /// Approximate floating-point operations per RHS evaluation, counted
+    /// by hand like the paper's Tflops column.
+    pub fn flops_per_rhs(&self) -> u64 {
+        let np = self.mesh.re.np as u64;
+        let npe = np * np * np;
+        let npf = np * np;
+        let nel = self.mesh.num_elements() as u64;
+        // 15 tensor gradient applications (3 velocity + 6 stress fields
+        // need 9 + 18 reference derivatives, each 2*npe*np flops) plus
+        // nodal work (~120 flops/node) plus surface (~6 faces * npf * 90).
+        nel * (27 * 2 * npe * np + 140 * npe + 6 * npf * 90)
+    }
+
+    /// Total flops per full RK step (5 stages).
+    pub fn flops_per_step(&self) -> u64 {
+        5 * self.flops_per_rhs() + 4 * self.q.len() as u64
+    }
+
+    /// Discrete energy: `1/2 rho |v|^2 + 1/2 sigma : E` integrated.
+    pub fn energy(&self, comm: &impl Communicator) -> f64 {
+        let npe = self.mesh.re.nodes_per_elem(3);
+        let mut en = 0.0;
+        for e in 0..self.mesh.num_elements() {
+            let det = self.geo.elem_det(e);
+            for v in 0..npe {
+                let s = self.state(e, v);
+                let m = self.mat[e * npe + v];
+                let (lam, mu) = (m[1], m[2]);
+                let tr = s[3] + s[4] + s[5];
+                let kinetic = 0.5 * m[0] * (s[0] * s[0] + s[1] * s[1] + s[2] * s[2]);
+                let strain = 0.5
+                    * (lam * tr * tr
+                        + 2.0 * mu
+                            * (s[3] * s[3]
+                                + s[4] * s[4]
+                                + s[5] * s[5]
+                                + 2.0 * (s[6] * s[6] + s[7] * s[7] + s[8] * s[8])));
+                en += self.wv[v] * det[v] * (kinetic + strain);
+            }
+        }
+        comm.allreduce_sum_f64(en)
+    }
+
+    #[inline]
+    fn state(&self, e: usize, v: usize) -> [f64; NCOMP] {
+        let npe = self.mesh.re.nodes_per_elem(3);
+        let base = e * npe * NCOMP;
+        let mut s = [0.0; NCOMP];
+        for (c, item) in s.iter_mut().enumerate() {
+            *item = self.q[base + c * npe + v];
+        }
+        s
+    }
+
+    /// The dG right-hand side at time `t` (source active).
+    fn compute_rhs(&self, comm: &impl Communicator, t: f64, out: &mut [f64]) {
+        let re = &self.mesh.re;
+        let npe = re.nodes_per_elem(3);
+        let npf = re.nodes_per_face(3);
+        let chunk = npe * NCOMP;
+        let nel = self.mesh.num_elements();
+        let ghost_q = self.mesh.exchange_element_data(comm, &self.q, chunk);
+        out.fill(0.0);
+
+        // Stress of a state given material.
+        let stress = |s: &[f64; NCOMP], lam: f64, mu: f64| -> [f64; 6] {
+            let tr = s[3] + s[4] + s[5];
+            [
+                2.0 * mu * s[3] + lam * tr,
+                2.0 * mu * s[4] + lam * tr,
+                2.0 * mu * s[5] + lam * tr,
+                2.0 * mu * s[6], // yz
+                2.0 * mu * s[7], // xz
+                2.0 * mu * s[8], // xy
+            ]
+        };
+        // sigma . n for Voigt-stored sigma.
+        let sig_n = |sg: &[f64; 6], n: [f64; 3]| -> [f64; 3] {
+            [
+                sg[0] * n[0] + sg[5] * n[1] + sg[4] * n[2],
+                sg[5] * n[0] + sg[1] * n[1] + sg[3] * n[2],
+                sg[4] * n[0] + sg[3] * n[1] + sg[2] * n[2],
+            ]
+        };
+
+        let cfg = &self.config;
+        let mut sig_nodal = vec![0.0; 6 * npe];
+        let mut nbr_buf: Vec<f64> = Vec::new();
+        for e in 0..nel {
+            let base = e * chunk;
+            let inv = self.geo.elem_inv(e);
+            let det = self.geo.elem_det(e);
+            let pos = self.geo.elem_pos(e);
+
+            // Nodal stress.
+            for v in 0..npe {
+                let s = self.state(e, v);
+                let m = self.mat[e * npe + v];
+                let sg = stress(&s, m[1], m[2]);
+                for c in 0..6 {
+                    sig_nodal[c * npe + v] = sg[c];
+                }
+            }
+            // Reference gradients of velocity (3) and stress (6).
+            let mut gv = Vec::with_capacity(3);
+            for c in 0..3 {
+                gv.push(re.gradient(&self.q[base + c * npe..base + (c + 1) * npe], 3));
+            }
+            let mut gs = Vec::with_capacity(6);
+            for c in 0..6 {
+                gs.push(re.gradient(&sig_nodal[c * npe..(c + 1) * npe], 3));
+            }
+            // Volume terms.
+            for v in 0..npe {
+                let m = self.mat[e * npe + v];
+                let rho = m[0];
+                // Physical derivative d(field)/dx_i = sum_r inv[r][i] dref_r.
+                let dphys = |g: &Vec<Vec<f64>>, i: usize| -> f64 {
+                    (0..3).map(|r| inv[v][r][i] * g[r][v]).sum()
+                };
+                // Momentum: rho v_i' = sum_j d sigma_ij / dx_j.
+                // Voigt: row x = (sxx, sxy, sxz) = (0, 5, 4), etc.
+                let dv = [
+                    (dphys(&gs[0], 0) + dphys(&gs[5], 1) + dphys(&gs[4], 2)) / rho,
+                    (dphys(&gs[5], 0) + dphys(&gs[1], 1) + dphys(&gs[3], 2)) / rho,
+                    (dphys(&gs[4], 0) + dphys(&gs[3], 1) + dphys(&gs[2], 2)) / rho,
+                ];
+                // Strain: E' = sym grad v.
+                let gvx = [dphys(&gv[0], 0), dphys(&gv[0], 1), dphys(&gv[0], 2)];
+                let gvy = [dphys(&gv[1], 0), dphys(&gv[1], 1), dphys(&gv[1], 2)];
+                let gvz = [dphys(&gv[2], 0), dphys(&gv[2], 1), dphys(&gv[2], 2)];
+                let de = [
+                    gvx[0],
+                    gvy[1],
+                    gvz[2],
+                    0.5 * (gvy[2] + gvz[1]),
+                    0.5 * (gvx[2] + gvz[0]),
+                    0.5 * (gvx[1] + gvy[0]),
+                ];
+                // Source: Gaussian-in-space Ricker-in-time body force.
+                let dx = [
+                    pos[v][0] - cfg.src[0],
+                    pos[v][1] - cfg.src[1],
+                    pos[v][2] - cfg.src[2],
+                ];
+                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+                let sw = 0.02;
+                let amp = ricker(t, cfg.f0, 1.2 / cfg.f0) * (-r2 / (2.0 * sw * sw)).exp();
+                for c in 0..3 {
+                    out[base + c * npe + v] = dv[c] + amp * cfg.src_dir[c] / rho;
+                }
+                for c in 0..6 {
+                    out[base + (3 + c) * npe + v] = de[c];
+                }
+            }
+
+            // Surface terms.
+            for f in 0..6 {
+                let fg = self.geo.face(e, f, 6);
+                let fidx = &self.face_idx[f];
+                // My face traces of all components.
+                let trace =
+                    |buf: &[f64], off: usize, idxs: &[usize]| -> Vec<[f64; NCOMP]> {
+                        idxs.iter()
+                            .map(|&i| {
+                                let mut s = [0.0; NCOMP];
+                                for (c, item) in s.iter_mut().enumerate() {
+                                    *item = buf[off + c * npe + i];
+                                }
+                                s
+                            })
+                            .collect()
+                    };
+                let mine: Vec<[f64; NCOMP]> = trace(&self.q, base, fidx);
+
+                // Gather the neighbor's aligned trace (or build a boundary
+                // mirror state).
+                let apply_flux = |qm: &[[f64; NCOMP]],
+                                  qp: &[[f64; NCOMP]],
+                                  normals: &[[f64; 3]],
+                                  sjs: &[f64],
+                                  lift: &mut dyn FnMut(usize, [f64; NCOMP], f64)| {
+                    for j in 0..qm.len() {
+                        let v = fidx[j % npf]; // volume node for material
+                        let m = self.mat[e * npe + v];
+                        let (rho, lam, mu) = (m[0], m[1], m[2]);
+                        let cp = ((lam + 2.0 * mu) / rho).sqrt();
+                        let z = rho * cp;
+                        let n = normals[j];
+                        let sgm = stress(&qm[j], lam, mu);
+                        let sgp = stress(&qp[j], lam, mu);
+                        let tm = sig_n(&sgm, n);
+                        let tp = sig_n(&sgp, n);
+                        // Numerical traces.
+                        let tstar = [
+                            0.5 * (tm[0] + tp[0]) + 0.5 * z * (qp[j][0] - qm[j][0]),
+                            0.5 * (tm[1] + tp[1]) + 0.5 * z * (qp[j][1] - qm[j][1]),
+                            0.5 * (tm[2] + tp[2]) + 0.5 * z * (qp[j][2] - qm[j][2]),
+                        ];
+                        let vstar = [
+                            0.5 * (qm[j][0] + qp[j][0]) + 0.5 / z * (tp[0] - tm[0]),
+                            0.5 * (qm[j][1] + qp[j][1]) + 0.5 / z * (tp[1] - tm[1]),
+                            0.5 * (qm[j][2] + qp[j][2]) + 0.5 / z * (tp[2] - tm[2]),
+                        ];
+                        let mut d = [0.0; NCOMP];
+                        for i in 0..3 {
+                            d[i] = (tstar[i] - tm[i]) / rho;
+                        }
+                        let dvs = [
+                            vstar[0] - qm[j][0],
+                            vstar[1] - qm[j][1],
+                            vstar[2] - qm[j][2],
+                        ];
+                        d[3] = n[0] * dvs[0];
+                        d[4] = n[1] * dvs[1];
+                        d[5] = n[2] * dvs[2];
+                        d[6] = 0.5 * (n[1] * dvs[2] + n[2] * dvs[1]);
+                        d[7] = 0.5 * (n[0] * dvs[2] + n[2] * dvs[0]);
+                        d[8] = 0.5 * (n[0] * dvs[1] + n[1] * dvs[0]);
+                        lift(j, d, sjs[j]);
+                    }
+                };
+
+                match self.mesh.face(e, f) {
+                    FaceConn::Boundary => {
+                        // Traction-free: mirror with opposite traction.
+                        // qp = qm with strain negated gives tp = -tm and
+                        // vp = vm.
+                        let qp: Vec<[f64; NCOMP]> = mine
+                            .iter()
+                            .map(|s| {
+                                let mut r = *s;
+                                for c in 3..9 {
+                                    r[c] = -r[c];
+                                }
+                                r
+                            })
+                            .collect();
+                        let (normal, sj) = (&fg.normal, &fg.sj);
+                        apply_flux(&mine, &qp, normal, sj, &mut |j, d, s| {
+                            let v = fidx[j];
+                            let coef = self.wf[j] * s / (self.wv[v] * det[v]);
+                            for (c, dc) in d.iter().enumerate() {
+                                out[base + c * npe + v] += coef * dc;
+                            }
+                        });
+                    }
+                    FaceConn::Conforming { nbr, nbr_face, from_nbr }
+                    | FaceConn::CoarseNbr { nbr, nbr_face, from_nbr } => {
+                        let (buf, off) = match nbr {
+                            ElemRef::Local(i) => (&self.q, *i as usize * chunk),
+                            ElemRef::Ghost(i) => (&ghost_q, *i as usize * chunk),
+                        };
+                        nbr_buf.clear();
+                        // Interpolate each component's neighbor trace.
+                        let nidx = re.face_nodes(3, *nbr_face);
+                        let mut qp = vec![[0.0; NCOMP]; npf];
+                        for c in 0..NCOMP {
+                            let their: Vec<f64> =
+                                nidx.iter().map(|&i| buf[off + c * npe + i]).collect();
+                            let gp = from_nbr.matvec(&their);
+                            for j in 0..npf {
+                                qp[j][c] = gp[j];
+                            }
+                        }
+                        apply_flux(&mine, &qp, &fg.normal, &fg.sj, &mut |j, d, s| {
+                            let v = fidx[j];
+                            let coef = self.wf[j] * s / (self.wv[v] * det[v]);
+                            for (c, dc) in d.iter().enumerate() {
+                                out[base + c * npe + v] += coef * dc;
+                            }
+                        });
+                    }
+                    FaceConn::FineNbrs { subs } => {
+                        for (si, sub) in subs.iter().enumerate() {
+                            let sg = &fg.subs[si];
+                            // My trace at the fine mortar points.
+                            let mut qm = vec![[0.0; NCOMP]; npf];
+                            for c in 0..NCOMP {
+                                let myface: Vec<f64> =
+                                    fidx.iter().map(|&i| self.q[base + c * npe + i]).collect();
+                                let at_fine = sub.to_fine.matvec(&myface);
+                                for j in 0..npf {
+                                    qm[j][c] = at_fine[j];
+                                }
+                            }
+                            let (buf, off) = match sub.nbr {
+                                ElemRef::Local(i) => (&self.q, i as usize * chunk),
+                                ElemRef::Ghost(i) => (&ghost_q, i as usize * chunk),
+                            };
+                            let nidx = re.face_nodes(3, sub.nbr_face);
+                            let mut qp = vec![[0.0; NCOMP]; npf];
+                            for c in 0..NCOMP {
+                                for (j, &i) in nidx.iter().enumerate() {
+                                    qp[j][c] = buf[off + c * npe + i];
+                                }
+                            }
+                            apply_flux(&qm, &qp, &sg.normal, &sg.sj, &mut |j, d, s| {
+                                // Lift through the mortar transpose.
+                                let w = self.wf[j] * s;
+                                for i in 0..npf {
+                                    let v = fidx[i];
+                                    let coef =
+                                        sub.to_fine.data[j * npf + i] * w / (self.wv[v] * det[v]);
+                                    for (c, dc) in d.iter().enumerate() {
+                                        out[base + c * npe + v] += coef * dc;
+                                    }
+                                }
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximum velocity magnitude (diagnostic / wavefront indicator).
+    pub fn max_velocity(&self, comm: &impl Communicator) -> f64 {
+        let npe = self.mesh.re.nodes_per_elem(3);
+        let mut m: f64 = 0.0;
+        for e in 0..self.mesh.num_elements() {
+            for v in 0..npe {
+                let s = self.state(e, v);
+                m = m.max((s[0] * s[0] + s[1] * s[1] + s[2] * s[2]).sqrt());
+            }
+        }
+        comm.allreduce_max_f64(m)
+    }
+}
+
+fn cache_constants(re: &forust_dg::RefElement) -> (Vec<f64>, Vec<f64>, Vec<Vec<usize>>) {
+    let np = re.np;
+    let mut wv = Vec::with_capacity(np * np * np);
+    for k in 0..np {
+        for j in 0..np {
+            for i in 0..np {
+                wv.push(re.weights[i] * re.weights[j] * re.weights[k]);
+            }
+        }
+    }
+    let mut wf = Vec::with_capacity(np * np);
+    for b in 0..np {
+        for a in 0..np {
+            wf.push(re.weights[a] * re.weights[b]);
+        }
+    }
+    let face_idx: Vec<Vec<usize>> = (0..6).map(|f| re.face_nodes(3, f)).collect();
+    (wv, wf, face_idx)
+}

@@ -1,0 +1,111 @@
+//! End-to-end checks of the elastic wave solver: the wavelength-adapted
+//! mesh tracks the PREM-like model, the source injects energy, the
+//! penalty flux keeps the scheme stable, and results do not depend on
+//! the rank count.
+
+use std::sync::Arc;
+
+use forust::connectivity::builders;
+use forust::dim::{Dim, D3};
+use forust::forest::Forest;
+use forust_comm::{run_spmd, Communicator};
+use forust_geom::{Mapping, ShellMap};
+use forust_seismic::{prem_like_at, SeismicConfig, SeismicSolver};
+
+fn build(comm: &impl Communicator, max_level: u8, f0: f64) -> SeismicSolver {
+    let conn = Arc::new(builders::shell24());
+    let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
+    let map: Arc<dyn Mapping<D3> + Send + Sync> = Arc::new(ShellMap::new(conn, 0.55, 1.0));
+    let config = SeismicConfig {
+        degree: 2,
+        min_level: 1,
+        max_level,
+        f0,
+        ppw: 6.0,
+        ..Default::default()
+    };
+    SeismicSolver::new(comm, forest, map, config, prem_like_at)
+}
+
+#[test]
+fn wavelength_meshing_refines_slow_regions() {
+    run_spmd(2, |comm| {
+        let s = build(comm, 3, 6.0);
+        // The crust/upper mantle (slow vs) must be refined more than the
+        // lower mantle (fast vs): compare max levels by radial position.
+        let big = D3::root_len();
+        let mut top_max = 0u8;
+        let mut bottom_max = 0u8;
+        for (_, o) in s.forest.iter_local() {
+            if o.z + o.len() == big {
+                top_max = top_max.max(o.level);
+            }
+            if o.z == 0 {
+                bottom_max = bottom_max.max(o.level);
+            }
+        }
+        let top = comm.allreduce_max_u64(top_max as u64);
+        let bottom = comm.allreduce_max_u64(bottom_max as u64);
+        assert!(
+            top > bottom,
+            "surface (slow) must be finer than CMB (fast): {top} vs {bottom}"
+        );
+        assert!(s.forest.num_global() > 192, "no refinement happened");
+    });
+}
+
+#[test]
+fn source_injects_energy_then_stays_bounded() {
+    run_spmd(2, |comm| {
+        let mut s = build(comm, 2, 3.0);
+        assert_eq!(s.energy(comm), 0.0);
+        // Step through the Ricker pulse (centered at 1.2/f0 = 0.4).
+        let steps = (0.5 / s.dt).ceil() as usize;
+        let steps = steps.min(60);
+        for _ in 0..steps {
+            s.step(comm);
+        }
+        let e1 = s.energy(comm);
+        assert!(e1 > 0.0, "source injected no energy");
+        assert!(e1.is_finite());
+        // Keep going: with the dissipative penalty flux and no more
+        // source, energy must not grow.
+        for _ in 0..10 {
+            s.step(comm);
+        }
+        let e2 = s.energy(comm);
+        assert!(e2.is_finite() && e2 < 1.5 * e1, "instability: {e1} -> {e2}");
+        assert!(s.max_velocity(comm).is_finite());
+    });
+}
+
+#[test]
+fn result_independent_of_rank_count() {
+    let energies: Vec<f64> = [1usize, 3]
+        .iter()
+        .map(|&p| {
+            run_spmd(p, |comm| {
+                let mut s = build(comm, 2, 3.0);
+                for _ in 0..8 {
+                    s.step(comm);
+                }
+                s.energy(comm)
+            })[0]
+        })
+        .collect();
+    let rel = ((energies[0] - energies[1]) / energies[0].max(1e-300)).abs();
+    assert!(rel < 1e-9, "energy depends on ranks: {energies:?}");
+}
+
+#[test]
+fn meshing_time_is_recorded_separately() {
+    run_spmd(1, |comm| {
+        let mut s = build(comm, 2, 3.0);
+        assert!(s.timers.meshing.as_nanos() > 0);
+        assert_eq!(s.timers.steps, 0);
+        s.step(comm);
+        assert_eq!(s.timers.steps, 1);
+        assert!(s.timers.wave_prop.as_nanos() > 0);
+        assert!(s.flops_per_step() > 0);
+    });
+}

@@ -1,0 +1,76 @@
+//! Fig. 1 gallery: the example forest-of-octrees domains, written as VTK
+//! files colored by owning rank (as in the paper's figure).
+//!
+//! Run with: `cargo run --example forest_gallery` — writes
+//! `gallery/*.vtk`, loadable in ParaView/VisIt.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use extreme_amr::comm::{run_spmd, Communicator};
+use extreme_amr::forust::connectivity::builders;
+use extreme_amr::forust::dim::{Dim, D2, D3};
+use extreme_amr::forust::forest::{BalanceType, Forest};
+use extreme_amr::geom::vtk::write_forest_vtk;
+use extreme_amr::geom::{LatticeMap, ShellMap};
+
+fn main() {
+    let dir = PathBuf::from("gallery");
+    std::fs::create_dir_all(&dir).expect("create gallery dir");
+
+    // Top of Fig. 1: the periodic Möbius strip of five quadtrees, with
+    // pseudo-random adaptive refinement.
+    {
+        let dir = dir.clone();
+        run_spmd(3, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            let mut f = Forest::<D2>::new_uniform(Arc::clone(&conn), comm, 2);
+            f.refine(comm, true, |t, o| {
+                o.level < 4 && (o.morton() ^ (t as u64) * 77) % 7 == 0
+            });
+            f.balance(comm, BalanceType::Full);
+            f.partition(comm);
+            let map = LatticeMap::new(conn);
+            let path = dir.join(format!("moebius_{}.vtk", comm.rank()));
+            write_forest_vtk(&path, &f, &map, comm.rank(), &[]).expect("write vtk");
+        });
+        println!("wrote gallery/moebius_*.vtk (5 quadtrees, periodic twist)");
+    }
+
+    // Bottom of Fig. 1: six rotated octrees, five meeting at the center
+    // axis.
+    {
+        let dir = dir.clone();
+        run_spmd(4, move |comm| {
+            let conn = Arc::new(builders::rotcubes6());
+            let mut f = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
+            f.refine(comm, true, |t, o| {
+                o.level < 3 && (o.morton() ^ (t as u64) * 131) % 5 == 0
+            });
+            f.balance(comm, BalanceType::Full);
+            f.partition(comm);
+            let map = LatticeMap::new(conn);
+            let path = dir.join(format!("rotcubes_{}.vtk", comm.rank()));
+            write_forest_vtk(&path, &f, &map, comm.rank(), &[]).expect("write vtk");
+        });
+        println!("wrote gallery/rotcubes_*.vtk (6 rotated octrees)");
+    }
+
+    // The 24-octree spherical shell of §III-B / §IV-A.
+    {
+        run_spmd(4, move |comm| {
+            let conn = Arc::new(builders::shell24());
+            let mut f = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
+            // Refine the outermost radial layer (like surface resolution).
+            f.refine(comm, false, |_, o| {
+                o.z + o.len() == D3::root_len()
+            });
+            f.balance(comm, BalanceType::Full);
+            f.partition(comm);
+            let map = ShellMap::new(conn, 0.55, 1.0);
+            let path = PathBuf::from("gallery").join(format!("shell24_{}.vtk", comm.rank()));
+            write_forest_vtk(&path, &f, &map, comm.rank(), &[]).expect("write vtk");
+        });
+        println!("wrote gallery/shell24_*.vtk (24-octree spherical shell)");
+    }
+}

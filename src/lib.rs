@@ -1,0 +1,17 @@
+//! # extreme-amr
+//!
+//! Facade crate for the `forust` workspace — a Rust reproduction of
+//! *Extreme-Scale AMR* (Burstedde et al., SC10), the paper behind the
+//! `p4est` forest-of-octrees AMR library and the `mangll` high-order
+//! discretization layer.
+//!
+//! See the individual crates re-exported below, and `examples/` for
+//! runnable entry points.
+
+pub use forust;
+pub use forust_advect as advect;
+pub use forust_comm as comm;
+pub use forust_dg as dg;
+pub use forust_geom as geom;
+pub use forust_mantle as mantle;
+pub use forust_seismic as seismic;

@@ -1,0 +1,83 @@
+//! Fig. 2 semantics: the space-filling curve imposes a total ordering of
+//! all octants in the forest, and a partition among P cores divides the
+//! curve (and thus the domain) into P segments of equal (±1) element
+//! count, encoded by 32-bytes-per-core metadata.
+
+use std::sync::Arc;
+
+use extreme_amr::comm::{run_spmd, Communicator};
+use extreme_amr::forust::connectivity::builders;
+use extreme_amr::forust::dim::D2;
+use extreme_amr::forust::forest::{BalanceType, Forest};
+
+#[test]
+fn three_core_partition_of_adapted_forest() {
+    // Mirror the paper's Fig. 2: a small adapted 2D forest partitioned
+    // among three cores p0, p1, p2.
+    run_spmd(3, |comm| {
+        let conn = Arc::new(builders::brick2d(2, 1, false, false));
+        let mut f = Forest::<D2>::new_uniform(Arc::clone(&conn), comm, 1);
+        f.refine(comm, true, |t, o| t == 0 && o.level < 3 && o.child_id() == 1);
+        f.balance(comm, BalanceType::Full);
+        f.partition(comm);
+        f.check_valid(comm);
+
+        // Equal (+-1) element counts.
+        let counts = f.counts().to_vec();
+        assert_eq!(counts.len(), 3);
+        let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(hi - lo <= 1, "{counts:?}");
+
+        // The segments tile the curve in rank order: every rank's local
+        // octants sort strictly before the next rank's.
+        let mine: Vec<(u32, i32, i32, u8)> = f
+            .iter_local()
+            .map(|(t, o)| (t, o.x, o.y, o.level))
+            .collect();
+        let all = comm.allgatherv(&mine);
+        let key = |e: &(u32, i32, i32, u8)| {
+            let o = extreme_amr::forust::octant::Octant::<D2>::new(e.1, e.2, 0, e.3);
+            (e.0, o.morton(), e.3)
+        };
+        let mut prev: Option<(u32, u64, u8)> = None;
+        for part in &all {
+            for e in part {
+                let k = key(e);
+                if let Some(p) = prev {
+                    assert!(p < k, "curve order violated across ranks");
+                }
+                prev = Some(k);
+            }
+        }
+
+        // The metadata that encodes this partition is one octant + count
+        // per core ("32 bytes per core"): owner queries resolve purely
+        // from it.
+        for (r, part) in all.iter().enumerate() {
+            for e in part {
+                let o = extreme_amr::forust::octant::Octant::<D2>::new(e.1, e.2, 0, e.3);
+                assert_eq!(f.owner_of_atom(e.0, &o), r);
+            }
+        }
+    });
+}
+
+#[test]
+fn weighted_partition_tracks_work() {
+    run_spmd(4, |comm| {
+        let conn = Arc::new(builders::moebius());
+        let mut f = Forest::<D2>::new_uniform(Arc::clone(&conn), comm, 2);
+        // Octants of tree 0 cost 7x more.
+        f.partition_weighted(comm, |t, _| if t == 0 { 7 } else { 1 });
+        f.check_valid(comm);
+        // Per-rank weighted load within ~2x of the ideal.
+        let my_weight: u64 = f.iter_local().map(|(t, _)| if t == 0 { 7u64 } else { 1 }).sum();
+        let total = comm.allreduce_sum_u64(my_weight);
+        let ideal = total as f64 / comm.size() as f64;
+        assert!(
+            (my_weight as f64) < 2.0 * ideal + 8.0,
+            "rank {} overloaded: {my_weight} vs ideal {ideal}",
+            comm.rank()
+        );
+    });
+}
