@@ -16,8 +16,10 @@
 //! rebuild) versus "time integration" (RK stages including ghost
 //! exchanges).
 
+mod recovery;
 mod solver;
 
+pub use recovery::{attempt, run_with_recovery, AttemptResult, RecoveryOutcome, RecoverySetup};
 pub use solver::{AdvectConfig, AdvectSolver, AdvectTimers};
 
 /// Initial condition of §III-B: four spherical fronts, implemented as

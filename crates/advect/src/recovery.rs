@@ -1,0 +1,220 @@
+//! Fault-tolerant execution of the advection experiment: periodic
+//! checkpointing plus a restart driver that survives injected rank
+//! crashes.
+//!
+//! [`run_with_recovery`] runs the solver under an optional
+//! [`FaultPlan`]; when the injected fault kills the SPMD run, the driver
+//! restarts — possibly on fewer ranks — from the newest checkpoint that
+//! validates, and re-runs to completion without fault injection. Because
+//! every quantity the time loop evolves is either carried bitwise in the
+//! checkpoint (solution, `time`, step count) or recomputed by an exact
+//! deterministic reduction (`dt`), the recovered result is bitwise
+//! identical to a fault-free run.
+//!
+//! Checkpoints live in per-epoch subdirectories `epoch_<steps>` of a
+//! root directory. A crash *during* a checkpoint leaves that epoch
+//! directory invalid (missing manifest, missing segments, or a CRC
+//! failure); the restart scan simply falls back to the previous epoch.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use forust::connectivity::Connectivity;
+use forust::dim::D3;
+use forust::forest::Forest;
+use forust_comm::{run_spmd_with, ChaosComm, CommConfig, Communicator, FaultPlan, RankCrashed};
+use forust_geom::Mapping;
+
+use crate::{AdvectConfig, AdvectSolver};
+
+/// Everything needed to (re)build the experiment on any rank of any
+/// attempt: plain function pointers so the setup is trivially shareable
+/// across rank threads and restart attempts.
+#[derive(Clone)]
+pub struct RecoverySetup {
+    /// Builds the domain connectivity.
+    pub conn: fn() -> Connectivity<D3>,
+    /// Builds the geometry mapping for that connectivity.
+    pub map: fn(Arc<Connectivity<D3>>) -> Arc<dyn Mapping<D3> + Send + Sync>,
+    /// Solver parameters.
+    pub config: AdvectConfig,
+    /// Initial condition.
+    pub init: fn([f64; 3]) -> f64,
+    /// Velocity field.
+    pub velocity: fn([f64; 3]) -> [f64; 3],
+    /// Total RK steps to take.
+    pub steps: usize,
+    /// Checkpoint after every this many steps.
+    pub checkpoint_every: usize,
+}
+
+/// What one completed run produced (gathered redundantly on all ranks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptResult {
+    /// The global solution vector in SFC element order.
+    pub solution: Vec<f64>,
+    /// Final simulated time.
+    pub time: f64,
+    /// Steps taken in total (including steps replayed from a restart).
+    pub steps: usize,
+}
+
+/// Outcome of [`run_with_recovery`].
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// The completed run's result.
+    pub result: AttemptResult,
+    /// SPMD launches needed (1 = no fault fired).
+    pub attempts: usize,
+    /// The injected crash that was caught, if any.
+    pub injected_crash: Option<RankCrashed>,
+}
+
+/// Epoch subdirectories of the checkpoint root, newest first.
+fn epochs_newest_first(root: &Path) -> Vec<(u64, PathBuf)> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if let Some(num) = name.strip_prefix("epoch_") {
+                if let Ok(n) = num.parse::<u64>() {
+                    found.push((n, e.path()));
+                }
+            }
+        }
+    }
+    found.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
+    found
+}
+
+/// One SPMD attempt: restore from the newest valid checkpoint under
+/// `ckpt_root` (fresh start if none validates), run to `setup.steps`
+/// steps with periodic checkpoints, and gather the global solution.
+///
+/// Public so harnesses can run calibration passes (e.g. count a
+/// fault-free [`ChaosComm`] run's communication calls to place a crash).
+pub fn attempt<C: Communicator>(comm: &C, setup: &RecoverySetup, ckpt_root: &Path) -> AttemptResult {
+    let conn = Arc::new((setup.conn)());
+    let map = (setup.map)(Arc::clone(&conn));
+
+    // Newest checkpoint that validates wins. Validation reads the same
+    // files with the same logic on every rank, so all ranks agree on the
+    // pick without communicating.
+    let mut solver = None;
+    for (_, dir) in epochs_newest_first(ckpt_root) {
+        match AdvectSolver::restore(
+            comm,
+            Arc::clone(&conn),
+            Arc::clone(&map),
+            setup.config.clone(),
+            setup.velocity,
+            &dir,
+        ) {
+            Ok(s) => {
+                solver = Some(s);
+                break;
+            }
+            Err(_) => continue,
+        }
+    }
+    let mut solver = solver.unwrap_or_else(|| {
+        let forest = Forest::<D3>::new_uniform(
+            Arc::clone(&conn),
+            comm,
+            setup.config.initial_level,
+        );
+        AdvectSolver::new(
+            comm,
+            forest,
+            Arc::clone(&map),
+            setup.config.clone(),
+            setup.init,
+            setup.velocity,
+        )
+    });
+
+    while solver.timers.steps < setup.steps {
+        solver.step(comm);
+        if solver.timers.steps % setup.checkpoint_every == 0
+            && solver.timers.steps < setup.steps
+        {
+            let dir = ckpt_root.join(format!("epoch_{}", solver.timers.steps));
+            solver
+                .save_checkpoint(comm, &dir)
+                .unwrap_or_else(|e| panic!("rank {}: checkpoint failed: {e}", comm.rank()));
+        }
+    }
+
+    // Ranks own contiguous SFC intervals, so concatenating the gathered
+    // per-rank fields yields the global solution in SFC element order.
+    let gathered = comm.allgatherv(&solver.c);
+    AttemptResult {
+        solution: gathered.into_iter().flatten().collect(),
+        time: solver.time,
+        steps: solver.timers.steps,
+    }
+}
+
+/// Run the experiment under fault injection with checkpoint/restart
+/// recovery.
+///
+/// The first attempt launches `ranks` ranks, each wrapped in a
+/// [`ChaosComm`] when a `plan` is given. If the run dies (e.g. the
+/// plan's injected crash fires), subsequent attempts launch
+/// `restart_ranks` ranks *without* fault injection and resume from the
+/// newest valid checkpoint under `ckpt_root`. Panics other than an
+/// injected [`RankCrashed`] after `max_attempts` launches are resumed to
+/// the caller.
+pub fn run_with_recovery(
+    ranks: usize,
+    restart_ranks: usize,
+    plan: Option<FaultPlan>,
+    ckpt_root: &Path,
+    setup: &RecoverySetup,
+    max_attempts: usize,
+) -> RecoveryOutcome {
+    // Generous deadline: an injected fault that wedges a rank becomes a
+    // diagnostic panic (and thus a restart) instead of a hang.
+    let config = CommConfig::with_deadline(Duration::from_secs(60));
+    let mut attempts = 0;
+    let mut injected_crash = None;
+    loop {
+        attempts += 1;
+        let first = attempts == 1;
+        let p = if first { ranks } else { restart_ranks };
+        let run = catch_unwind(AssertUnwindSafe(|| match (first, &plan) {
+            (true, Some(plan)) => {
+                let plan = plan.clone();
+                run_spmd_with(
+                    p,
+                    config.clone(),
+                    move |tc| ChaosComm::new(tc, plan.clone()),
+                    |comm| attempt(comm, setup, ckpt_root),
+                )
+            }
+            _ => run_spmd_with(p, config.clone(), |tc| tc, |comm| {
+                attempt(comm, setup, ckpt_root)
+            }),
+        }));
+        match run {
+            Ok(mut results) => {
+                return RecoveryOutcome {
+                    result: results.swap_remove(0),
+                    attempts,
+                    injected_crash,
+                }
+            }
+            Err(payload) => {
+                if let Some(rc) = payload.downcast_ref::<RankCrashed>() {
+                    injected_crash = Some(*rc);
+                }
+                if attempts >= max_attempts {
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}

@@ -3,12 +3,12 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use forust::connectivity::TreeId;
+use forust::connectivity::{Connectivity, TreeId};
 use forust::dim::D3;
-use forust::forest::{BalanceType, Forest};
+use forust::forest::{BalanceType, CheckpointError, Forest};
 use forust::linear;
 use forust::octant::Octant;
-use forust_comm::Communicator;
+use forust_comm::{Communicator, Wire};
 use forust_dg::element::RefElement;
 use forust_dg::geometry::MeshGeometry;
 use forust_dg::lserk::{LSERK_A, LSERK_B};
@@ -432,7 +432,111 @@ impl AdvectSolver {
     pub fn local_elements(&self) -> usize {
         self.mesh.num_elements()
     }
+
+    /// Write a recoverable checkpoint of the solver into `dir`: the
+    /// forest with the per-element solution as payload (epoch = step
+    /// count), plus a CRC-trailed `solver.fst` holding the exact scalar
+    /// state (`time` bits, step count). Collective.
+    ///
+    /// Everything else in the solver — mesh, metric terms, `dt`, cached
+    /// quadrature constants — is a deterministic function of the forest
+    /// and configuration and is rebuilt bitwise identically on
+    /// [`AdvectSolver::restore`], even on a different rank count.
+    pub fn save_checkpoint(
+        &self,
+        comm: &impl Communicator,
+        dir: &std::path::Path,
+    ) -> Result<(), CheckpointError> {
+        let npe = self.mesh.re.nodes_per_elem(3);
+        let chunks: Vec<Vec<f64>> = self.c.chunks(npe).map(|c| c.to_vec()).collect();
+        self.forest
+            .save_with_payload(comm, dir, self.timers.steps as u64, Some(&chunks))?;
+        if comm.rank() == 0 {
+            let mut buf = Vec::new();
+            SOLVER_MAGIC.encode(&mut buf);
+            self.time.to_bits().encode(&mut buf);
+            (self.timers.steps as u64).encode(&mut buf);
+            buf.extend_from_slice(&forust_comm::crc32(&buf).to_le_bytes());
+            let tmp = dir.join("solver.fst.tmp");
+            std::fs::write(&tmp, &buf)?;
+            std::fs::rename(tmp, dir.join("solver.fst"))?;
+        }
+        comm.barrier();
+        Ok(())
+    }
+
+    /// Restore a solver from a checkpoint written by
+    /// [`AdvectSolver::save_checkpoint`], possibly onto a different rank
+    /// count. The restored solver's state is bitwise identical to the
+    /// saved one: the solution rides the checkpoint exactly (f64 bits),
+    /// `time` is restored from its saved bits, and `dt` is recomputed by
+    /// the same exact max-reduction that produced it.
+    pub fn restore(
+        comm: &impl Communicator,
+        conn: Arc<Connectivity<D3>>,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: AdvectConfig,
+        velocity: fn([f64; 3]) -> [f64; 3],
+        dir: &std::path::Path,
+    ) -> Result<Self, CheckpointError> {
+        let (forest, chunks, meta) = Forest::load_with_payload::<f64>(conn, comm, dir)?;
+        let spath = dir.join("solver.fst");
+        let bad = |detail: &str| CheckpointError::Format {
+            file: spath.clone(),
+            detail: detail.to_string(),
+        };
+        let bytes = std::fs::read(&spath)?;
+        if bytes.len() < 4 {
+            return Err(bad("too short to carry a CRC trailer"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let expected = u32::from_le_bytes(trailer.try_into().unwrap());
+        let actual = forust_comm::crc32(body);
+        if expected != actual {
+            return Err(CheckpointError::Crc { file: spath, expected, actual });
+        }
+        let mut s = body;
+        if u64::decode(&mut s) != Some(SOLVER_MAGIC) {
+            return Err(bad("not a solver state file"));
+        }
+        let time = f64::from_bits(u64::decode(&mut s).ok_or_else(|| bad("truncated time"))?);
+        let steps = u64::decode(&mut s).ok_or_else(|| bad("truncated step count"))? as usize;
+        if steps as u64 != meta.epoch {
+            return Err(bad("solver step count disagrees with checkpoint epoch"));
+        }
+
+        let mesh = DgMesh::build(&forest, comm, config.degree);
+        let geo = MeshGeometry::build(&mesh, &*map);
+        let npe = mesh.re.nodes_per_elem(3);
+        let c: Vec<f64> = chunks.into_iter().flatten().collect();
+        if c.len() != mesh.num_elements() * npe {
+            return Err(bad("solution payload does not match the mesh size"));
+        }
+        let resid = vec![0.0; c.len()];
+        let (wv, wf, face_idx) = cache_constants(&mesh.re);
+        let mut solver = AdvectSolver {
+            config,
+            forest,
+            mesh,
+            geo,
+            map,
+            velocity,
+            c,
+            resid,
+            time,
+            dt: 0.0,
+            timers: AdvectTimers { steps, ..AdvectTimers::default() },
+            wv,
+            wf,
+            face_idx,
+        };
+        solver.dt = solver.stable_dt(comm);
+        Ok(solver)
+    }
 }
+
+/// Magic header of the solver scalar-state checkpoint file.
+const SOLVER_MAGIC: u64 = 0x464f_5255_4144_5653; // "FORU ADVS"
 
 /// Volume quadrature weights, face quadrature weights, and face node
 /// indices, cached per degree.

@@ -1,0 +1,137 @@
+//! End-to-end fault-tolerance: an injected rank crash mid-run is
+//! recovered from the last valid checkpoint — on fewer ranks — and the
+//! final solution is bitwise identical to a fault-free run.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use forust::connectivity::{builders, Connectivity};
+use forust::dim::D3;
+use forust_advect::{
+    attempt, rotation_velocity, run_with_recovery, AdvectConfig, RecoverySetup,
+};
+use forust_comm::{run_spmd, run_spmd_with, ChaosComm, CommConfig, FaultPlan, RankCrashed};
+use forust_geom::{Mapping, ShellMap};
+
+fn build_conn() -> Connectivity<D3> {
+    builders::cubed_sphere()
+}
+
+fn build_map(conn: Arc<Connectivity<D3>>) -> Arc<dyn Mapping<D3> + Send + Sync> {
+    Arc::new(ShellMap::new(conn, 0.55, 1.0))
+}
+
+fn setup(steps: usize, checkpoint_every: usize) -> RecoverySetup {
+    RecoverySetup {
+        conn: build_conn,
+        map: build_map,
+        config: AdvectConfig {
+            degree: 2,
+            initial_level: 1,
+            min_level: 1,
+            max_level: 2,
+            adapt_every: 4,
+            cfl: 0.4,
+            refine_tol: 0.3,
+            coarsen_tol: 0.1,
+        },
+        init: forust_advect::four_fronts,
+        velocity: rotation_velocity,
+        steps,
+        checkpoint_every,
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join("forust_recovery").join(name);
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn assert_bitwise_equal(a: &forust_advect::AttemptResult, b: &forust_advect::AttemptResult) {
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(
+        a.time.to_bits(),
+        b.time.to_bits(),
+        "final time differs: {} vs {}",
+        a.time,
+        b.time
+    );
+    assert_eq!(a.solution.len(), b.solution.len(), "solution length differs");
+    for (i, (x, y)) in a.solution.iter().zip(&b.solution).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "solution differs at dof {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn crash_recovery_is_bitwise_identical_to_fault_free_run() {
+    const STEPS: usize = 10;
+    const CKPT_EVERY: usize = 3;
+    const RANKS: usize = 3;
+
+    // Fault-free reference, no checkpoints taken at all.
+    let ref_dir = tmpdir("reference");
+    let s_nockpt = setup(STEPS, usize::MAX);
+    let reference = run_spmd(RANKS, move |comm| attempt(comm, &s_nockpt, &ref_dir));
+
+    // Calibration pass: a transparent ChaosComm (no faults) running the
+    // real checkpointing schedule, to learn (a) that checkpointing does
+    // not perturb the solution and (b) how many communication calls a
+    // full run makes, so the crash can be placed mid-run.
+    let calib_dir = tmpdir("calibration");
+    let s_ckpt = setup(STEPS, CKPT_EVERY);
+    let s_calib = s_ckpt.clone();
+    let calib = run_spmd_with(
+        RANKS,
+        CommConfig::default(),
+        |tc| ChaosComm::new(tc, FaultPlan::new(1)),
+        move |comm| (attempt(comm, &s_calib, &calib_dir), comm.calls()),
+    );
+    assert_bitwise_equal(&reference[0], &calib[0].0);
+
+    // Crash rank 1 at ~60% of its fault-free call count: after at least
+    // one checkpoint epoch exists, before the run completes.
+    let at_call = calib[1].1 * 3 / 5;
+    assert!(at_call > 0);
+    let chaos_dir = tmpdir("chaos");
+    let plan = FaultPlan::new(7).with_crash(1, at_call);
+    let outcome = run_with_recovery(RANKS, RANKS - 1, Some(plan), &chaos_dir, &s_ckpt, 3);
+
+    assert_eq!(outcome.attempts, 2, "expected exactly one restart");
+    assert_eq!(
+        outcome.injected_crash,
+        Some(RankCrashed { rank: 1, call: at_call }),
+        "the caught panic must be the injected crash"
+    );
+    // Checkpoints were actually written and used.
+    assert!(
+        std::fs::read_dir(&chaos_dir).unwrap().count() > 0,
+        "no checkpoint epochs were written before the crash"
+    );
+    assert_bitwise_equal(&reference[0], &outcome.result);
+}
+
+#[test]
+fn crash_before_first_checkpoint_recovers_from_scratch() {
+    // With no checkpoint written yet, recovery degenerates to a clean
+    // restart — still bitwise identical.
+    const STEPS: usize = 4;
+    const RANKS: usize = 2;
+    let ref_dir = tmpdir("early_ref");
+    let s = setup(STEPS, usize::MAX);
+    let s_ref = s.clone();
+    let reference = run_spmd(RANKS, move |comm| attempt(comm, &s_ref, &ref_dir));
+
+    let chaos_dir = tmpdir("early_chaos");
+    // Crash very early: call 5 is long before the first step completes.
+    let plan = FaultPlan::new(3).with_crash(0, 5);
+    let outcome = run_with_recovery(RANKS, RANKS, Some(plan), &chaos_dir, &s, 3);
+    assert_eq!(outcome.attempts, 2);
+    assert_eq!(outcome.injected_crash, Some(RankCrashed { rank: 0, call: 5 }));
+    assert_bitwise_equal(&reference[0], &outcome.result);
+}

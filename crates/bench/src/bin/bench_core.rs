@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the core forest algorithms — the building blocks
+//! whose scaling Fig. 4 measures — on a single rank (serial
+//! communicator), at fixed small sizes so the binary finishes quickly.
+//! The figure-level harnesses live in the sibling `fig*.rs` binaries.
+//!
+//! Plain `Instant`-based timing (median of repeated runs): the workspace
+//! builds without external crates, so there is no criterion harness.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use forust::connectivity::builders;
+use forust::dim::D3;
+use forust::forest::{BalanceType, Forest};
+use forust_comm::SerialComm;
+
+fn fractal_forest(level: u8) -> (SerialComm, Forest<D3>) {
+    let comm = SerialComm::new();
+    let conn = Arc::new(builders::rotcubes6());
+    let mut f = Forest::<D3>::new_uniform(conn, &comm, level);
+    let maxl = level + 2;
+    f.refine(&comm, true, |_, o| {
+        o.level < maxl && matches!(o.child_id(), 0 | 3 | 5 | 6)
+    });
+    (comm, f)
+}
+
+/// Median wall time of `reps` runs of `f`, in microseconds.
+fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn report(name: &str, us: f64) {
+    println!("{name:<24} {us:>12.1} us");
+}
+
+fn main() {
+    const REPS: usize = 11;
+
+    report(
+        "refine_fractal_l2",
+        median_us(REPS, || {
+            let n = fractal_forest(2).1.num_local();
+            assert!(n > 0);
+        }),
+    );
+
+    let (comm, forest) = fractal_forest(2);
+    report(
+        "balance_full",
+        median_us(REPS, || {
+            let mut f = forest.clone();
+            f.balance(&comm, BalanceType::Full);
+        }),
+    );
+
+    let mut balanced = forest.clone();
+    balanced.balance(&comm, BalanceType::Full);
+    report("ghost", median_us(REPS, || {
+        let g = balanced.ghost(&comm);
+        assert!(g.ghosts.is_empty());
+    }));
+
+    let ghost = balanced.ghost(&comm);
+    report("nodes_degree1", median_us(REPS, || {
+        let n = balanced.nodes(&comm, &ghost, 1);
+        assert!(n.num_local() > 0);
+    }));
+
+    report(
+        "partition",
+        median_us(REPS, || {
+            let mut f = balanced.clone();
+            f.partition(&comm);
+        }),
+    );
+}

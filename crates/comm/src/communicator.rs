@@ -8,8 +8,9 @@
 //! (transports are required to buffer), and message matching is FIFO per
 //! `(source, tag)` pair, so back-to-back collectives cannot interleave.
 
+use crate::error::CommError;
 use crate::stats::TrafficStats;
-use crate::wire::{read_vec, write_vec, Wire};
+use crate::wire::{frame, read_vec, try_read_vec, unframe, write_vec, FrameError, Wire};
 
 /// Tag space reserved for the default collective implementations.
 /// User point-to-point traffic must use tags below this value.
@@ -35,6 +36,14 @@ pub trait Communicator {
     /// Receive the next message from rank `src` with tag `tag`, blocking.
     fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8>;
 
+    /// Fallible raw receive: implementations with failure detection (a
+    /// receive deadline, peer-crash detection) return a typed
+    /// [`CommError`] instead of blocking forever. The default simply
+    /// delegates to the infallible [`recv_bytes`](Self::recv_bytes).
+    fn try_recv_bytes(&self, src: usize, tag: u32) -> Result<Vec<u8>, CommError> {
+        Ok(self.recv_bytes(src, tag))
+    }
+
     /// Block until all ranks have entered the barrier.
     fn barrier(&self);
 
@@ -42,17 +51,60 @@ pub trait Communicator {
     fn stats(&self) -> &TrafficStats;
 
     // ------------------------------------------------------------------
+    // Integrity-framed point-to-point (CRC32 envelope)
+    // ------------------------------------------------------------------
+    //
+    // All typed traffic and all collectives travel inside a CRC32 frame
+    // (see [`frame`]/[`unframe`]): the raw `send_bytes`/`recv_bytes`
+    // primitives remain the transport boundary, so a fault-injection
+    // decorator sitting on the raw layer corrupts *framed* bytes — and the
+    // receiver detects it instead of decoding garbage.
+
+    /// Send `payload` wrapped in a CRC32 integrity envelope.
+    fn send_framed(&self, dest: usize, tag: u32, payload: &[u8]) {
+        self.send_bytes(dest, tag, frame(payload));
+    }
+
+    /// Receive a framed message and validate its CRC, returning the
+    /// payload or a typed error naming the faulty `(src, tag)`.
+    fn try_recv_framed(&self, src: usize, tag: u32) -> Result<Vec<u8>, CommError> {
+        let raw = self.try_recv_bytes(src, tag)?;
+        match unframe(&raw) {
+            Ok(payload) => Ok(payload.to_vec()),
+            Err(FrameError::TooShort(len)) => Err(CommError::Truncated { src, tag, len }),
+            Err(FrameError::Crc { expected, actual }) => {
+                Err(CommError::Corrupt { src, tag, expected, actual })
+            }
+        }
+    }
+
+    /// Like [`try_recv_framed`](Self::try_recv_framed), panicking with the
+    /// typed diagnostic on failure (for contexts, like the collectives,
+    /// where a corrupt message is unrecoverable).
+    fn recv_framed(&self, src: usize, tag: u32) -> Vec<u8> {
+        self.try_recv_framed(src, tag)
+            .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank()))
+    }
+
+    // ------------------------------------------------------------------
     // Typed point-to-point helpers
     // ------------------------------------------------------------------
 
-    /// Send a slice of `Wire` values to `dest`.
+    /// Send a slice of `Wire` values to `dest` (CRC-framed).
     fn send<T: Wire>(&self, dest: usize, tag: u32, items: &[T]) {
-        self.send_bytes(dest, tag, write_vec(items));
+        self.send_framed(dest, tag, &write_vec(items));
     }
 
     /// Receive a whole message from `src` and decode it as consecutive values.
     fn recv<T: Wire>(&self, src: usize, tag: u32) -> Vec<T> {
-        read_vec(&self.recv_bytes(src, tag))
+        read_vec(&self.recv_framed(src, tag))
+    }
+
+    /// Fallible typed receive: integrity and decode failures become typed
+    /// errors instead of panics.
+    fn try_recv<T: Wire>(&self, src: usize, tag: u32) -> Result<Vec<T>, CommError> {
+        let payload = self.try_recv_framed(src, tag)?;
+        try_read_vec(&payload).ok_or(CommError::Decode { src, tag })
     }
 
     // ------------------------------------------------------------------
@@ -67,9 +119,10 @@ pub trait Communicator {
         if p == 1 {
             return vec![mine];
         }
+        let framed = frame(&mine);
         for dest in 0..p {
             if dest != me {
-                self.send_bytes(dest, TAG_COLLECTIVE, mine.clone());
+                self.send_bytes(dest, TAG_COLLECTIVE, framed.clone());
             }
         }
         let mut out = Vec::with_capacity(p);
@@ -77,7 +130,7 @@ pub trait Communicator {
             if src == me {
                 out.push(mine.clone());
             } else {
-                out.push(self.recv_bytes(src, TAG_COLLECTIVE));
+                out.push(self.recv_framed(src, TAG_COLLECTIVE));
             }
         }
         out
@@ -158,12 +211,12 @@ pub trait Communicator {
             if dest == me {
                 incoming[me] = buf;
             } else {
-                self.send_bytes(dest, TAG_COLLECTIVE + 1, buf);
+                self.send_framed(dest, TAG_COLLECTIVE + 1, &buf);
             }
         }
-        for src in 0..p {
+        for (src, slot) in incoming.iter_mut().enumerate() {
             if src != me {
-                incoming[src] = self.recv_bytes(src, TAG_COLLECTIVE + 1);
+                *slot = self.recv_framed(src, TAG_COLLECTIVE + 1);
             }
         }
         incoming
@@ -186,15 +239,16 @@ pub trait Communicator {
             let v = mine.expect("broadcast: root must supply a value");
             let buf = write_vec(std::slice::from_ref(&v));
             self.stats().record_collective(buf.len());
+            let framed = frame(&buf);
             for dest in 0..p {
                 if dest != root {
-                    self.send_bytes(dest, TAG_COLLECTIVE + 2, buf.clone());
+                    self.send_bytes(dest, TAG_COLLECTIVE + 2, framed.clone());
                 }
             }
             v
         } else {
             self.stats().record_collective(0);
-            let buf = self.recv_bytes(root, TAG_COLLECTIVE + 2);
+            let buf = self.recv_framed(root, TAG_COLLECTIVE + 2);
             let mut s = buf.as_slice();
             T::decode(&mut s).expect("broadcast: malformed payload")
         }

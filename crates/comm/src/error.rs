@@ -1,0 +1,125 @@
+//! Typed communication failures.
+//!
+//! The paper's algorithms assume a reliable MPI substrate; this workspace
+//! makes the failure modes of its substitute substrate *explicit*. Every
+//! fallible receive path returns a [`CommError`] naming the blocked or
+//! corrupted `(src, tag)` pair, so a fault injected by
+//! [`ChaosComm`](crate::ChaosComm) is always *detected* — never silently
+//! consumed as garbage data or an unbounded hang.
+
+use std::fmt;
+
+/// A communication failure observed by one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A framed message failed its CRC32 integrity check.
+    Corrupt {
+        /// Source rank of the corrupt message.
+        src: usize,
+        /// Message tag of the corrupt message.
+        tag: u32,
+        /// CRC stored in the frame header.
+        expected: u32,
+        /// CRC recomputed over the received payload.
+        actual: u32,
+    },
+    /// A message was too short to carry a frame header at all.
+    Truncated {
+        /// Source rank of the truncated message.
+        src: usize,
+        /// Message tag of the truncated message.
+        tag: u32,
+        /// Received length in bytes (below the frame header size).
+        len: usize,
+    },
+    /// A CRC-valid payload did not decode to an integral number of typed
+    /// values — an encode/decode schema mismatch between ranks.
+    Decode {
+        /// Source rank of the undecodable message.
+        src: usize,
+        /// Message tag of the undecodable message.
+        tag: u32,
+    },
+    /// No matching message arrived within the configured receive deadline.
+    ///
+    /// This is the diagnostic that replaces a silent deadlock: it names the
+    /// `(src, tag)` key the rank is blocked on and snapshots the pending
+    /// mailbox, which usually identifies the mismatched send immediately.
+    Deadline {
+        /// Source rank the receive was blocked on.
+        src: usize,
+        /// Tag the receive was blocked on.
+        tag: u32,
+        /// How long the rank waited before giving up, in milliseconds.
+        waited_ms: u64,
+        /// Pending mailbox contents: `(source, tag, queued_messages)` for
+        /// every key holding buffered messages that did not match.
+        pending: Vec<(usize, u32, usize)>,
+    },
+    /// A peer rank panicked or exited while this rank was communicating.
+    PeerCrashed {
+        /// Source rank of the receive in flight when the crash was seen.
+        src: usize,
+        /// Tag of the receive in flight when the crash was seen.
+        tag: u32,
+    },
+}
+
+impl CommError {
+    /// The `(src, tag)` key the failure is attributed to.
+    pub fn key(&self) -> (usize, u32) {
+        match *self {
+            CommError::Corrupt { src, tag, .. }
+            | CommError::Truncated { src, tag, .. }
+            | CommError::Decode { src, tag }
+            | CommError::Deadline { src, tag, .. }
+            | CommError::PeerCrashed { src, tag } => (src, tag),
+        }
+    }
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Corrupt { src, tag, expected, actual } => write!(
+                f,
+                "corrupt message from (src {src}, tag {tag}): \
+                 frame CRC {expected:#010x}, payload CRC {actual:#010x}"
+            ),
+            CommError::Truncated { src, tag, len } => write!(
+                f,
+                "truncated message from (src {src}, tag {tag}): \
+                 {len} bytes is below the frame header size"
+            ),
+            CommError::Decode { src, tag } => write!(
+                f,
+                "message from (src {src}, tag {tag}) passed its CRC but \
+                 does not decode to an integral number of values"
+            ),
+            CommError::Deadline { src, tag, waited_ms, pending } => {
+                write!(
+                    f,
+                    "receive deadline expired after {waited_ms} ms blocked \
+                     on (src {src}, tag {tag}); pending mailbox: "
+                )?;
+                if pending.is_empty() {
+                    write!(f, "empty")?;
+                } else {
+                    for (i, (s, t, n)) in pending.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "(src {s}, tag {t}) x{n}")?;
+                    }
+                }
+                Ok(())
+            }
+            CommError::PeerCrashed { src, tag } => write!(
+                f,
+                "a peer rank panicked while blocked on (src {src}, tag {tag})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}

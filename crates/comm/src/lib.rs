@@ -6,7 +6,7 @@
 //! semantics (point-to-point messages plus the collectives the paper's
 //! algorithms use: `Allgather`, `Allgatherv`, `Allreduce`, exclusive `Scan`,
 //! `Alltoallv`, `Barrier`) and an SPMD driver [`run_spmd`] that executes the
-//! same rank function on `P` OS threads connected by unbounded crossbeam
+//! same rank function on `P` OS threads connected by unbounded mpsc
 //! channels.
 //!
 //! Because every algorithm in the workspace is written against the trait and
@@ -20,6 +20,24 @@
 //! report communication volume alongside wall time, as the paper discusses
 //! for `Balance` and `Ghost`.
 //!
+//! ## Fault model
+//!
+//! At the paper's 224K-core scale the substrate cannot be assumed
+//! perfect, so this crate makes failure *explicit and injectable*:
+//!
+//! - all typed traffic and collectives travel in CRC32 envelopes
+//!   ([`frame`]/[`unframe`]); corruption surfaces as a typed
+//!   [`CommError`] naming the faulty `(src, tag)`, never as silent
+//!   garbage;
+//! - a configurable receive deadline ([`CommConfig`]) turns deadlocks
+//!   into a [`CommError::Deadline`] diagnostic listing the blocked key
+//!   and the pending mailbox;
+//! - [`ChaosComm`] wraps any communicator and injects seeded,
+//!   reproducible faults from a [`FaultPlan`]: delivery delay/reordering,
+//!   payload bit-corruption, and rank-crash at the Nth communication
+//!   call ([`run_spmd_with`] surfaces the injected [`RankCrashed`]
+//!   payload as the root cause).
+//!
 //! ```
 //! use forust_comm::{run_spmd, Communicator};
 //!
@@ -30,14 +48,18 @@
 //! assert_eq!(sums, vec![10, 10, 10, 10]);
 //! ```
 
+mod chaos;
 mod communicator;
+mod error;
 mod serial;
 mod stats;
 mod thread;
 mod wire;
 
+pub use chaos::{ChaosComm, CrashPoint, FaultPlan, RankCrashed};
 pub use communicator::Communicator;
+pub use error::CommError;
 pub use serial::SerialComm;
 pub use stats::{StatsSnapshot, TrafficStats};
-pub use thread::{run_spmd, ThreadComm};
-pub use wire::{read_vec, write_vec, Wire};
+pub use thread::{run_spmd, run_spmd_with, CommConfig, ThreadComm};
+pub use wire::{crc32, frame, read_vec, try_read_vec, unframe, write_vec, FrameError, Wire};

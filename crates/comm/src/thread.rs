@@ -2,31 +2,117 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
-
+use crate::chaos::RankCrashed;
 use crate::communicator::Communicator;
+use crate::error::CommError;
 use crate::stats::TrafficStats;
 
 type Envelope = (usize, u32, Vec<u8>); // (source rank, tag, payload)
 
+/// Failure-detection knobs of a [`ThreadComm`].
+#[derive(Debug, Clone)]
+pub struct CommConfig {
+    /// If set, a receive blocked longer than this returns a
+    /// [`CommError::Deadline`] diagnostic (listing the blocked `(src,
+    /// tag)` key and the pending mailbox) instead of hanging forever.
+    pub recv_deadline: Option<Duration>,
+    /// How often a blocked receive wakes up to check the poison flag and
+    /// the deadline.
+    pub poll_interval: Duration,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            recv_deadline: None,
+            poll_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+impl CommConfig {
+    /// A config with the given receive deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CommConfig {
+            recv_deadline: Some(deadline),
+            ..CommConfig::default()
+        }
+    }
+}
+
+/// A barrier that can be abandoned: waiters poll the communicator's
+/// poison flag so a crashed rank turns a permanent hang into a loud
+/// panic on every surviving rank.
+struct PoisonBarrier {
+    state: Mutex<(usize, u64)>, // (waiting count, generation)
+    cv: Condvar,
+}
+
+impl PoisonBarrier {
+    fn new() -> Self {
+        PoisonBarrier {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self, size: usize, poisoned: &AtomicBool) {
+        let mut guard = self
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let gen = guard.1;
+        guard.0 += 1;
+        if guard.0 == size {
+            guard.0 = 0;
+            guard.1 += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let mut abort = false;
+        while guard.1 == gen {
+            if abort {
+                break;
+            }
+            let (g, _timeout) = self
+                .cv
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+            if guard.1 == gen && poisoned.load(Ordering::Relaxed) {
+                abort = true;
+            }
+        }
+        let released = guard.1 != gen;
+        drop(guard);
+        if !released {
+            panic!("ThreadComm: a peer rank panicked; aborting barrier");
+        }
+    }
+}
+
 /// One rank's endpoint of a thread-backed communicator.
 ///
-/// Transport is an unbounded crossbeam channel per destination rank, so
-/// sends never block. Receives drain the channel into a private mailbox
-/// keyed by `(source, tag)` until a matching message is found; matching is
-/// FIFO per key, mirroring MPI ordering guarantees.
+/// Transport is an unbounded mpsc channel per destination rank, so sends
+/// never block. Receives drain the channel into a private mailbox keyed
+/// by `(source, tag)` until a matching message is found; matching is FIFO
+/// per key, mirroring MPI ordering guarantees.
+/// Per-(source, tag) FIFO queues of received-but-unmatched messages.
+type Mailbox = HashMap<(usize, u32), VecDeque<Vec<u8>>>;
+
 pub struct ThreadComm {
     rank: usize,
     size: usize,
     inbox: Receiver<Envelope>,
     peers: Vec<Sender<Envelope>>,
-    barrier: Arc<Barrier>,
-    mailbox: Mutex<HashMap<(usize, u32), VecDeque<Vec<u8>>>>,
+    barrier: Arc<PoisonBarrier>,
+    mailbox: Mutex<Mailbox>,
     stats: TrafficStats,
+    config: CommConfig,
     /// Set when any rank of this communicator panics, so blocked peers
     /// fail fast instead of deadlocking on a receive that will never
     /// complete.
@@ -38,15 +124,21 @@ impl ThreadComm {
     ///
     /// Endpoint `r` must be moved to the thread executing rank `r`.
     pub fn create(p: usize) -> Vec<ThreadComm> {
+        Self::create_with(p, CommConfig::default())
+    }
+
+    /// Like [`create`](Self::create), with explicit failure-detection
+    /// configuration.
+    pub fn create_with(p: usize, config: CommConfig) -> Vec<ThreadComm> {
         assert!(p >= 1, "communicator needs at least one rank");
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
-        let barrier = Arc::new(Barrier::new(p));
+        let barrier = Arc::new(PoisonBarrier::new());
         let poisoned = Arc::new(AtomicBool::new(false));
         receivers
             .into_iter()
@@ -59,9 +151,33 @@ impl ThreadComm {
                 barrier: barrier.clone(),
                 mailbox: Mutex::new(HashMap::new()),
                 stats: TrafficStats::default(),
+                config: config.clone(),
                 poisoned: poisoned.clone(),
             })
             .collect()
+    }
+
+    /// The shared poison flag (set when any rank of this communicator
+    /// panics).
+    pub(crate) fn poison_handle(&self) -> Arc<AtomicBool> {
+        self.poisoned.clone()
+    }
+
+    fn lock_mailbox(&self) -> std::sync::MutexGuard<'_, Mailbox> {
+        self.mailbox.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Snapshot of the pending mailbox for deadlock diagnostics:
+    /// `(source, tag, queued messages)`, sorted.
+    fn pending_snapshot(&self) -> Vec<(usize, u32, usize)> {
+        let mut v: Vec<(usize, u32, usize)> = self
+            .lock_mailbox()
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&(s, t), q)| (s, t, q.len()))
+            .collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -77,52 +193,69 @@ impl Communicator for ThreadComm {
     fn send_bytes(&self, dest: usize, tag: u32, data: Vec<u8>) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
         self.stats.record_p2p(data.len());
-        // Unbounded channel: never blocks. Failure means the destination
-        // thread exited early, which is a harness bug worth a loud panic.
-        self.peers[dest]
-            .send((self.rank, tag, data))
-            .expect("ThreadComm: destination rank hung up");
+        if self.peers[dest].send((self.rank, tag, data)).is_err() {
+            // The destination endpoint was dropped: that rank crashed or
+            // exited early. Poison the communicator and fail with the same
+            // diagnostic a poisoned receive produces, so every surviving
+            // rank reports the crash consistently instead of one of them
+            // dying on an opaque channel error.
+            self.poisoned.store(true, Ordering::Relaxed);
+            panic!(
+                "ThreadComm: a peer rank panicked; aborting send to rank {dest} (tag {tag})"
+            );
+        }
+        if self.poisoned.load(Ordering::Relaxed) {
+            panic!(
+                "ThreadComm: a peer rank panicked; aborting send to rank {dest} (tag {tag})"
+            );
+        }
     }
 
     fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8> {
+        self.try_recv_bytes(src, tag)
+            .unwrap_or_else(|e| panic!("ThreadComm rank {}: {e}", self.rank))
+    }
+
+    fn try_recv_bytes(&self, src: usize, tag: u32) -> Result<Vec<u8>, CommError> {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         let key = (src, tag);
+        let start = Instant::now();
         loop {
-            if let Some(buf) = self
-                .mailbox
-                .lock()
-                .get_mut(&key)
-                .and_then(VecDeque::pop_front)
-            {
-                return buf;
+            if let Some(buf) = self.lock_mailbox().get_mut(&key).and_then(VecDeque::pop_front) {
+                return Ok(buf);
             }
-            let (from, t, data) = loop {
-                match self.inbox.recv_timeout(Duration::from_millis(50)) {
-                    Ok(msg) => break msg,
-                    Err(RecvTimeoutError::Timeout) => {
-                        assert!(
-                            !self.poisoned.load(Ordering::Relaxed),
-                            "ThreadComm: a peer rank panicked; aborting receive"
-                        );
+            match self.inbox.recv_timeout(self.config.poll_interval) {
+                Ok((from, t, data)) => {
+                    if (from, t) == key {
+                        return Ok(data);
                     }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        panic!("ThreadComm: all senders hung up while receiving")
+                    self.lock_mailbox().entry((from, t)).or_default().push_back(data);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.poisoned.load(Ordering::Relaxed) {
+                        return Err(CommError::PeerCrashed { src, tag });
+                    }
+                    if let Some(deadline) = self.config.recv_deadline {
+                        let waited = start.elapsed();
+                        if waited >= deadline {
+                            return Err(CommError::Deadline {
+                                src,
+                                tag,
+                                waited_ms: waited.as_millis() as u64,
+                                pending: self.pending_snapshot(),
+                            });
+                        }
                     }
                 }
-            };
-            if (from, t) == key {
-                return data;
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerCrashed { src, tag });
+                }
             }
-            self.mailbox
-                .lock()
-                .entry((from, t))
-                .or_default()
-                .push_back(data);
         }
     }
 
     fn barrier(&self) {
-        self.barrier.wait();
+        self.barrier.wait(self.size, &self.poisoned);
     }
 
     fn stats(&self) -> &TrafficStats {
@@ -142,9 +275,27 @@ where
     R: Send,
     F: Fn(&ThreadComm) -> R + Sync,
 {
-    let comms = ThreadComm::create(p);
-    let f = &f;
-    std::thread::scope(|scope| {
+    run_spmd_with(p, CommConfig::default(), |c| c, f)
+}
+
+/// Generalized SPMD driver: each rank's [`ThreadComm`] endpoint is passed
+/// through `wrap` before use, so callers can interpose a decorator — most
+/// notably [`ChaosComm`](crate::ChaosComm) for fault injection.
+///
+/// If several ranks panic, the panic resumed on the caller is the *root
+/// cause* when one can be identified: an injected [`RankCrashed`] payload
+/// wins over the secondary `PeerCrashed`/poison panics it triggers on
+/// surviving ranks.
+pub fn run_spmd_with<C, R, F, W>(p: usize, config: CommConfig, wrap: W, f: F) -> Vec<R>
+where
+    C: Communicator + Send,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+    W: Fn(ThreadComm) -> C + Sync,
+{
+    let comms = ThreadComm::create_with(p, config);
+    let (f, wrap) = (&f, &wrap);
+    let results: Vec<Result<R, Box<dyn std::any::Any + Send>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|comm| {
@@ -152,29 +303,42 @@ where
                     .name(format!("rank-{}", comm.rank()))
                     .stack_size(16 << 20)
                     .spawn_scoped(scope, move || {
-                        let poisoned = comm.poisoned.clone();
+                        let poisoned = comm.poison_handle();
+                        let wrapped = wrap(comm);
                         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(&comm)
+                            f(&wrapped)
                         }));
-                        match r {
-                            Ok(v) => v,
-                            Err(e) => {
-                                poisoned.store(true, std::sync::atomic::Ordering::Relaxed);
-                                std::panic::resume_unwind(e);
-                            }
+                        if r.is_err() {
+                            poisoned.store(true, Ordering::Relaxed);
                         }
+                        r
                     })
                     .expect("failed to spawn rank thread")
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(e) => std::panic::resume_unwind(e),
-            })
+            .map(|h| h.join().expect("rank thread panicked outside catch_unwind"))
             .collect()
-    })
+    });
+    // Prefer an injected crash payload as the root cause over the
+    // secondary panics it causes on other ranks.
+    let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+    let mut out = Vec::with_capacity(p);
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => panics.push(e),
+        }
+    }
+    if !panics.is_empty() {
+        let root = panics
+            .iter()
+            .position(|e| e.is::<RankCrashed>())
+            .unwrap_or(0);
+        std::panic::resume_unwind(panics.swap_remove(root));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -282,7 +446,8 @@ mod tests {
         });
         for s in &results {
             assert_eq!(s.p2p_msgs, 1);
-            assert_eq!(s.p2p_bytes, 24);
+            // 3 u64 values plus the 4-byte CRC32 frame header.
+            assert_eq!(s.p2p_bytes, 28);
         }
     }
 
@@ -296,5 +461,60 @@ mod tests {
             acc
         });
         assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn deadline_reports_blocked_key_and_pending_mailbox() {
+        let cfg = CommConfig::with_deadline(Duration::from_millis(100));
+        let errs = run_spmd_with(2, cfg, |c| c, |c| {
+            if c.rank() == 0 {
+                // Send on tag 8; never send the tag 7 message rank 1 waits
+                // for.
+                c.send(1, 8, &[42u64]);
+                None
+            } else {
+                let err = c.try_recv::<u64>(0, 7).unwrap_err();
+                // Drain the tag-8 message so rank 0's send is matched.
+                assert_eq!(c.recv::<u64>(0, 8), vec![42]);
+                Some(err)
+            }
+        });
+        let err = errs[1].clone().expect("rank 1 returns the error");
+        match err {
+            CommError::Deadline { src, tag, pending, .. } => {
+                assert_eq!((src, tag), (0, 7));
+                assert_eq!(pending, vec![(0, 8, 1)]);
+            }
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crashed_peer_fails_sender_with_poison_diagnostic() {
+        let caught = std::panic::catch_unwind(|| {
+            run_spmd(2, |c| {
+                if c.rank() == 0 {
+                    panic!("rank 0 dies");
+                }
+                // Rank 1 keeps sending until the crash is detected; the
+                // poison fast-fail path must raise the peer-crash
+                // diagnostic rather than hanging or dying on a raw
+                // channel error.
+                loop {
+                    c.send(0, 1, &[1u8]);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("rank 0 dies") || msg.contains("peer rank panicked"),
+            "unexpected panic payload: {msg}"
+        );
     }
 }

@@ -132,6 +132,79 @@ pub fn write_vec<T: Wire>(items: &[T]) -> Vec<u8> {
     buf
 }
 
+// ----------------------------------------------------------------------
+// CRC32 integrity framing
+// ----------------------------------------------------------------------
+
+/// The standard IEEE CRC32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC32 of a byte slice (the polynomial used by zip/zlib/ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Size of the frame header prepended by [`frame`].
+pub const FRAME_HEADER: usize = 4;
+
+/// Wrap a payload in an integrity envelope: a 4-byte little-endian CRC32
+/// of the payload, followed by the payload itself. Any single bit flip in
+/// the envelope — header or payload — is detected by [`unframe`].
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER + payload.len());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Integrity failure detected by [`unframe`], position-only; the
+/// communicator layer attributes it to a `(src, tag)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer is shorter than the frame header.
+    TooShort(usize),
+    /// Stored and recomputed CRC32 disagree.
+    Crc {
+        /// CRC stored in the header.
+        expected: u32,
+        /// CRC recomputed over the payload.
+        actual: u32,
+    },
+}
+
+/// Validate and strip the envelope added by [`frame`], returning the
+/// payload bytes.
+pub fn unframe(buf: &[u8]) -> Result<&[u8], FrameError> {
+    if buf.len() < FRAME_HEADER {
+        return Err(FrameError::TooShort(buf.len()));
+    }
+    let (head, payload) = buf.split_at(FRAME_HEADER);
+    let expected = u32::from_le_bytes(head.try_into().unwrap());
+    let actual = crc32(payload);
+    if expected != actual {
+        return Err(FrameError::Crc { expected, actual });
+    }
+    Ok(payload)
+}
+
 /// Decode a whole buffer (produced by [`write_vec`]) as consecutive values.
 ///
 /// Panics if the buffer does not decode cleanly to an integral number of
@@ -144,6 +217,16 @@ pub fn read_vec<T: Wire>(mut buf: &[u8]) -> Vec<T> {
         v.push(item);
     }
     v
+}
+
+/// Fallible variant of [`read_vec`]: `None` if the buffer does not decode
+/// cleanly to an integral number of items.
+pub fn try_read_vec<T: Wire>(mut buf: &[u8]) -> Option<Vec<T>> {
+    let mut v = Vec::new();
+    while !buf.is_empty() {
+        v.push(T::decode(&mut buf)?);
+    }
+    Some(v)
 }
 
 #[cfg(test)]
@@ -202,5 +285,130 @@ mod tests {
         let mut buf = write_vec(&[1u64, 2]);
         buf.push(0xFF);
         let _: Vec<u64> = read_vec(&buf);
+    }
+
+    #[test]
+    fn try_read_vec_reports_trailing_garbage() {
+        let mut buf = write_vec(&[1u64, 2]);
+        assert_eq!(try_read_vec::<u64>(&buf), Some(vec![1, 2]));
+        buf.push(0xFF);
+        assert_eq!(try_read_vec::<u64>(&buf), None);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_rejection() {
+        let payload = write_vec(&[3u64, 1, 4, 1, 5]);
+        let framed = frame(&payload);
+        assert_eq!(unframe(&framed).unwrap(), payload.as_slice());
+        // Too short to carry a header.
+        assert_eq!(unframe(&framed[..3]), Err(FrameError::TooShort(3)));
+        // Every single-bit flip anywhere in the envelope is detected.
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    matches!(unframe(&bad), Err(FrameError::Crc { .. })),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    /// Tiny deterministic PRNG for the malformed-input sweeps (no external
+    /// crates in this workspace).
+    struct SplitMix64(u64);
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Property: for any encoding, every strict prefix either decodes to a
+    /// (shorter) value or returns `None` — never panics — and any single
+    /// bit flip decodes without panicking.
+    fn malformed_inputs_never_panic<T: Wire>(mk: impl Fn(&mut SplitMix64) -> T) {
+        let mut rng = SplitMix64(0xDEAD_BEEF);
+        for _ in 0..64 {
+            let x = mk(&mut rng);
+            let mut buf = Vec::new();
+            x.encode(&mut buf);
+            // Truncation at every split point.
+            for cut in 0..buf.len() {
+                let mut s = &buf[..cut];
+                let _ = T::decode(&mut s); // must not panic
+                let _ = try_read_vec::<T>(&buf[..cut]); // must not panic
+            }
+            // Random bit flips.
+            if !buf.is_empty() {
+                for _ in 0..16 {
+                    let mut bad = buf.clone();
+                    let pos = (rng.next() as usize) % bad.len();
+                    bad[pos] ^= 1 << (rng.next() % 8);
+                    let mut s = bad.as_slice();
+                    let _ = T::decode(&mut s); // must not panic
+                    let _ = try_read_vec::<T>(&bad); // must not panic
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_primitives_never_panic() {
+        malformed_inputs_never_panic(|r| r.next() as u8);
+        malformed_inputs_never_panic(|r| r.next() as u16);
+        malformed_inputs_never_panic(|r| r.next() as u32);
+        malformed_inputs_never_panic(|r| r.next());
+        malformed_inputs_never_panic(|r| r.next() as i64);
+        malformed_inputs_never_panic(|r| f64::from_bits(r.next()));
+        malformed_inputs_never_panic(|r| f32::from_bits(r.next() as u32));
+        malformed_inputs_never_panic(|r| r.next() & 1 == 0);
+        malformed_inputs_never_panic(|r| r.next() as usize);
+    }
+
+    #[test]
+    fn malformed_composites_never_panic() {
+        malformed_inputs_never_panic(|r| [r.next(), r.next(), r.next()]);
+        malformed_inputs_never_panic(|r| (r.next() as u32, f64::from_bits(r.next())));
+        malformed_inputs_never_panic(|r| (r.next(), r.next() as u8, r.next() as i32));
+        malformed_inputs_never_panic(|r| {
+            (r.next(), r.next() as u16, r.next() as u32, r.next() as i8)
+        });
+        malformed_inputs_never_panic(|r| {
+            let n = (r.next() % 8) as usize;
+            (0..n).map(|_| r.next()).collect::<Vec<u64>>()
+        });
+        malformed_inputs_never_panic(|r| {
+            let n = (r.next() % 4) as usize;
+            (0..n)
+                .map(|_| {
+                    let m = (r.next() % 4) as usize;
+                    (0..m).map(|_| r.next() as u32).collect::<Vec<u32>>()
+                })
+                .collect::<Vec<Vec<u32>>>()
+        });
+    }
+
+    #[test]
+    fn huge_length_prefix_is_rejected_not_allocated() {
+        // A Vec whose length prefix claims u64::MAX items must fail cleanly
+        // (and not attempt the allocation).
+        let mut buf = Vec::new();
+        u64::MAX.encode(&mut buf);
+        buf.extend_from_slice(&[0u8; 16]);
+        assert_eq!(try_read_vec::<Vec<u64>>(&buf), None);
+        let mut s = buf.as_slice();
+        assert!(Vec::<u64>::decode(&mut s).is_none());
     }
 }

@@ -1,14 +1,33 @@
-//! Forest checkpoint and restore (the `p4est_save`/`p4est_load` analogue).
+//! Forest checkpoint and restore (the `p4est_save`/`p4est_load` analogue),
+//! hardened into a recoverable format.
 //!
 //! Serializes each rank's partition segment with the shared metadata using
 //! the workspace's `Wire` encoding (independent of Rust struct layout, so
 //! checkpoints are portable across builds). Restoring onto a communicator
 //! with a different rank count re-partitions the restored forest.
+//!
+//! Robustness guarantees (the properties production restart leans on):
+//!
+//! - **Atomic segments**: every file is written to a `.tmp` sibling and
+//!   renamed into place, so a crash mid-write never leaves a plausible
+//!   but truncated segment under the final name.
+//! - **Per-file CRC32**: every segment and the manifest carry a trailing
+//!   CRC32 over their contents; corruption is rejected with a typed
+//!   [`CheckpointError::Crc`], never silently decoded.
+//! - **Manifest**: rank 0 writes `manifest.fst` (epoch, saved rank count,
+//!   global octant count) after all segments are durable; `load`
+//!   validates every segment against it, so a missing segment file is a
+//!   typed [`CheckpointError::MissingSegment`] instead of a silently
+//!   truncated forest.
+//! - **Per-octant payloads**: solvers can attach one `Wire`-encoded blob
+//!   per local octant ([`Forest::save_with_payload`]); payloads ride in
+//!   the same SFC order as the octants, so a restore onto fewer ranks
+//!   re-partitions field data together with the mesh.
 
 use std::io::{Read, Write as IoWrite};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use forust_comm::{read_vec, write_vec, Communicator, Wire};
+use forust_comm::{crc32, write_vec, Communicator, Wire};
 
 use crate::dim::Dim;
 use crate::forest::Forest;
@@ -16,95 +35,437 @@ use crate::octant::Octant;
 
 /// Magic header guarding against loading a checkpoint of the wrong
 /// dimension or format version.
-const MAGIC: u64 = 0x464f_5255_5354_0001; // "FORUST" v1
+const MAGIC: u64 = 0x464f_5255_5354_0002; // "FORUST" v2
+/// Magic header of the checkpoint manifest.
+const MANIFEST_MAGIC: u64 = 0x464f_5255_4d41_4e46; // "FORU MANF"
+
+/// Shared metadata of one checkpoint, recorded in `manifest.fst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Caller-supplied epoch (e.g. solver step count at save time).
+    pub epoch: u64,
+    /// Number of ranks (= segment files) the checkpoint was saved from.
+    pub saved_ranks: usize,
+    /// Global octant count across all segments.
+    pub global_octants: u64,
+}
+
+/// Typed failure of a checkpoint save or load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A file failed its CRC32 integrity check.
+    Crc {
+        /// The corrupt file.
+        file: PathBuf,
+        /// CRC stored in the file.
+        expected: u32,
+        /// CRC recomputed over the file contents.
+        actual: u32,
+    },
+    /// A file decoded inconsistently (bad magic, truncated header,
+    /// non-integral payload, metadata disagreeing with the manifest).
+    Format {
+        /// The malformed file.
+        file: PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The checkpoint was saved from `saved_ranks` ranks but segment
+    /// `rank` is missing — loading the remainder would silently truncate
+    /// the forest.
+    MissingSegment {
+        /// Index of the missing segment file.
+        rank: usize,
+        /// Total segments the checkpoint was saved with.
+        saved_ranks: usize,
+    },
+    /// The segments together hold a different octant count than the
+    /// manifest records.
+    CountMismatch {
+        /// Global octant count recorded in the manifest.
+        expected: u64,
+        /// Sum of octants actually found in the segments.
+        actual: u64,
+    },
+    /// The checkpoint was written for a different spatial dimension.
+    DimensionMismatch {
+        /// Dimension recorded in the checkpoint.
+        found: u64,
+        /// Dimension of the forest type being restored.
+        expected: u32,
+    },
+    /// No checkpoint (not even a partial one) exists in the directory.
+    NoCheckpoint {
+        /// The directory searched.
+        dir: PathBuf,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Crc { file, expected, actual } => write!(
+                f,
+                "checkpoint file {} is corrupt: stored CRC {expected:#010x}, \
+                 computed {actual:#010x}",
+                file.display()
+            ),
+            CheckpointError::Format { file, detail } => {
+                write!(f, "checkpoint file {} is malformed: {detail}", file.display())
+            }
+            CheckpointError::MissingSegment { rank, saved_ranks } => write!(
+                f,
+                "checkpoint saved from {saved_ranks} ranks but segment file \
+                 forest_{rank}.fst is missing"
+            ),
+            CheckpointError::CountMismatch { expected, actual } => write!(
+                f,
+                "checkpoint manifest records {expected} octants but segments \
+                 hold {actual}"
+            ),
+            CheckpointError::DimensionMismatch { found, expected } => write!(
+                f,
+                "checkpoint is {found}-dimensional, expected {expected}"
+            ),
+            CheckpointError::NoCheckpoint { dir } => {
+                write!(f, "no checkpoint found in {}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Append a CRC32 trailer and write the buffer atomically: to a `.tmp`
+/// sibling first, then rename into place.
+fn write_atomic(path: &Path, mut buf: Vec<u8>) -> Result<(), CheckpointError> {
+    buf.extend_from_slice(&crc32(&buf).to_le_bytes());
+    let tmp = path.with_extension("fst.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a CRC-trailed file written by [`write_atomic`], validating and
+/// stripping the trailer.
+fn read_checked(path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 4 {
+        return Err(CheckpointError::Format {
+            file: path.to_path_buf(),
+            detail: format!("{} bytes is too short to carry a CRC trailer", bytes.len()),
+        });
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes(trailer.try_into().unwrap());
+    let actual = crc32(body);
+    if expected != actual {
+        return Err(CheckpointError::Crc {
+            file: path.to_path_buf(),
+            expected,
+            actual,
+        });
+    }
+    bytes.truncate(bytes.len() - 4);
+    Ok(bytes)
+}
+
+fn segment_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("forest_{rank}.fst"))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.fst")
+}
+
+fn format_err(path: &Path, detail: impl Into<String>) -> CheckpointError {
+    CheckpointError::Format {
+        file: path.to_path_buf(),
+        detail: detail.into(),
+    }
+}
+
+/// One decoded segment: octants plus their optional per-octant payloads.
+struct Segment<D: Dim> {
+    octs: Vec<(u32, Octant<D>)>,
+    payloads: Vec<Vec<u8>>,
+    saved_ranks: u64,
+    epoch: u64,
+}
+
+fn parse_segment<D: Dim>(path: &Path) -> Result<Segment<D>, CheckpointError> {
+    let bytes = read_checked(path)?;
+    let mut s = bytes.as_slice();
+    let mut field = |name: &str| -> Result<u64, CheckpointError> {
+        u64::decode(&mut s).ok_or_else(|| format_err(path, format!("truncated {name}")))
+    };
+    let magic = field("magic")?;
+    if magic != MAGIC {
+        return Err(format_err(path, "not a forust v2 checkpoint segment"));
+    }
+    let dim = field("dimension")?;
+    if dim != D::DIM as u64 {
+        return Err(CheckpointError::DimensionMismatch { found: dim, expected: D::DIM });
+    }
+    let _trees = field("tree count")?;
+    let saved_ranks = field("saved rank count")?;
+    let epoch = field("epoch")?;
+    let n = field("octant count")? as usize;
+    let mut octs = Vec::with_capacity(n.min(1 << 20));
+    for i in 0..n {
+        let o = <(u32, Octant<D>)>::decode(&mut s)
+            .ok_or_else(|| format_err(path, format!("octant {i} of {n} does not decode")))?;
+        octs.push(o);
+    }
+    let payloads = Vec::<Vec<u8>>::decode(&mut s)
+        .ok_or_else(|| format_err(path, "payload block does not decode"))?;
+    if !payloads.is_empty() && payloads.len() != n {
+        return Err(format_err(
+            path,
+            format!("{} payloads for {n} octants", payloads.len()),
+        ));
+    }
+    if !s.is_empty() {
+        return Err(format_err(path, format!("{} trailing bytes", s.len())));
+    }
+    Ok(Segment { octs, payloads, saved_ranks, epoch })
+}
 
 impl<D: Dim> Forest<D> {
-    /// Write this rank's partition segment to `dir/forest_<rank>.fst`.
+    /// Write this rank's partition segment to `dir/forest_<rank>.fst`
+    /// with epoch 0 and no payload. See [`Forest::save_with_payload`].
+    pub fn save(&self, comm: &impl Communicator, dir: &Path) -> Result<(), CheckpointError> {
+        self.save_with_payload::<u8>(comm, dir, 0, None)
+    }
+
+    /// Write a checkpoint of this forest, optionally attaching one
+    /// `Wire`-encoded payload per local octant (in local SFC order).
     ///
-    /// Every rank must call this; the forest's octants are saved exactly
-    /// (topology only — the connectivity is rebuilt by the caller, since
-    /// it is a small static structure created by a builder).
-    pub fn save(&self, comm: &impl Communicator, dir: &Path) -> std::io::Result<()> {
+    /// Every rank must call this collectively. Segments are written
+    /// atomically; after all ranks' segments are durable, rank 0 writes
+    /// the manifest — so a crash at any point leaves either the previous
+    /// complete checkpoint (manifest missing/old) or the new complete
+    /// one, never a half-written state that [`Forest::load`] would
+    /// accept.
+    ///
+    /// The forest's octants are saved exactly (topology only — the
+    /// connectivity is rebuilt by the caller, since it is a small static
+    /// structure created by a builder).
+    pub fn save_with_payload<T: Wire>(
+        &self,
+        comm: &impl Communicator,
+        dir: &Path,
+        epoch: u64,
+        payload: Option<&[Vec<T>]>,
+    ) -> Result<(), CheckpointError> {
         std::fs::create_dir_all(dir)?;
+        let octs: Vec<(u32, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
+        if let Some(p) = payload {
+            assert_eq!(
+                p.len(),
+                octs.len(),
+                "save_with_payload: one payload entry per local octant"
+            );
+        }
         let mut buf = Vec::new();
         MAGIC.encode(&mut buf);
         (D::DIM as u64).encode(&mut buf);
         (self.conn.num_trees() as u64).encode(&mut buf);
         (comm.size() as u64).encode(&mut buf);
-        let octs: Vec<(u32, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
-        buf.extend_from_slice(&write_vec(&[octs.len() as u64]));
+        epoch.encode(&mut buf);
+        (octs.len() as u64).encode(&mut buf);
         buf.extend_from_slice(&write_vec(&octs));
-        let path = dir.join(format!("forest_{}.fst", comm.rank()));
-        std::fs::File::create(path)?.write_all(&buf)
+        let payloads: Vec<Vec<u8>> = match payload {
+            Some(p) => p.iter().map(|chunk| write_vec(chunk)).collect(),
+            None => Vec::new(),
+        };
+        payloads.encode(&mut buf);
+        write_atomic(&segment_path(dir, comm.rank()), buf)?;
+
+        // All segments durable before the manifest names them.
+        comm.barrier();
+        if comm.rank() == 0 {
+            let global = self.num_global();
+            let mut mbuf = Vec::new();
+            MANIFEST_MAGIC.encode(&mut mbuf);
+            (D::DIM as u64).encode(&mut mbuf);
+            (comm.size() as u64).encode(&mut mbuf);
+            epoch.encode(&mut mbuf);
+            global.encode(&mut mbuf);
+            write_atomic(&manifest_path(dir), mbuf)?;
+        }
+        // No rank returns (and possibly starts loading) before the
+        // manifest exists.
+        comm.barrier();
+        Ok(())
     }
 
-    /// Restore a forest saved with [`Forest::save`]. The saved rank count
-    /// may differ from the current one: the saved files, in rank order,
-    /// form the global SFC-ordered octant list, so each current rank reads
-    /// exactly its contiguous interval of that list (as `p4est_load` does
-    /// from its single-file layout).
+    /// Restore a forest saved with [`Forest::save`]. See
+    /// [`Forest::load_with_payload`].
     pub fn load(
         conn: std::sync::Arc<crate::connectivity::Connectivity<D>>,
         comm: &impl Communicator,
         dir: &Path,
-    ) -> std::io::Result<Self> {
-        let parse = |path: &Path| -> std::io::Result<Vec<(u32, Octant<D>)>> {
-            let mut bytes = Vec::new();
-            std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    ) -> Result<Self, CheckpointError> {
+        Ok(Self::load_with_payload::<u8>(conn, comm, dir)?.0)
+    }
+
+    /// Restore a forest and its per-octant payloads.
+    ///
+    /// The saved rank count may differ from the current one: the saved
+    /// files, in rank order, form the global SFC-ordered octant list, so
+    /// each current rank reads exactly its contiguous interval of that
+    /// list (as `p4est_load` does from its single-file layout), payloads
+    /// included.
+    ///
+    /// Validation: the manifest's CRC, dimension, segment count and
+    /// global octant count are checked, every segment's CRC and header
+    /// are checked against the manifest, and gaps in the segment files
+    /// are typed [`CheckpointError::MissingSegment`] errors. Without a
+    /// manifest (e.g. a checkpoint interrupted before rank 0 wrote it),
+    /// the `saved_ranks` field every segment records is used instead.
+    pub fn load_with_payload<T: Wire>(
+        conn: std::sync::Arc<crate::connectivity::Connectivity<D>>,
+        comm: &impl Communicator,
+        dir: &Path,
+    ) -> Result<(Self, Vec<Vec<T>>, CheckpointMeta), CheckpointError> {
+        // Learn the checkpoint shape: manifest if present, else the
+        // header of segment 0.
+        let mpath = manifest_path(dir);
+        let manifest: Option<CheckpointMeta> = if mpath.exists() {
+            let bytes = read_checked(&mpath)?;
             let mut s = bytes.as_slice();
-            let magic = u64::decode(&mut s).ok_or(bad("truncated header"))?;
-            if magic != MAGIC {
-                return Err(bad("not a forust checkpoint"));
+            let mut field = |name: &str| -> Result<u64, CheckpointError> {
+                u64::decode(&mut s).ok_or_else(|| format_err(&mpath, format!("truncated {name}")))
+            };
+            let magic = field("magic")?;
+            if magic != MANIFEST_MAGIC {
+                return Err(format_err(&mpath, "not a forust checkpoint manifest"));
             }
-            let dim = u64::decode(&mut s).ok_or(bad("truncated header"))?;
+            let dim = field("dimension")?;
             if dim != D::DIM as u64 {
-                return Err(bad("checkpoint dimension mismatch"));
+                return Err(CheckpointError::DimensionMismatch { found: dim, expected: D::DIM });
             }
-            let _trees = u64::decode(&mut s).ok_or(bad("truncated header"))?;
-            let _saved_ranks = u64::decode(&mut s).ok_or(bad("truncated header"))?;
-            let n = u64::decode(&mut s).ok_or(bad("truncated header"))? as usize;
-            let octs: Vec<(u32, Octant<D>)> = read_vec(s);
-            if octs.len() != n {
-                return Err(bad("octant count mismatch"));
-            }
-            Ok(octs)
+            let saved_ranks = field("saved rank count")? as usize;
+            let epoch = field("epoch")?;
+            let global_octants = field("global octant count")?;
+            Some(CheckpointMeta { epoch, saved_ranks, global_octants })
+        } else {
+            None
         };
 
-        // Enumerate the saved segments (rank order == SFC order).
-        let mut segments = Vec::new();
-        let mut total = 0u64;
-        loop {
-            let path = dir.join(format!("forest_{}.fst", segments.len()));
-            if !path.exists() {
-                break;
+        let saved_ranks = match &manifest {
+            Some(m) => m.saved_ranks,
+            None => {
+                let first = segment_path(dir, 0);
+                if !first.exists() {
+                    return Err(CheckpointError::NoCheckpoint { dir: dir.to_path_buf() });
+                }
+                parse_segment::<D>(&first)?.saved_ranks as usize
             }
-            let octs = parse(&path)?;
-            total += octs.len() as u64;
-            segments.push(octs);
+        };
+        if saved_ranks == 0 {
+            return Err(format_err(&mpath, "manifest records zero saved ranks"));
         }
-        if segments.is_empty() {
-            return Err(bad("no checkpoint files found"));
+
+        // Read every segment, validating against the manifest.
+        let mut segments = Vec::with_capacity(saved_ranks);
+        let mut total = 0u64;
+        for r in 0..saved_ranks {
+            let path = segment_path(dir, r);
+            if !path.exists() {
+                return Err(CheckpointError::MissingSegment { rank: r, saved_ranks });
+            }
+            let seg = parse_segment::<D>(&path)?;
+            if seg.saved_ranks as usize != saved_ranks {
+                return Err(format_err(
+                    &path,
+                    format!(
+                        "segment records {} saved ranks, expected {saved_ranks}",
+                        seg.saved_ranks
+                    ),
+                ));
+            }
+            if let Some(m) = &manifest {
+                if seg.epoch != m.epoch {
+                    return Err(format_err(
+                        &path,
+                        format!("segment epoch {} != manifest epoch {}", seg.epoch, m.epoch),
+                    ));
+                }
+            }
+            total += seg.octs.len() as u64;
+            segments.push(seg);
         }
-        // This rank's contiguous interval of the global list.
+        if let Some(m) = &manifest {
+            if total != m.global_octants {
+                return Err(CheckpointError::CountMismatch {
+                    expected: m.global_octants,
+                    actual: total,
+                });
+            }
+        }
+        let meta = CheckpointMeta {
+            epoch: segments[0].epoch,
+            saved_ranks,
+            global_octants: total,
+        };
+
+        // This rank's contiguous interval of the global SFC-ordered list.
         let (p, r) = (comm.size() as u64, comm.rank() as u64);
         let lo = total * r / p;
         let hi = total * (r + 1) / p;
         let mut trees: Vec<Vec<Octant<D>>> = vec![Vec::new(); conn.num_trees()];
+        let mut payloads: Vec<Vec<T>> = Vec::with_capacity((hi - lo) as usize);
         let mut off = 0u64;
         for seg in segments {
-            for (t, o) in seg {
+            let has_payload = !seg.payloads.is_empty();
+            for (i, (t, o)) in seg.octs.into_iter().enumerate() {
                 if off >= lo && off < hi {
+                    if (t as usize) >= trees.len() {
+                        return Err(format_err(
+                            &segment_path(dir, 0),
+                            format!("octant references tree {t} outside the connectivity"),
+                        ));
+                    }
                     trees[t as usize].push(o);
+                    if has_payload {
+                        let chunk =
+                            forust_comm::try_read_vec::<T>(&seg.payloads[i]).ok_or_else(|| {
+                                format_err(
+                                    &segment_path(dir, 0),
+                                    format!("payload of octant {i} does not decode"),
+                                )
+                            })?;
+                        payloads.push(chunk);
+                    }
                 }
                 off += 1;
             }
         }
-        Ok(Forest::from_parts(conn, trees, comm))
+        Ok((Forest::from_parts(conn, trees, comm), payloads, meta))
     }
-}
-
-fn bad(msg: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
 #[cfg(test)]
@@ -168,6 +529,153 @@ mod tests {
         assert_eq!(before[0], after[0]);
     }
 
+    /// Save a refined 2D forest from `ranks` ranks and return its global
+    /// octant count.
+    fn save_sample(dir: &Path, ranks: usize) -> u64 {
+        let dir = dir.to_path_buf();
+        run_spmd(ranks, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            let mut f = Forest::<D2>::new_uniform(Arc::clone(&conn), comm, 1);
+            f.refine(comm, true, |t, o| t == 1 && o.level < 3);
+            f.balance(comm, BalanceType::Full);
+            f.save(comm, &dir).unwrap();
+            f.num_global()
+        })[0]
+    }
+
+    fn load_err(dir: &Path) -> CheckpointError {
+        let dir = dir.to_path_buf();
+        run_spmd(1, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            Forest::<D2>::load(conn, comm, &dir)
+                .map(|_| ())
+                .unwrap_err()
+        })
+        .pop()
+        .unwrap()
+    }
+
+    #[test]
+    fn corrupt_segment_rejected() {
+        let dir = tmpdir("corrupt");
+        save_sample(&dir, 2);
+        // Flip one bit in the middle of segment 1.
+        let seg = dir.join("forest_1.fst");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = load_err(&dir);
+        assert!(matches!(err, CheckpointError::Crc { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn corrupt_manifest_rejected() {
+        let dir = tmpdir("corrupt_manifest");
+        save_sample(&dir, 2);
+        let m = dir.join("manifest.fst");
+        let mut bytes = std::fs::read(&m).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&m, &bytes).unwrap();
+        let err = load_err(&dir);
+        assert!(matches!(err, CheckpointError::Crc { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn missing_segment_rejected_not_truncated() {
+        // The regression the `saved_ranks` header exists to catch: a gap
+        // in the segment files must be a typed error, not a silently
+        // smaller forest.
+        let dir = tmpdir("missing");
+        save_sample(&dir, 3);
+        std::fs::remove_file(dir.join("forest_1.fst")).unwrap();
+        let err = load_err(&dir);
+        assert!(
+            matches!(err, CheckpointError::MissingSegment { rank: 1, saved_ranks: 3 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_segment_rejected_without_manifest() {
+        // Same gap detection when the manifest is absent (interrupted
+        // save): segment 0's own saved_ranks header drives validation.
+        let dir = tmpdir("missing_nomanifest");
+        save_sample(&dir, 3);
+        std::fs::remove_file(dir.join("manifest.fst")).unwrap();
+        std::fs::remove_file(dir.join("forest_2.fst")).unwrap();
+        let err = load_err(&dir);
+        assert!(
+            matches!(err, CheckpointError::MissingSegment { rank: 2, saved_ranks: 3 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn stale_tmp_from_interrupted_save_is_ignored() {
+        // A crash mid-write leaves `*.fst.tmp` garbage but never a
+        // partial file under the final name; a later load must succeed
+        // and a later save must overwrite the stale tmp cleanly.
+        let dir = tmpdir("stale_tmp");
+        let before = save_sample(&dir, 2);
+        std::fs::write(dir.join("forest_1.fst.tmp"), b"partial garbage").unwrap();
+        std::fs::write(dir.join("manifest.fst.tmp"), b"more garbage").unwrap();
+        let dir2 = dir.clone();
+        let after = run_spmd(2, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            let f = Forest::<D2>::load(conn, comm, &dir2).unwrap();
+            f.check_valid(comm);
+            f.num_global()
+        });
+        assert_eq!(before, after[0]);
+        // Re-saving goes through the same tmp names and replaces them.
+        save_sample(&dir, 2);
+        assert_eq!(save_sample(&dir, 2), before);
+    }
+
+    #[test]
+    fn empty_dir_is_no_checkpoint() {
+        let dir = tmpdir("empty");
+        let err = load_err(&dir);
+        assert!(matches!(err, CheckpointError::NoCheckpoint { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn payload_rides_repartition_onto_fewer_ranks() {
+        // Per-octant payloads must land on whichever rank owns the
+        // octant after restore, in SFC order — the property the solver
+        // checkpoint relies on.
+        let dir = tmpdir("payload");
+        let dir2 = dir.clone();
+        run_spmd(3, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            let mut f = Forest::<D2>::new_uniform(Arc::clone(&conn), comm, 1);
+            f.refine(comm, true, |t, o| t == 0 && o.level < 3);
+            // Payload of octant = its global SFC position, twice.
+            let start: u64 = f.counts()[..comm.rank()].iter().sum();
+            let payload: Vec<Vec<u64>> = (0..f.num_local())
+                .map(|i| vec![start + i as u64, 2 * (start + i as u64)])
+                .collect();
+            f.save_with_payload(comm, &dir2, 42, Some(&payload)).unwrap();
+        });
+        run_spmd(2, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            let (f, payload, meta) =
+                Forest::<D2>::load_with_payload::<u64>(conn, comm, &dir).unwrap();
+            f.check_valid(comm);
+            assert_eq!(meta.epoch, 42);
+            assert_eq!(meta.saved_ranks, 3);
+            assert_eq!(meta.global_octants, f.num_global());
+            assert_eq!(payload.len(), f.num_local());
+            let start: u64 = f.counts()[..comm.rank()].iter().sum();
+            for (i, chunk) in payload.iter().enumerate() {
+                let g = start + i as u64;
+                assert_eq!(chunk, &vec![g, 2 * g]);
+            }
+        });
+    }
+
     #[test]
     fn dimension_mismatch_rejected() {
         let dir = tmpdir("dim");
@@ -180,7 +688,10 @@ mod tests {
         run_spmd(1, move |comm| {
             let conn = Arc::new(builders::unit3d());
             let err = Forest::<D3>::load(conn, comm, &dir).unwrap_err();
-            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert!(
+                matches!(err, CheckpointError::DimensionMismatch { found: 2, .. }),
+                "{err:?}"
+            );
         });
     }
 }

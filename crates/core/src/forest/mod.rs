@@ -29,6 +29,7 @@ mod partition;
 mod search;
 
 pub use balance::BalanceType;
+pub use checkpoint::{CheckpointError, CheckpointMeta};
 pub use ghost::GhostLayer;
 pub use search::Descend;
 

@@ -639,7 +639,6 @@ impl<D: Dim> Nodes<D> {
 mod tests {
     use super::*;
     use crate::connectivity::builders;
-    use crate::dim::{D2, D3};
     use crate::forest::BalanceType;
     use forust_comm::run_spmd;
     use std::sync::Arc;

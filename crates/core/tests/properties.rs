@@ -1,5 +1,6 @@
-//! Property-based tests (proptest) of the core octant and forest
-//! invariants, driven by randomized refinement patterns and rank counts.
+//! Property-style tests of the core octant and forest invariants, driven
+//! by randomized refinement patterns and rank counts from a hand-rolled
+//! deterministic PRNG (the workspace builds with no external crates).
 
 use std::sync::Arc;
 
@@ -9,107 +10,143 @@ use forust::forest::{BalanceType, Forest};
 use forust::linear;
 use forust::octant::{from_morton, Octant};
 use forust_comm::{run_spmd, Communicator};
-use proptest::prelude::*;
 
-/// An arbitrary valid octant, built from a random descent path.
-fn arb_octant3() -> impl Strategy<Value = Octant<D3>> {
-    proptest::collection::vec(0usize..8, 0..10).prop_map(|path| {
-        let mut o = Octant::<D3>::root();
-        for c in path {
-            o = o.child(c);
-        }
-        o
-    })
-}
+/// SplitMix64: deterministic PRNG for the randomized sweeps.
+struct Rng(u64);
 
-fn arb_octant2() -> impl Strategy<Value = Octant<D2>> {
-    proptest::collection::vec(0usize..4, 0..12).prop_map(|path| {
-        let mut o = Octant::<D2>::root();
-        for c in path {
-            o = o.child(c);
-        }
-        o
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn morton_roundtrip_3d(o in arb_octant3()) {
-        prop_assert_eq!(from_morton::<D3>(o.morton(), o.level), o);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn parent_child_inverse(o in arb_octant3()) {
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random valid octant, built from a random descent path.
+fn rand_octant3(rng: &mut Rng) -> Octant<D3> {
+    let depth = rng.below(10) as usize;
+    let mut o = Octant::<D3>::root();
+    for _ in 0..depth {
+        o = o.child(rng.below(8) as usize);
+    }
+    o
+}
+
+fn rand_octant2(rng: &mut Rng) -> Octant<D2> {
+    let depth = rng.below(12) as usize;
+    let mut o = Octant::<D2>::root();
+    for _ in 0..depth {
+        o = o.child(rng.below(4) as usize);
+    }
+    o
+}
+
+#[test]
+fn morton_roundtrip_3d() {
+    let mut rng = Rng(1);
+    for _ in 0..64 {
+        let o = rand_octant3(&mut rng);
+        assert_eq!(from_morton::<D3>(o.morton(), o.level), o);
+    }
+}
+
+#[test]
+fn parent_child_inverse() {
+    let mut rng = Rng(2);
+    for _ in 0..64 {
+        let o = rand_octant3(&mut rng);
         if o.level > 0 {
             let p = o.parent();
-            prop_assert_eq!(p.child(o.child_id()), o);
-            prop_assert!(p.is_ancestor_of(&o));
+            assert_eq!(p.child(o.child_id()), o);
+            assert!(p.is_ancestor_of(&o));
         }
     }
+}
 
-    #[test]
-    fn sfc_order_strict_and_nesting(a in arb_octant3(), b in arb_octant3()) {
-        // Total order: exactly one of <, ==, > holds, and containment
-        // implies SFC-interval containment.
-        use std::cmp::Ordering::*;
+#[test]
+fn sfc_order_strict_and_nesting() {
+    // Total order: exactly one of <, ==, > holds, and containment
+    // implies SFC-interval containment.
+    use std::cmp::Ordering::*;
+    let mut rng = Rng(3);
+    for _ in 0..64 {
+        let a = rand_octant3(&mut rng);
+        let b = rand_octant3(&mut rng);
         match a.cmp(&b) {
-            Less => prop_assert!(a < b),
-            Greater => prop_assert!(b < a),
-            Equal => prop_assert_eq!(a, b),
+            Less => assert!(a < b),
+            Greater => assert!(b < a),
+            Equal => assert_eq!(a, b),
         }
         if a.is_ancestor_of(&b) {
-            prop_assert!(a <= b);
-            prop_assert!(b.last_descendant(D3::MAX_LEVEL) <= a.last_descendant(D3::MAX_LEVEL));
+            assert!(a <= b);
+            assert!(b.last_descendant(D3::MAX_LEVEL) <= a.last_descendant(D3::MAX_LEVEL));
         }
     }
+}
 
-    #[test]
-    fn neighbor_round_trips(o in arb_octant3(), f in 0usize..6) {
-        prop_assert_eq!(o.face_neighbor(f).face_neighbor(f ^ 1), o);
+#[test]
+fn neighbor_round_trips() {
+    let mut rng = Rng(4);
+    for _ in 0..64 {
+        let o = rand_octant3(&mut rng);
+        let f = rng.below(6) as usize;
+        assert_eq!(o.face_neighbor(f).face_neighbor(f ^ 1), o);
     }
+}
 
-    #[test]
-    fn refine_coarsen_roundtrip_2d(o in arb_octant2()) {
-        // Refining a single leaf and coarsening greedily returns it.
+#[test]
+fn refine_coarsen_roundtrip_2d() {
+    // Refining a single leaf and coarsening greedily returns it.
+    let mut rng = Rng(5);
+    for _ in 0..64 {
+        let o = rand_octant2(&mut rng);
         if o.level < D2::MAX_LEVEL {
             let mut v = vec![o];
             linear::refine_marked(&mut v, false, |_| true);
-            prop_assert_eq!(v.len(), 4);
-            prop_assert!(linear::is_linear(&v));
+            assert_eq!(v.len(), 4);
+            assert!(linear::is_linear(&v));
             linear::coarsen_marked(&mut v, false, |_| true);
-            prop_assert_eq!(v, vec![o]);
+            assert_eq!(v, vec![o]);
         }
     }
+}
 
-    #[test]
-    fn linearize_produces_linear(paths in proptest::collection::vec(
-        proptest::collection::vec(0usize..8, 0..6), 1..20)) {
-        let mut octs: Vec<Octant<D3>> = paths
-            .into_iter()
-            .map(|p| {
+#[test]
+fn linearize_produces_linear() {
+    let mut rng = Rng(6);
+    for _ in 0..64 {
+        let count = 1 + rng.below(19) as usize;
+        let mut octs: Vec<Octant<D3>> = (0..count)
+            .map(|_| {
+                let depth = rng.below(6) as usize;
                 let mut o = Octant::<D3>::root();
-                for c in p {
-                    o = o.child(c);
+                for _ in 0..depth {
+                    o = o.child(rng.below(8) as usize);
                 }
                 o
             })
             .collect();
         octs.sort();
         linear::linearize(&mut octs);
-        prop_assert!(linear::is_linear(&octs));
+        assert!(linear::is_linear(&octs));
     }
 }
 
 /// Randomized end-to-end invariant: for arbitrary refinement seeds and
 /// rank counts, refine + balance + partition keeps the forest valid,
 /// balanced, and identical in global content across rank counts.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn forest_pipeline_randomized(seed in 0u64..1000, p in 1usize..5) {
+#[test]
+fn forest_pipeline_randomized() {
+    let mut rng = Rng(7);
+    for _ in 0..8 {
+        let seed = rng.below(1000);
+        let p = 1 + rng.below(4) as usize;
         let totals: Vec<u64> = [1usize, p]
             .iter()
             .map(|&ranks| {
@@ -135,6 +172,6 @@ proptest! {
                 })[0]
             })
             .collect();
-        prop_assert_eq!(totals[0], totals[1], "refinement depends on rank count");
+        assert_eq!(totals[0], totals[1], "refinement depends on rank count");
     }
 }

@@ -7,20 +7,47 @@
 //! (see DESIGN.md §3): state and metric data are converted to `f32` and
 //! copied into a separate device arena (the timed "transfer" column), the
 //! kernels run in `f32` with data-parallel execution over elements
-//! (rayon), and each step's halo exchange passes through the host exactly
-//! as the paper's GPU version communicates via the CPUs and MPI.
+//! (scoped worker threads), and each step's halo exchange passes through
+//! the host exactly as the paper's GPU version communicates via the CPUs
+//! and MPI.
 //!
 //! Only the homogeneous volume kernel plus a conforming-face penalty flux
 //! are implemented on the device; non-conforming faces fall back to the
 //! host path (the benchmarked weak-scaling meshes are chosen accordingly,
 //! as the paper benchmarks statically adapted meshes).
 
-use rayon::prelude::*;
-
 use forust_comm::Communicator;
 use forust_dg::mesh::{ElemRef, FaceConn};
 
 use crate::solver::{SeismicSolver, NCOMP};
+
+/// Data-parallel map over `0..n` on scoped worker threads (the "thread
+/// blocks" of the substituted GPU kernel), in index order.
+fn par_map<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = n * w / workers;
+                let hi = n * (w + 1) / workers;
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut v = Vec::with_capacity(n);
+    for chunk in out.drain(..) {
+        v.extend(chunk);
+    }
+    v
+}
 
 /// The device-resident state of one solver (f32 arenas).
 pub struct DeviceState {
@@ -165,9 +192,7 @@ impl DeviceState {
         // Data-parallel over elements: each "thread block" updates its own
         // element, mirroring the GPU kernel structure.
         let npf = np * np;
-        let updates: Vec<Vec<f32>> = (0..self.nel)
-            .into_par_iter()
-            .map(|e| {
+        let updates: Vec<Vec<f32>> = par_map(self.nel, |e| {
                 let base = e * chunk;
                 let mut rhs = vec![0.0f32; chunk];
                 // Nodal stress.
@@ -325,8 +350,7 @@ impl DeviceState {
                     }
                 }
                 rhs
-            })
-            .collect();
+        });
 
         for (e, rhs) in updates.into_iter().enumerate() {
             let base = e * chunk;
