@@ -1,10 +1,17 @@
 //! Micro-benchmarks of the core forest algorithms — the building blocks
 //! whose scaling Fig. 4 measures — on a single rank (serial
-//! communicator), at fixed small sizes so the binary finishes quickly.
-//! The figure-level harnesses live in the sibling `fig*.rs` binaries.
+//! communicator). The figure-level harnesses live in the sibling
+//! `fig*.rs` binaries.
 //!
 //! Plain `Instant`-based timing (median of repeated runs): the workspace
 //! builds without external crates, so there is no criterion harness.
+//!
+//! Besides the human-readable table on stdout, the binary writes
+//! `BENCH_core.json` at the repo root: per-kernel median microseconds,
+//! octant counts and the git revision, so every PR leaves a
+//! machine-readable point on the perf trajectory. If a `BENCH_core.json`
+//! from a previous run exists, its kernel table is preserved under
+//! `"prev"` for before/after comparison.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,48 +45,163 @@ fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-fn report(name: &str, us: f64) {
-    println!("{name:<24} {us:>12.1} us");
+/// One benchmark record: kernel name, forest size it ran on, median time.
+struct Record {
+    name: &'static str,
+    octants: usize,
+    median_us: f64,
+}
+
+fn run(out: &mut Vec<Record>, name: &'static str, octants: usize, reps: usize, f: impl FnMut()) {
+    let us = median_us(reps, f);
+    println!("{name:<24} {octants:>9} oct {us:>12.1} us");
+    out.push(Record {
+        name,
+        octants,
+        median_us: us,
+    });
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Extract the first `"kernels": [...]` array and `"git_rev": "..."` value
+/// from a previous `BENCH_core.json`, so the new file can embed them under
+/// `"prev"` without a full JSON parser. The current run's fields are
+/// written before `"prev"`, so "first occurrence" is always the right one.
+fn extract_prev(text: &str) -> Option<(String, String)> {
+    let kpos = text.find("\"kernels\"")?;
+    let open = kpos + text[kpos..].find('[')?;
+    let close = open + text[open..].find(']')?;
+    let kernels = text[open..=close].to_string();
+    let rpos = text.find("\"git_rev\"")?;
+    let q1 = rpos + 9 + text[rpos + 9..].find('"')? + 1;
+    let q2 = q1 + text[q1..].find('"')?;
+    Some((kernels, text[q1..q2].to_string()))
+}
+
+fn write_json(path: &std::path::Path, records: &[Record], prev: Option<(String, String)>) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"bench_core\",\n");
+    s.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"octants\": {}, \"median_us\": {:.1}}}{}\n",
+            r.name,
+            r.octants,
+            r.median_us,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]");
+    if let Some((kernels, rev)) = prev {
+        s.push_str(&format!(
+            ",\n  \"prev\": {{\"git_rev\": \"{rev}\", \"kernels\": {kernels}}}"
+        ));
+    }
+    s.push_str("\n}\n");
+    std::fs::write(path, s).expect("write BENCH_core.json");
 }
 
 fn main() {
     const REPS: usize = 11;
+    const REPS_BIG: usize = 5;
+    let mut records: Vec<Record> = Vec::new();
 
-    report(
-        "refine_fractal_l2",
-        median_us(REPS, || {
-            let n = fractal_forest(2).1.num_local();
-            assert!(n > 0);
-        }),
-    );
-
-    let (comm, forest) = fractal_forest(2);
-    report(
-        "balance_full",
-        median_us(REPS, || {
-            let mut f = forest.clone();
-            f.balance(&comm, BalanceType::Full);
-        }),
-    );
-
-    let mut balanced = forest.clone();
-    balanced.balance(&comm, BalanceType::Full);
-    report("ghost", median_us(REPS, || {
-        let g = balanced.ghost(&comm);
+    // --- level 2 fractal (small, as in the original smoke bench) -------
+    let (comm, forest2) = fractal_forest(2);
+    let n2 = forest2.num_local();
+    run(&mut records, "refine_fractal_l2", n2, REPS, || {
+        let n = fractal_forest(2).1.num_local();
+        assert!(n > 0);
+    });
+    run(&mut records, "balance_full_l2", n2, REPS, || {
+        let mut f = forest2.clone();
+        f.balance(&comm, BalanceType::Full);
+    });
+    let mut balanced2 = forest2.clone();
+    balanced2.balance(&comm, BalanceType::Full);
+    let nb2 = balanced2.num_local();
+    run(&mut records, "ghost_l2", nb2, REPS, || {
+        let g = balanced2.ghost(&comm);
         assert!(g.ghosts.is_empty());
-    }));
-
-    let ghost = balanced.ghost(&comm);
-    report("nodes_degree1", median_us(REPS, || {
-        let n = balanced.nodes(&comm, &ghost, 1);
+    });
+    let ghost2 = balanced2.ghost(&comm);
+    run(&mut records, "nodes_degree1_l2", nb2, REPS, || {
+        let n = balanced2.nodes(&comm, &ghost2, 1);
         assert!(n.num_local() > 0);
-    }));
+    });
+    run(&mut records, "partition_l2", nb2, REPS, || {
+        let mut f = balanced2.clone();
+        f.partition(&comm);
+    });
 
-    report(
-        "partition",
-        median_us(REPS, || {
-            let mut f = balanced.clone();
-            f.partition(&comm);
-        }),
-    );
+    // --- level 3 fractal (the sizes the acceptance gates run at) -------
+    let (comm3, forest3) = fractal_forest(3);
+    let n3 = forest3.num_local();
+    run(&mut records, "refine_fractal_l3", n3, REPS_BIG, || {
+        let n = fractal_forest(3).1.num_local();
+        assert!(n > 0);
+    });
+    run(&mut records, "balance_full_l3", n3, REPS_BIG, || {
+        let mut f = forest3.clone();
+        f.balance(&comm3, BalanceType::Full);
+    });
+    let mut balanced3 = forest3.clone();
+    balanced3.balance(&comm3, BalanceType::Full);
+    let nb3 = balanced3.num_local();
+    run(&mut records, "ghost_l3", nb3, REPS_BIG, || {
+        let g = balanced3.ghost(&comm3);
+        assert!(g.ghosts.is_empty());
+    });
+    run(&mut records, "partition_l3", nb3, REPS_BIG, || {
+        let mut f = balanced3.clone();
+        f.partition(&comm3);
+    });
+
+    // Pure octant-key throughput: sum of Morton keys over the forest.
+    let octs: Vec<_> = balanced3.iter_local().map(|(_, o)| *o).collect();
+    run(&mut records, "morton_sum_l3", octs.len(), REPS, || {
+        let sum: u64 = octs.iter().map(|o| o.morton()).sum();
+        assert!(sum > 0);
+    });
+
+    // Point-location throughput: find_containing over every leaf, per tree.
+    let trees: Vec<Vec<_>> = (0..balanced3.conn.num_trees())
+        .map(|t| balanced3.tree(t as u32).to_vec())
+        .collect();
+    run(&mut records, "find_containing_l3", nb3, REPS, || {
+        let mut hits = 0usize;
+        for tree in &trees {
+            for o in tree {
+                if forust::linear::find_containing(tree, o).is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        assert_eq!(hits, nb3);
+    });
+
+    // --- JSON trajectory ------------------------------------------------
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let path = root.join("BENCH_core.json");
+    let prev = std::fs::read_to_string(&path)
+        .ok()
+        .as_deref()
+        .and_then(extract_prev);
+    write_json(&path, &records, prev);
+    println!("wrote {}", path.display());
 }

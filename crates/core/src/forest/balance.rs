@@ -67,19 +67,110 @@ fn directions<D: Dim>(btype: BalanceType) -> Vec<[i32; 3]> {
     dirs
 }
 
+/// Apply one round's insulation requirements to one tree's leaf array in
+/// a single linear rebuild pass.
+///
+/// A requirement `m` demands that the leaf containing `m` (if any single
+/// leaf does) be at most one level coarser than `m`. Requirements are
+/// sorted along the curve once; the leaf array and the requirement list
+/// are then walked in tandem, so each leaf sees exactly the contiguous
+/// run of requirements it contains and too-coarse leaves are expanded
+/// in place into the output. Every created octant is pushed onto `work`
+/// (it seeds the next round, exactly as in the ripple formulation).
+fn apply_requirements<D: Dim>(
+    leaves: &mut Vec<Octant<D>>,
+    reqs: &[Octant<D>],
+    t: TreeId,
+    work: &mut Vec<(TreeId, Octant<D>)>,
+) {
+    // Key every requirement once; all later ordering is key-only.
+    let mut keyed: Vec<((u64, u8), Octant<D>)> = reqs.iter().map(|m| (m.sfc_key(), *m)).collect();
+    keyed.sort_unstable_by_key(|(k, _)| *k);
+    keyed.dedup_by_key(|(k, _)| *k);
+    let old = std::mem::take(leaves);
+    let mut out: Vec<Octant<D>> = Vec::with_capacity(old.len());
+    let mut ri = 0;
+    for leaf in old {
+        // Requirements sorting before this leaf are ancestors of earlier
+        // leaves or of `leaf` itself: covered by finer leaves, satisfied.
+        let lkey = leaf.sfc_key();
+        while ri < keyed.len() && keyed[ri].0 < lkey {
+            ri += 1;
+        }
+        // Requirements contained in `leaf` form a contiguous run: their
+        // keys lie in [leaf, last finest descendant of leaf].
+        let last = leaf.last_descendant(D::MAX_LEVEL).sfc_key();
+        let start = ri;
+        while ri < keyed.len() && keyed[ri].0 <= last {
+            ri += 1;
+        }
+        let run = &keyed[start..ri];
+        if run.iter().any(|(_, m)| m.level > leaf.level + 1) {
+            expand(leaf, run, t, &mut out, work);
+        } else {
+            out.push(leaf);
+        }
+    }
+    *leaves = out;
+}
+
+/// Split `oct` into children and recurse toward every requirement in
+/// `reqs` (all contained in `oct`, SFC-sorted, keys precomputed) that is
+/// still more than one level finer, emitting the resulting leaves onto
+/// `out` in SFC order. All created octants join `work`.
+fn expand<D: Dim>(
+    oct: Octant<D>,
+    reqs: &[((u64, u8), Octant<D>)],
+    t: TreeId,
+    out: &mut Vec<Octant<D>>,
+    work: &mut Vec<(TreeId, Octant<D>)>,
+) {
+    let mut ri = 0;
+    for i in 0..D::CHILDREN {
+        let c = oct.child(i);
+        work.push((t, c));
+        let last = c.last_descendant(D::MAX_LEVEL).sfc_key();
+        let start = ri;
+        while ri < reqs.len() && reqs[ri].0 <= last {
+            ri += 1;
+        }
+        let run = &reqs[start..ri];
+        if run.iter().any(|(_, m)| m.level > c.level + 1) {
+            expand(c, run, t, out, work);
+        } else {
+            out.push(c);
+        }
+    }
+}
+
 impl<D: Dim> Forest<D> {
     /// Enforce 2:1 balance by local refinement (octants only ever split,
     /// never merge). Mirrors p4est `Balance`.
+    ///
+    /// Worklist-driven and batched: each round, the worklist octants emit
+    /// insulation *requirements* for their neighbor regions; local and
+    /// received requirements are then applied **per tree in one linear
+    /// rebuild pass** (`apply_requirements`), instead of an `O(N)` splice
+    /// per cascade split — `O(S·N)` becomes `O(N + S log S)` per round.
+    /// Only the octants created by a round (plus, transitively, the
+    /// requirements received from other ranks) seed the next round's
+    /// worklist, so later rounds no longer re-scan every local leaf. An
+    /// `Allreduce` certifies the global fixed point. Refinement is
+    /// monotone and bounded by `MAX_LEVEL`, so the iteration terminates,
+    /// and the closure operator is confluent, so the result is the same
+    /// least fixed point the original one-split-at-a-time ripple
+    /// ([`Forest::balance_ripple`], retained as the test oracle) computes.
     pub fn balance(&mut self, comm: &impl Communicator, btype: BalanceType) {
         let p = comm.size();
         let me = comm.rank();
         let dirs = directions::<D>(btype);
-        let mut work: Vec<(TreeId, Octant<D>)> =
-            self.iter_local().map(|(t, o)| (t, *o)).collect();
+        // Round 0: every local leaf's insulation could be violated.
+        let mut work: Vec<(TreeId, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
 
         loop {
             let mut remote: Vec<Vec<(u32, Octant<D>)>> = (0..p).map(|_| Vec::new()).collect();
-            while let Some((t, o)) = work.pop() {
+            let mut pending: Vec<Vec<Octant<D>>> = vec![Vec::new(); self.conn.num_trees()];
+            for (t, o) in work.drain(..) {
                 // A requirement at level o.level - 1 <= 0 never splits.
                 if o.level <= 1 {
                     continue;
@@ -94,7 +185,7 @@ impl<D: Dim> Forest<D> {
                             continue;
                         }
                         if rlo == me {
-                            self.enforce(k2, &m, &mut work);
+                            pending[k2 as usize].push(m);
                         } else {
                             remote[rlo].push((k2, m));
                         }
@@ -102,13 +193,21 @@ impl<D: Dim> Forest<D> {
                 }
             }
             for v in &mut remote {
-                v.sort_by_key(|(t, o)| sfc_pos(*t, o));
+                v.sort_by_cached_key(|(t, o)| sfc_pos(*t, o));
                 v.dedup();
             }
             let incoming = comm.alltoallv(remote);
             for part in incoming {
                 for (t, m) in part {
-                    self.enforce(t, &m, &mut work);
+                    pending[t as usize].push(m);
+                }
+            }
+            // Batched split application: one linear pass per touched tree.
+            // Octants created here seed the next round's worklist.
+            for (ti, reqs) in pending.iter().enumerate() {
+                if !reqs.is_empty() {
+                    let t = ti as TreeId;
+                    apply_requirements(self.tree_mut(t), reqs, t, &mut work);
                 }
             }
             if !comm.allreduce_or(!work.is_empty()) {
@@ -118,10 +217,60 @@ impl<D: Dim> Forest<D> {
         self.update_meta(comm);
     }
 
-    /// Enforce one requirement: the leaf containing `m` (if any) must be
-    /// at most one level coarser than `m`. Splits cascade toward `m`;
-    /// every newly created leaf joins the worklist.
-    fn enforce(&mut self, t: TreeId, m: &Octant<D>, work: &mut Vec<(TreeId, Octant<D>)>) {
+    /// The original one-split-at-a-time ripple formulation of
+    /// [`Forest::balance`], retained verbatim as the equivalence oracle
+    /// for the batched implementation: the randomized fuzz suite asserts
+    /// both produce octant-for-octant identical forests. Not public API.
+    #[doc(hidden)]
+    pub fn balance_ripple(&mut self, comm: &impl Communicator, btype: BalanceType) {
+        let p = comm.size();
+        let me = comm.rank();
+        let dirs = directions::<D>(btype);
+        let mut work: Vec<(TreeId, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
+
+        loop {
+            let mut remote: Vec<Vec<(u32, Octant<D>)>> = (0..p).map(|_| Vec::new()).collect();
+            while let Some((t, o)) = work.pop() {
+                if o.level <= 1 {
+                    continue;
+                }
+                for d in &dirs {
+                    let n = o.neighbor(d[0], d[1], d[2]);
+                    for (k2, m) in self.conn.exterior_images(t, &n) {
+                        let (rlo, rhi) = self.owner_range(k2, &m);
+                        if rlo != rhi {
+                            continue;
+                        }
+                        if rlo == me {
+                            self.enforce_ripple(k2, &m, &mut work);
+                        } else {
+                            remote[rlo].push((k2, m));
+                        }
+                    }
+                }
+            }
+            for v in &mut remote {
+                v.sort_by_cached_key(|(t, o)| sfc_pos(*t, o));
+                v.dedup();
+            }
+            let incoming = comm.alltoallv(remote);
+            for part in incoming {
+                for (t, m) in part {
+                    self.enforce_ripple(t, &m, &mut work);
+                }
+            }
+            if !comm.allreduce_or(!work.is_empty()) {
+                break;
+            }
+        }
+        self.update_meta(comm);
+    }
+
+    /// Enforce one requirement by per-split `Vec::splice` (oracle only):
+    /// the leaf containing `m` (if any) must be at most one level coarser
+    /// than `m`. Splits cascade toward `m`; every newly created leaf
+    /// joins the worklist.
+    fn enforce_ripple(&mut self, t: TreeId, m: &Octant<D>, work: &mut Vec<(TreeId, Octant<D>)>) {
         loop {
             let leaves = self.tree(t);
             let Some(idx) = linear::find_containing(leaves, m) else {
@@ -143,8 +292,7 @@ impl<D: Dim> Forest<D> {
     /// Brute-force global 2:1 check (test support; gathers all leaves).
     pub fn check_balanced(&self, comm: &impl Communicator, btype: BalanceType) {
         let mine: Vec<(u32, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
-        let all: Vec<(u32, Octant<D>)> =
-            comm.allgatherv(&mine).into_iter().flatten().collect();
+        let all: Vec<(u32, Octant<D>)> = comm.allgatherv(&mine).into_iter().flatten().collect();
         let mut by_tree: Vec<Vec<Octant<D>>> = vec![Vec::new(); self.conn.num_trees()];
         for (t, o) in &all {
             by_tree[*t as usize].push(*o);
@@ -200,7 +348,10 @@ mod tests {
             f.check_valid(comm);
             f.check_balanced(comm, BalanceType::Full);
             let total = f.num_global();
-            assert!(total > before, "balance must have added octants: {before} -> {total}");
+            assert!(
+                total > before,
+                "balance must have added octants: {before} -> {total}"
+            );
         });
     }
 
@@ -209,11 +360,17 @@ mod tests {
         run_spmd(4, |comm| {
             let conn = Arc::new(builders::unit3d());
             let mut f = Forest::<D3>::new_uniform(conn, comm, 1);
-            f.refine(comm, true, |_, o| o.level < 4 && o.x == 0 && o.y == 0 && o.z == 0);
+            f.refine(comm, true, |_, o| {
+                o.level < 4 && o.x == 0 && o.y == 0 && o.z == 0
+            });
             f.balance(comm, BalanceType::Full);
             let after_first = f.num_global();
             f.balance(comm, BalanceType::Full);
-            assert_eq!(f.num_global(), after_first, "second balance must be a no-op");
+            assert_eq!(
+                f.num_global(),
+                after_first,
+                "second balance must be a no-op"
+            );
         });
     }
 
@@ -231,8 +388,7 @@ mod tests {
             f.check_valid(comm);
             f.check_balanced(comm, BalanceType::Full);
             // The seam neighbors in tree 0 must have been refined too.
-            let mine: Vec<(u32, Octant<D2>)> =
-                f.iter_local().map(|(t, o)| (t, *o)).collect();
+            let mine: Vec<(u32, Octant<D2>)> = f.iter_local().map(|(t, o)| (t, *o)).collect();
             let all: Vec<_> = comm.allgatherv(&mine).into_iter().flatten().collect();
             let tree0_max = all
                 .iter()
@@ -250,7 +406,9 @@ mod tests {
             let conn = Arc::new(builders::rotcubes6());
             let mut f = Forest::<D3>::new_uniform(conn, comm, 1);
             // Refine tree 0 near the central axis (edge 0: y=0, z=0).
-            f.refine(comm, true, |t, o| t == 0 && o.level < 4 && o.y == 0 && o.z == 0);
+            f.refine(comm, true, |t, o| {
+                t == 0 && o.level < 4 && o.y == 0 && o.z == 0
+            });
             f.balance(comm, BalanceType::Full);
             f.check_valid(comm);
             f.check_balanced(comm, BalanceType::Full);

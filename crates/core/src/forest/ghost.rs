@@ -16,7 +16,7 @@ use forust_comm::{Communicator, Wire};
 
 use crate::connectivity::TreeId;
 use crate::dim::Dim;
-use crate::forest::{sfc_pos, Forest};
+use crate::forest::{sfc_pos, Forest, SfcPos};
 use crate::octant::Octant;
 
 /// The ghost layer of a forest at one partition state.
@@ -46,7 +46,9 @@ impl<D: Dim> GhostLayer<D> {
     /// Binary-search the ghost equal to or containing `o`.
     pub fn find_containing(&self, tree: TreeId, o: &Octant<D>) -> Option<usize> {
         let probe = sfc_pos(tree, &o.first_descendant(D::MAX_LEVEL));
-        let idx = self.ghosts.partition_point(|(t, g)| sfc_pos(*t, g) <= probe);
+        let idx = self
+            .ghosts
+            .partition_point(|(t, g)| sfc_pos(*t, g) <= probe);
         if idx == 0 {
             return None;
         }
@@ -84,7 +86,11 @@ impl<D: Dim> GhostLayer<D> {
             cursors[owner] = c + 1;
         }
         for (r, &c) in cursors.iter().enumerate() {
-            assert_eq!(c, incoming[r].len(), "ghost exchange miscount from rank {r}");
+            assert_eq!(
+                c,
+                incoming[r].len(),
+                "ghost exchange miscount from rank {r}"
+            );
         }
         out
     }
@@ -144,8 +150,10 @@ impl<D: Dim> Forest<D> {
         // Directions: full insulation (faces + edges + corners).
         let zrange: &[i32] = if D::DIM == 3 { &[-1, 0, 1] } else { &[0] };
         let mut per_rank: Vec<Vec<(u32, Octant<D>)>> = (0..p).map(|_| Vec::new()).collect();
+        // One scratch buffer for the whole leaf loop, cleared per leaf.
+        let mut ranks: Vec<usize> = Vec::new();
         for (t, o) in self.iter_local() {
-            let mut ranks: Vec<usize> = Vec::new();
+            ranks.clear();
             for &dz in zrange {
                 for dy in [-1i32, 0, 1] {
                     for dx in [-1i32, 0, 1] {
@@ -159,27 +167,28 @@ impl<D: Dim> Forest<D> {
             }
             ranks.sort_unstable();
             ranks.dedup();
-            for r in ranks {
+            for &r in &ranks {
                 per_rank[r].push((t, *o));
             }
         }
         for v in &mut per_rank {
-            v.sort_by_key(|(t, o)| sfc_pos(*t, o));
+            v.sort_by_cached_key(|(t, o)| sfc_pos(*t, o));
             v.dedup();
         }
 
-        // Mirrors: union of all per-rank send lists.
-        let mut mirrors: Vec<(u32, Octant<D>)> =
-            per_rank.iter().flatten().copied().collect();
-        mirrors.sort_by_key(|(t, o)| sfc_pos(*t, o));
+        // Mirrors: union of all per-rank send lists, with their SFC keys
+        // interleaved once and reused for every binary search below.
+        let mut mirrors: Vec<(u32, Octant<D>)> = per_rank.iter().flatten().copied().collect();
+        mirrors.sort_by_cached_key(|(t, o)| sfc_pos(*t, o));
         mirrors.dedup();
+        let mirror_keys: Vec<SfcPos> = mirrors.iter().map(|(t, o)| sfc_pos(*t, o)).collect();
         let mirror_idx_by_rank: Vec<Vec<usize>> = per_rank
             .iter()
             .map(|v| {
                 v.iter()
                     .map(|x| {
-                        mirrors
-                            .binary_search_by_key(&sfc_pos(x.0, &x.1), |(t, o)| sfc_pos(*t, o))
+                        mirror_keys
+                            .binary_search(&sfc_pos(x.0, &x.1))
                             .expect("mirror must be present")
                     })
                     .collect()
@@ -197,11 +206,18 @@ impl<D: Dim> Forest<D> {
             }
         }
         debug_assert!(
-            ghosts.windows(2).all(|w| sfc_pos(w[0].0, &w[0].1) < sfc_pos(w[1].0, &w[1].1)),
+            ghosts
+                .windows(2)
+                .all(|w| sfc_pos(w[0].0, &w[0].1) < sfc_pos(w[1].0, &w[1].1)),
             "ghost layer must be globally sorted"
         );
 
-        GhostLayer { ghosts, ghost_owner, mirrors, mirror_idx_by_rank }
+        GhostLayer {
+            ghosts,
+            ghost_owner,
+            mirrors,
+            mirror_idx_by_rank,
+        }
     }
 }
 
@@ -276,7 +292,11 @@ mod tests {
                 let want_high = (bits >> b) & 1 == 1;
                 b += 1;
                 let c = o.coords()[d];
-                on_edge &= if want_high { c + o.len() == big } else { c == 0 };
+                on_edge &= if want_high {
+                    c + o.len() == big
+                } else {
+                    c == 0
+                };
             }
             if !on_edge {
                 continue;
@@ -297,14 +317,22 @@ mod tests {
                     let want_high = (bits2 >> b2) & 1 == 1;
                     b2 += 1;
                     let c = g.coords()[d];
-                    g_on &= if want_high { c + g.len() == big } else { c == 0 };
+                    g_on &= if want_high {
+                        c + g.len() == big
+                    } else {
+                        c == 0
+                    };
                 }
                 if !g_on {
                     continue;
                 }
                 // Run-interval intersection (closed), with orientation.
                 let (o0, o1) = (o.coords()[axis], o.coords()[axis] + o.len());
-                let (m0, m1) = if nb.reversed { (big - o1, big - o0) } else { (o0, o1) };
+                let (m0, m1) = if nb.reversed {
+                    (big - o1, big - o0)
+                } else {
+                    (o0, o1)
+                };
                 let (g0, g1) = (g.coords()[axis2], g.coords()[axis2] + g.len());
                 if m0 <= g1 && g0 <= m1 {
                     return true;
@@ -314,7 +342,13 @@ mod tests {
         // Across macro-corners.
         for c in 0..D::CORNERS {
             let off = D::corner_offset(c);
-            let at = |d: usize| if off[d] == 1 { o.coords()[d] + o.len() == big } else { o.coords()[d] == 0 };
+            let at = |d: usize| {
+                if off[d] == 1 {
+                    o.coords()[d] + o.len() == big
+                } else {
+                    o.coords()[d] == 0
+                }
+            };
             let on_corner = (0..D::DIM as usize).all(at);
             if !on_corner {
                 continue;
@@ -362,7 +396,7 @@ mod tests {
                 }
             }
         }
-        out.sort_by_key(|(t, o)| sfc_pos(*t, o));
+        out.sort_by_cached_key(|(t, o)| sfc_pos(*t, o));
         out.dedup();
         out
     }
@@ -383,7 +417,9 @@ mod tests {
         run_spmd(3, |comm| {
             let conn = Arc::new(builders::rotcubes6());
             let mut f = Forest::<D3>::new_uniform(conn, comm, 1);
-            f.refine(comm, true, |t, o| t == 0 && o.level < 3 && o.y == 0 && o.z == 0);
+            f.refine(comm, true, |t, o| {
+                t == 0 && o.level < 3 && o.y == 0 && o.z == 0
+            });
             f.balance(comm, BalanceType::Full);
             f.partition(comm);
             let ghost = f.ghost(comm);
@@ -436,7 +472,11 @@ mod tests {
             let ghost = f.ghost(comm);
             // Σ |ghosts| == Σ Σ_r |mirror list for r| across all ranks.
             let total_ghosts = comm.allreduce_sum_u64(ghost.ghosts.len() as u64);
-            let my_sends: u64 = ghost.mirror_idx_by_rank.iter().map(|v| v.len() as u64).sum();
+            let my_sends: u64 = ghost
+                .mirror_idx_by_rank
+                .iter()
+                .map(|v| v.len() as u64)
+                .sum();
             let total_sends = comm.allreduce_sum_u64(my_sends);
             assert_eq!(total_ghosts, total_sends);
         });

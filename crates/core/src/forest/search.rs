@@ -30,10 +30,7 @@ impl<D: Dim> Forest<D> {
     /// leaves, starting from the coarsest local ancestor of each tree's
     /// segment. Returning [`Descend::Prune`] skips the subtree. Leaves are
     /// reported with `is_leaf = true`.
-    pub fn search_local(
-        &self,
-        mut visit: impl FnMut(TreeId, &Octant<D>, bool) -> Descend,
-    ) {
+    pub fn search_local(&self, mut visit: impl FnMut(TreeId, &Octant<D>, bool) -> Descend) {
         for t in 0..self.conn.num_trees() as TreeId {
             let leaves = self.tree(t);
             if leaves.is_empty() {
@@ -102,7 +99,9 @@ mod tests {
         run_spmd(3, |comm| {
             let conn = Arc::new(builders::cubed_sphere());
             let mut f = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
-            f.refine(comm, true, |t, o| t == 0 && o.level < 3 && o.child_id() == 2);
+            f.refine(comm, true, |t, o| {
+                t == 0 && o.level < 3 && o.child_id() == 2
+            });
             let mut seen = Vec::new();
             f.search_local(|t, o, is_leaf| {
                 if is_leaf {
@@ -110,9 +109,8 @@ mod tests {
                 }
                 Descend::Into
             });
-            let expect: Vec<(u32, Octant<D3>)> =
-                f.iter_local().map(|(t, o)| (t, *o)).collect();
-            seen.sort_by_key(|(t, o)| (*t, o.sfc_key()));
+            let expect: Vec<(u32, Octant<D3>)> = f.iter_local().map(|(t, o)| (t, *o)).collect();
+            seen.sort_by_cached_key(|(t, o)| (*t, o.sfc_key()));
             assert_eq!(seen, expect);
         });
     }

@@ -14,7 +14,9 @@ use crate::octant::Octant;
 /// For SFC-sorted arrays it suffices to check adjacent pairs: if a leaf
 /// contained any later leaf it would contain its immediate successor.
 pub fn is_linear<D: Dim>(leaves: &[Octant<D>]) -> bool {
-    leaves.windows(2).all(|w| w[0] < w[1] && !w[0].contains(&w[1]))
+    leaves
+        .windows(2)
+        .all(|w| w[0] < w[1] && !w[0].contains(&w[1]))
 }
 
 /// Whether `leaves` is a *complete* linear octree of the root: sorted,
@@ -38,8 +40,9 @@ pub fn find_containing<D: Dim>(leaves: &[Octant<D>], target: &Octant<D>) -> Opti
     }
     // The containing leaf is the last leaf whose SFC key is <= the key of
     // `target`'s finest first-descendant (i.e. its anchor at MAX_LEVEL).
-    let probe = target.first_descendant(D::MAX_LEVEL);
-    let idx = leaves.partition_point(|l| *l <= probe);
+    // The probe key is interleaved once, not per comparison.
+    let probe = target.first_descendant(D::MAX_LEVEL).sfc_key();
+    let idx = leaves.partition_point(|l| l.sfc_key() <= probe);
     if idx == 0 {
         return None;
     }
@@ -64,10 +67,11 @@ pub fn find_overlapping_range<D: Dim>(
     }
     // No single containing leaf: all overlapping leaves are descendants of
     // `region`, which sort at or after `region` itself and no later than its
-    // last finest descendant.
-    let last = region.last_descendant(D::MAX_LEVEL);
-    let lo = leaves.partition_point(|l| *l < *region);
-    let hi = leaves.partition_point(|l| *l <= last);
+    // last finest descendant. Probe keys are interleaved once.
+    let rkey = region.sfc_key();
+    let last = region.last_descendant(D::MAX_LEVEL).sfc_key();
+    let lo = leaves.partition_point(|l| l.sfc_key() < rkey);
+    let hi = leaves.partition_point(|l| l.sfc_key() <= last);
     lo..hi
 }
 

@@ -53,7 +53,13 @@ impl<D: Dim> Octant<D> {
     pub fn new(x: i32, y: i32, z: i32, level: u8) -> Self {
         debug_assert!(level <= D::MAX_LEVEL, "level {level} exceeds MAX_LEVEL");
         debug_assert!(D::DIM == 3 || z == 0, "2D octants must have z == 0");
-        let o = Self { x, y, z, level, _dim: PhantomData };
+        let o = Self {
+            x,
+            y,
+            z,
+            level,
+            _dim: PhantomData,
+        };
         debug_assert!(o.is_aligned(), "anchor not aligned to level: {o:?}");
         o
     }
@@ -202,7 +208,12 @@ impl<D: Dim> Octant<D> {
     pub fn neighbor(&self, dx: i32, dy: i32, dz: i32) -> Self {
         debug_assert!(D::DIM == 3 || dz == 0);
         let l = self.len();
-        Self::new(self.x + dx * l, self.y + dy * l, self.z + dz * l, self.level)
+        Self::new(
+            self.x + dx * l,
+            self.y + dy * l,
+            self.z + dz * l,
+            self.level,
+        )
     }
 
     /// Same-size neighbor across face `f`.
@@ -247,27 +258,25 @@ impl<D: Dim> Octant<D> {
     ///
     /// Interleaves the `MAX_LEVEL` significant bits of each coordinate,
     /// x lowest: at most 58 bits in 2D, 57 in 3D — always fits `u64`.
+    ///
+    /// Branch-free parallel-prefix bit spreading (five shift/mask rounds
+    /// per coordinate instead of a `MAX_LEVEL`-iteration loop): `Octant`
+    /// comparison is on every hot path of `balance`, `ghost` and
+    /// `partition`, so this is the single most executed kernel in the
+    /// forest layer.
     #[inline]
     pub fn morton(&self) -> u64 {
         debug_assert!(
             self.x >= 0 && self.y >= 0 && self.z >= 0,
             "morton of exterior octant: {self:?}"
         );
-        let mut key: u64 = 0;
-        for bit in 0..D::MAX_LEVEL as u32 {
-            let src = 1i32 << bit;
-            let dst = (D::DIM * bit) as u64;
-            if self.x & src != 0 {
-                key |= 1 << dst;
-            }
-            if self.y & src != 0 {
-                key |= 1 << (dst + 1);
-            }
-            if D::DIM == 3 && self.z & src != 0 {
-                key |= 1 << (dst + 2);
-            }
+        if D::DIM == 2 {
+            spread_2(self.x as u64) | (spread_2(self.y as u64) << 1)
+        } else {
+            spread_3(self.x as u64)
+                | (spread_3(self.y as u64) << 1)
+                | (spread_3(self.z as u64) << 2)
         }
-        key
     }
 
     /// Total-order key within one tree: Morton index, ties (identical
@@ -312,21 +321,73 @@ impl<D: Dim> Wire for Octant<D> {
         let y = i32::decode(buf)?;
         let z = i32::decode(buf)?;
         let level = u8::decode(buf)?;
-        Some(Self { x, y, z, level, _dim: PhantomData })
+        Some(Self {
+            x,
+            y,
+            z,
+            level,
+            _dim: PhantomData,
+        })
     }
+}
+
+/// Spread the low 32 bits of `v` so bit `i` lands at position `2*i`
+/// (parallel-prefix magic masks; inverse of [`compact_2`]).
+#[inline]
+fn spread_2(v: u64) -> u64 {
+    let mut v = v & 0xFFFF_FFFF;
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    (v | (v << 1)) & 0x5555_5555_5555_5555
+}
+
+/// Spread the low 21 bits of `v` so bit `i` lands at position `3*i`
+/// (parallel-prefix magic masks; inverse of [`compact_3`]).
+#[inline]
+fn spread_3(v: u64) -> u64 {
+    let mut v = v & 0x1F_FFFF;
+    v = (v | (v << 32)) & 0x001F_0000_0000_FFFF;
+    v = (v | (v << 16)) & 0x001F_0000_FF00_00FF;
+    v = (v | (v << 8)) & 0x100F_00F0_0F00_F00F;
+    v = (v | (v << 4)) & 0x10C3_0C30_C30C_30C3;
+    (v | (v << 2)) & 0x1249_2492_4924_9249
+}
+
+/// Gather every second bit of `v` back into the low 32 bits.
+#[inline]
+fn compact_2(v: u64) -> u64 {
+    let mut v = v & 0x5555_5555_5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v | (v >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v >> 4)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v >> 8)) & 0x0000_FFFF_0000_FFFF;
+    (v | (v >> 16)) & 0x0000_0000_FFFF_FFFF
+}
+
+/// Gather every third bit of `v` back into the low 21 bits.
+#[inline]
+fn compact_3(v: u64) -> u64 {
+    let mut v = v & 0x1249_2492_4924_9249;
+    v = (v | (v >> 2)) & 0x10C3_0C30_C30C_30C3;
+    v = (v | (v >> 4)) & 0x100F_00F0_0F00_F00F;
+    v = (v | (v >> 8)) & 0x001F_0000_FF00_00FF;
+    v = (v | (v >> 16)) & 0x001F_0000_0000_FFFF;
+    (v | (v >> 32)) & 0x001F_FFFF
 }
 
 /// Reconstruct an octant from its Morton index and level.
 pub fn from_morton<D: Dim>(key: u64, level: u8) -> Octant<D> {
-    let mut c = [0i32; 3];
-    for bit in 0..D::MAX_LEVEL as u32 {
-        let src = (D::DIM * bit) as u64;
-        for (axis, item) in c.iter_mut().enumerate().take(D::DIM as usize) {
-            if key & (1 << (src + axis as u64)) != 0 {
-                *item |= 1 << bit;
-            }
-        }
-    }
+    let c = if D::DIM == 2 {
+        [compact_2(key) as i32, compact_2(key >> 1) as i32, 0]
+    } else {
+        [
+            compact_3(key) as i32,
+            compact_3(key >> 1) as i32,
+            compact_3(key >> 2) as i32,
+        ]
+    };
     // Clear sub-level bits so the anchor is aligned.
     let mask = !((D::root_len() >> level) - 1);
     Octant::new(c[0] & mask, c[1] & mask, c[2] & mask, level)
@@ -558,6 +619,63 @@ mod more_tests {
         leaves.sort();
         let vol: u128 = leaves.iter().map(Octant::volume_atoms).sum();
         assert_eq!(vol, r.volume_atoms());
+    }
+
+    /// Reference bit-at-a-time interleave (the pre-optimization
+    /// implementation), kept to pin the magic-mask version.
+    fn morton_reference<D: Dim>(o: &Octant<D>) -> u64 {
+        let mut key: u64 = 0;
+        for bit in 0..D::MAX_LEVEL as u32 {
+            let src = 1i32 << bit;
+            let dst = (D::DIM * bit) as u64;
+            if o.x & src != 0 {
+                key |= 1 << dst;
+            }
+            if o.y & src != 0 {
+                key |= 1 << (dst + 1);
+            }
+            if D::DIM == 3 && o.z & src != 0 {
+                key |= 1 << (dst + 2);
+            }
+        }
+        key
+    }
+
+    #[test]
+    fn magic_mask_morton_matches_reference() {
+        // SplitMix64-driven random interior octants, both dimensions.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..2000 {
+            let r = next();
+            let level = (r % (D3::MAX_LEVEL as u64 + 1)) as u8;
+            let mask = !((D3::root_len() >> level) - 1);
+            let o = Octant::<D3>::new(
+                (next() as i32 & (D3::root_len() - 1)) & mask,
+                (next() as i32 & (D3::root_len() - 1)) & mask,
+                (next() as i32 & (D3::root_len() - 1)) & mask,
+                level,
+            );
+            assert_eq!(o.morton(), morton_reference(&o), "{o:?}");
+            assert_eq!(from_morton::<D3>(o.morton(), o.level), o);
+
+            let level = (r % (D2::MAX_LEVEL as u64 + 1)) as u8;
+            let mask = !((D2::root_len() >> level) - 1);
+            let q = Octant::<D2>::new(
+                (next() as i32 & (D2::root_len() - 1)) & mask,
+                (next() as i32 & (D2::root_len() - 1)) & mask,
+                0,
+                level,
+            );
+            assert_eq!(q.morton(), morton_reference(&q), "{q:?}");
+            assert_eq!(from_morton::<D2>(q.morton(), q.level), q);
+        }
     }
 
     #[test]
