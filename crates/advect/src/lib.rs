@@ -39,8 +39,8 @@ pub fn four_fronts(x: [f64; 3]) -> f64 {
     let radius = 0.22;
     let mut c: f64 = 0.0;
     for ctr in centers {
-        let d = ((x[0] - ctr[0]).powi(2) + (x[1] - ctr[1]).powi(2) + (x[2] - ctr[2]).powi(2))
-            .sqrt();
+        let d =
+            ((x[0] - ctr[0]).powi(2) + (x[1] - ctr[1]).powi(2) + (x[2] - ctr[2]).powi(2)).sqrt();
         c += 0.5 * (1.0 - ((d - radius) / width).tanh());
     }
     c.min(1.0)

@@ -96,7 +96,11 @@ fn epochs_newest_first(root: &Path) -> Vec<(u64, PathBuf)> {
 ///
 /// Public so harnesses can run calibration passes (e.g. count a
 /// fault-free [`ChaosComm`] run's communication calls to place a crash).
-pub fn attempt<C: Communicator>(comm: &C, setup: &RecoverySetup, ckpt_root: &Path) -> AttemptResult {
+pub fn attempt<C: Communicator>(
+    comm: &C,
+    setup: &RecoverySetup,
+    ckpt_root: &Path,
+) -> AttemptResult {
     let conn = Arc::new((setup.conn)());
     let map = (setup.map)(Arc::clone(&conn));
 
@@ -121,11 +125,7 @@ pub fn attempt<C: Communicator>(comm: &C, setup: &RecoverySetup, ckpt_root: &Pat
         }
     }
     let mut solver = solver.unwrap_or_else(|| {
-        let forest = Forest::<D3>::new_uniform(
-            Arc::clone(&conn),
-            comm,
-            setup.config.initial_level,
-        );
+        let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, setup.config.initial_level);
         AdvectSolver::new(
             comm,
             forest,
@@ -138,9 +138,7 @@ pub fn attempt<C: Communicator>(comm: &C, setup: &RecoverySetup, ckpt_root: &Pat
 
     while solver.timers.steps < setup.steps {
         solver.step(comm);
-        if solver.timers.steps % setup.checkpoint_every == 0
-            && solver.timers.steps < setup.steps
-        {
+        if solver.timers.steps % setup.checkpoint_every == 0 && solver.timers.steps < setup.steps {
             let dir = ckpt_root.join(format!("epoch_{}", solver.timers.steps));
             solver
                 .save_checkpoint(comm, &dir)
@@ -195,9 +193,12 @@ pub fn run_with_recovery(
                     |comm| attempt(comm, setup, ckpt_root),
                 )
             }
-            _ => run_spmd_with(p, config.clone(), |tc| tc, |comm| {
-                attempt(comm, setup, ckpt_root)
-            }),
+            _ => run_spmd_with(
+                p,
+                config.clone(),
+                |tc| tc,
+                |comm| attempt(comm, setup, ckpt_root),
+            ),
         }));
         match run {
             Ok(mut results) => {

@@ -260,8 +260,16 @@ impl AdvectSolver {
                         // Tangential velocity at shell boundaries: the
                         // reflective flux difference vanishes identically.
                     }
-                    FaceConn::Conforming { nbr, nbr_face, from_nbr }
-                    | FaceConn::CoarseNbr { nbr, nbr_face, from_nbr } => {
+                    FaceConn::Conforming {
+                        nbr,
+                        nbr_face,
+                        from_nbr,
+                    }
+                    | FaceConn::CoarseNbr {
+                        nbr,
+                        nbr_face,
+                        from_nbr,
+                    } => {
                         elem_vals(*nbr, &mut nbr_buf);
                         let their: Vec<f64> = re
                             .face_nodes(3, *nbr_face)
@@ -362,21 +370,14 @@ impl AdvectSolver {
             o.level < cfg.max_level && lookup(t, o) > cfg.refine_tol
         });
         self.forest.coarsen(comm, false, |t, fam| {
-            fam[0].level > cfg.min_level
-                && fam.iter().all(|o| lookup(t, o) < cfg.coarsen_tol)
+            fam[0].level > cfg.min_level && fam.iter().all(|o| lookup(t, o) < cfg.coarsen_tol)
         });
         self.forest.balance(comm, BalanceType::Full);
 
         // Transfer the solution to the new local mesh, then repartition.
         self.c = transfer_fields(&re, &old, &self.c, &self.forest, 1);
-        let chunks: Vec<Vec<f64>> = self
-            .c
-            .chunks(npe)
-            .map(|c| c.to_vec())
-            .collect();
-        let moved = self
-            .forest
-            .partition_with_payload(comm, |_, _| 1, chunks);
+        let chunks: Vec<Vec<f64>> = self.c.chunks(npe).map(|c| c.to_vec()).collect();
+        let moved = self.forest.partition_with_payload(comm, |_, _| 1, chunks);
         self.c = moved.into_iter().flatten().collect();
 
         // Rebuild mesh-dependent state.
@@ -408,11 +409,7 @@ impl AdvectSolver {
     }
 
     /// Discrete L2 error against a reference solution function.
-    pub fn l2_error(
-        &self,
-        comm: &impl Communicator,
-        reference: impl Fn([f64; 3]) -> f64,
-    ) -> f64 {
+    pub fn l2_error(&self, comm: &impl Communicator, reference: impl Fn([f64; 3]) -> f64) -> f64 {
         let re = &self.mesh.re;
         let npe = re.nodes_per_elem(3);
         let mut err = 0.0;
@@ -493,7 +490,11 @@ impl AdvectSolver {
         let expected = u32::from_le_bytes(trailer.try_into().unwrap());
         let actual = forust_comm::crc32(body);
         if expected != actual {
-            return Err(CheckpointError::Crc { file: spath, expected, actual });
+            return Err(CheckpointError::Crc {
+                file: spath,
+                expected,
+                actual,
+            });
         }
         let mut s = body;
         if u64::decode(&mut s) != Some(SOLVER_MAGIC) {
@@ -525,7 +526,10 @@ impl AdvectSolver {
             resid,
             time,
             dt: 0.0,
-            timers: AdvectTimers { steps, ..AdvectTimers::default() },
+            timers: AdvectTimers {
+                steps,
+                ..AdvectTimers::default()
+            },
             wv,
             wf,
             face_idx,

@@ -170,10 +170,7 @@ fn adaptation_actually_changes_the_mesh() {
         assert!(n < 24576, "refined everywhere: {n}");
         // Counts stay balanced across ranks after partition.
         let counts = s.forest.counts().to_vec();
-        let (lo, hi) = (
-            counts.iter().min().unwrap(),
-            counts.iter().max().unwrap(),
-        );
+        let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
         assert!(hi - lo <= 1, "{counts:?}");
     });
 }

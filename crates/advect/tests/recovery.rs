@@ -7,9 +7,7 @@ use std::sync::Arc;
 
 use forust::connectivity::{builders, Connectivity};
 use forust::dim::D3;
-use forust_advect::{
-    attempt, rotation_velocity, run_with_recovery, AdvectConfig, RecoverySetup,
-};
+use forust_advect::{attempt, rotation_velocity, run_with_recovery, AdvectConfig, RecoverySetup};
 use forust_comm::{run_spmd, run_spmd_with, ChaosComm, CommConfig, FaultPlan, RankCrashed};
 use forust_geom::{Mapping, ShellMap};
 
@@ -58,7 +56,11 @@ fn assert_bitwise_equal(a: &forust_advect::AttemptResult, b: &forust_advect::Att
         a.time,
         b.time
     );
-    assert_eq!(a.solution.len(), b.solution.len(), "solution length differs");
+    assert_eq!(
+        a.solution.len(),
+        b.solution.len(),
+        "solution length differs"
+    );
     for (i, (x, y)) in a.solution.iter().zip(&b.solution).enumerate() {
         assert_eq!(
             x.to_bits(),
@@ -105,7 +107,10 @@ fn crash_recovery_is_bitwise_identical_to_fault_free_run() {
     assert_eq!(outcome.attempts, 2, "expected exactly one restart");
     assert_eq!(
         outcome.injected_crash,
-        Some(RankCrashed { rank: 1, call: at_call }),
+        Some(RankCrashed {
+            rank: 1,
+            call: at_call
+        }),
         "the caught panic must be the injected crash"
     );
     // Checkpoints were actually written and used.
@@ -132,6 +137,9 @@ fn crash_before_first_checkpoint_recovers_from_scratch() {
     let plan = FaultPlan::new(3).with_crash(0, 5);
     let outcome = run_with_recovery(RANKS, RANKS, Some(plan), &chaos_dir, &s, 3);
     assert_eq!(outcome.attempts, 2);
-    assert_eq!(outcome.injected_crash, Some(RankCrashed { rank: 0, call: 5 }));
+    assert_eq!(
+        outcome.injected_crash,
+        Some(RankCrashed { rank: 0, call: 5 })
+    );
     assert_bitwise_equal(&reference[0], &outcome.result);
 }

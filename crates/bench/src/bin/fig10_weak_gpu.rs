@@ -41,8 +41,7 @@ fn main() {
         let results = run_spmd(g, |comm| {
             let conn = Arc::new(builders::shell24());
             let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
-            let map: Arc<dyn Mapping<D3> + Send + Sync> =
-                Arc::new(ShellMap::new(conn, 0.55, 1.0));
+            let map: Arc<dyn Mapping<D3> + Send + Sync> = Arc::new(ShellMap::new(conn, 0.55, 1.0));
             let config = SeismicConfig {
                 degree: 3,
                 min_level: 1,
@@ -74,7 +73,15 @@ fn main() {
         let elems_per_dev: u64 = results.iter().map(|r| r.0).sum::<u64>() / g as u64;
         let r = results
             .into_iter()
-            .reduce(|a, b| (a.0 + b.0, a.1.max(b.1), a.2.max(b.2), a.3.max(b.3), a.4 + b.4))
+            .reduce(|a, b| {
+                (
+                    a.0 + b.0,
+                    a.1.max(b.1),
+                    a.2.max(b.2),
+                    a.3.max(b.3),
+                    a.4 + b.4,
+                )
+            })
             .expect("ranks");
         let us_per_elem = r.3 * 1e6 / elems_per_dev as f64;
         let eff = match base {
@@ -88,7 +95,10 @@ fn main() {
             "{:>6} {:>9} {:>10.3} {:>10.3} {:>14.3} {:>9.3}",
             g, r.0, r.1, r.2, us_per_elem, eff
         );
-        csv.push_str(&format!("{g},{},{},{},{us_per_elem},{eff}\n", r.0, r.1, r.2));
+        csv.push_str(&format!(
+            "{g},{},{},{},{us_per_elem},{eff}\n",
+            r.0, r.1, r.2
+        ));
     }
     println!(
         "\npaper reference: 8..256 GPUs, mesh ~9-11 s, transfer 13-21 s, \

@@ -32,8 +32,16 @@ fn main() {
     println!("# paper: 2.3e6 octants/core, 12..220,320 cores; here: ~{per_rank} octants/rank\n");
     println!(
         "{:>5} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>11} {:>11}",
-        "P", "octants", "new%", "refine%", "part%", "bal%", "ghost%", "nodes%",
-        "bal s/Mo/r", "nod s/Mo/r"
+        "P",
+        "octants",
+        "new%",
+        "refine%",
+        "part%",
+        "bal%",
+        "ghost%",
+        "nodes%",
+        "bal s/Mo/r",
+        "nod s/Mo/r"
     );
 
     let mut csv = String::from(
@@ -46,7 +54,9 @@ fn main() {
         // Base level so total ~ p * per_rank: the depth-3 fractal
         // multiplies the uniform octant count by ~80.
         let total_target = (p as u64 * per_rank) as f64;
-        let base = ((total_target / (6.0 * 80.0)).ln() / 8f64.ln()).round().max(1.0) as u8;
+        let base = ((total_target / (6.0 * 80.0)).ln() / 8f64.ln())
+            .round()
+            .max(1.0) as u8;
         let results = run_spmd(p, |comm| {
             let conn = Arc::new(builders::rotcubes6());
             let t0 = Instant::now();
@@ -124,7 +134,12 @@ fn main() {
     let (_, b0, n0) = norms[0];
     println!("\n{:>5} {:>12} {:>12}", "P", "bal eff", "nodes eff");
     for &(p, b, n) in &norms {
-        println!("{:>5} {:>11.1}% {:>11.1}%", p, 100.0 * b0 / b, 100.0 * n0 / n);
+        println!(
+            "{:>5} {:>11.1}% {:>11.1}%",
+            p,
+            100.0 * b0 / b,
+            100.0 * n0 / n
+        );
     }
     println!(
         "\npaper reference: Balance+Nodes >90% of runtime; Partition+Ghost <10%; \

@@ -36,8 +36,7 @@ fn main() {
         let results = run_spmd(p, |comm| {
             let conn = Arc::new(builders::cubed_sphere());
             let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
-            let map: Arc<dyn Mapping<D3> + Send + Sync> =
-                Arc::new(ShellMap::new(conn, 0.55, 1.0));
+            let map: Arc<dyn Mapping<D3> + Send + Sync> = Arc::new(ShellMap::new(conn, 0.55, 1.0));
             let config = MantleConfig {
                 picard_iters: picard,
                 amr_every: 2,
@@ -72,7 +71,10 @@ fn main() {
             100.0 * r.4 / total,
             r.5
         );
-        csv.push_str(&format!("{p},{},{},{},{},{},{}\n", r.0, r.1, r.2, r.3, r.4, r.5));
+        csv.push_str(&format!(
+            "{p},{},{},{},{},{},{}\n",
+            r.0, r.1, r.2, r.3, r.4, r.5
+        ));
     }
     println!(
         "\npaper reference: solve 33.6/21.7/16.3%, V-cycle 66.2/78.0/83.4%, \

@@ -35,8 +35,7 @@ fn main() {
         let results = run_spmd(p, |comm| {
             let conn = Arc::new(builders::shell24());
             let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
-            let map: Arc<dyn Mapping<D3> + Send + Sync> =
-                Arc::new(ShellMap::new(conn, 0.55, 1.0));
+            let map: Arc<dyn Mapping<D3> + Send + Sync> = Arc::new(ShellMap::new(conn, 0.55, 1.0));
             let config = SeismicConfig {
                 degree: 3,
                 min_level: 1,
@@ -73,7 +72,10 @@ fn main() {
             "{:>5} {:>9} {:>11} {:>10.2} {:>12.4} {:>9.2} {:>9.2}",
             p, r.0, r.1, r.2, r.3, eff, gflops
         );
-        csv.push_str(&format!("{p},{},{},{},{},{eff},{gflops}\n", r.0, r.1, r.2, r.3));
+        csv.push_str(&format!(
+            "{p},{},{},{},{},{eff},{gflops}\n",
+            r.0, r.1, r.2, r.3
+        ));
     }
     println!(
         "\npaper reference: meshing 6.3..47.6 s vs hours of stepping; par eff \

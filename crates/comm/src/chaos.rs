@@ -60,7 +60,10 @@ pub struct CrashPoint {
 impl FaultPlan {
     /// A plan with the given seed and no faults enabled.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, ..FaultPlan::default() }
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
     }
 
     /// Enable message delay/reordering with the given per-message
@@ -158,7 +161,10 @@ impl<C: Communicator> ChaosComm<C> {
         let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(cp) = self.plan.crash {
             if cp.rank == self.inner.rank() && call == cp.at_call {
-                std::panic::panic_any(RankCrashed { rank: cp.rank, call });
+                std::panic::panic_any(RankCrashed {
+                    rank: cp.rank,
+                    call,
+                });
             }
         }
         call
@@ -308,7 +314,10 @@ mod tests {
                 c.barrier();
                 acc
             });
-            assert!(sums.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {sums:?}");
+            assert!(
+                sums.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: {sums:?}"
+            );
         }
     }
 
@@ -380,7 +389,9 @@ mod tests {
                     }
                     Vec::new()
                 } else {
-                    (0..8).map(|_| c.try_recv::<u64>(0, 1).map_err(|e| e.key())).collect()
+                    (0..8)
+                        .map(|_| c.try_recv::<u64>(0, 1).map_err(|e| e.key()))
+                        .collect()
                 }
             })
         };

@@ -72,9 +72,12 @@ pub trait Communicator {
         match unframe(&raw) {
             Ok(payload) => Ok(payload.to_vec()),
             Err(FrameError::TooShort(len)) => Err(CommError::Truncated { src, tag, len }),
-            Err(FrameError::Crc { expected, actual }) => {
-                Err(CommError::Corrupt { src, tag, expected, actual })
-            }
+            Err(FrameError::Crc { expected, actual }) => Err(CommError::Corrupt {
+                src,
+                tag,
+                expected,
+                actual,
+            }),
         }
     }
 
@@ -265,9 +268,7 @@ mod default_collective_tests {
         // Non-commutative fold: string-like concatenation encoded as
         // digit-shifting; every rank must compute the same value, equal to
         // the rank-ordered fold.
-        let results = run_spmd(4, |c| {
-            c.allreduce((c.rank() + 1) as u64, |a, b| a * 10 + b)
-        });
+        let results = run_spmd(4, |c| c.allreduce((c.rank() + 1) as u64, |a, b| a * 10 + b));
         assert!(results.iter().all(|&r| r == 1234));
     }
 

@@ -81,7 +81,12 @@ impl CommError {
 impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CommError::Corrupt { src, tag, expected, actual } => write!(
+            CommError::Corrupt {
+                src,
+                tag,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "corrupt message from (src {src}, tag {tag}): \
                  frame CRC {expected:#010x}, payload CRC {actual:#010x}"
@@ -96,7 +101,12 @@ impl fmt::Display for CommError {
                 "message from (src {src}, tag {tag}) passed its CRC but \
                  does not decode to an integral number of values"
             ),
-            CommError::Deadline { src, tag, waited_ms, pending } => {
+            CommError::Deadline {
+                src,
+                tag,
+                waited_ms,
+                pending,
+            } => {
                 write!(
                     f,
                     "receive deadline expired after {waited_ms} ms blocked \

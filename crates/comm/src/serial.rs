@@ -36,7 +36,11 @@ impl Communicator for SerialComm {
     fn send_bytes(&self, dest: usize, tag: u32, data: Vec<u8>) {
         assert_eq!(dest, 0, "SerialComm: destination rank out of range");
         self.stats.record_p2p(data.len());
-        self.mailbox.borrow_mut().entry(tag).or_default().push_back(data);
+        self.mailbox
+            .borrow_mut()
+            .entry(tag)
+            .or_default()
+            .push_back(data);
     }
 
     fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8> {

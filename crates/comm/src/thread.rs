@@ -61,10 +61,7 @@ impl PoisonBarrier {
     }
 
     fn wait(&self, size: usize, poisoned: &AtomicBool) {
-        let mut guard = self
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let gen = guard.1;
         guard.0 += 1;
         if guard.0 == size {
@@ -200,14 +197,10 @@ impl Communicator for ThreadComm {
             // rank reports the crash consistently instead of one of them
             // dying on an opaque channel error.
             self.poisoned.store(true, Ordering::Relaxed);
-            panic!(
-                "ThreadComm: a peer rank panicked; aborting send to rank {dest} (tag {tag})"
-            );
+            panic!("ThreadComm: a peer rank panicked; aborting send to rank {dest} (tag {tag})");
         }
         if self.poisoned.load(Ordering::Relaxed) {
-            panic!(
-                "ThreadComm: a peer rank panicked; aborting send to rank {dest} (tag {tag})"
-            );
+            panic!("ThreadComm: a peer rank panicked; aborting send to rank {dest} (tag {tag})");
         }
     }
 
@@ -221,7 +214,11 @@ impl Communicator for ThreadComm {
         let key = (src, tag);
         let start = Instant::now();
         loop {
-            if let Some(buf) = self.lock_mailbox().get_mut(&key).and_then(VecDeque::pop_front) {
+            if let Some(buf) = self
+                .lock_mailbox()
+                .get_mut(&key)
+                .and_then(VecDeque::pop_front)
+            {
                 return Ok(buf);
             }
             match self.inbox.recv_timeout(self.config.poll_interval) {
@@ -229,7 +226,10 @@ impl Communicator for ThreadComm {
                     if (from, t) == key {
                         return Ok(data);
                     }
-                    self.lock_mailbox().entry((from, t)).or_default().push_back(data);
+                    self.lock_mailbox()
+                        .entry((from, t))
+                        .or_default()
+                        .push_back(data);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if self.poisoned.load(Ordering::Relaxed) {
@@ -305,9 +305,8 @@ where
                     .spawn_scoped(scope, move || {
                         let poisoned = comm.poison_handle();
                         let wrapped = wrap(comm);
-                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(&wrapped)
-                        }));
+                        let r =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&wrapped)));
                         if r.is_err() {
                             poisoned.store(true, Ordering::Relaxed);
                         }
@@ -379,7 +378,11 @@ mod tests {
     fn allreduce_and_scan() {
         let results = run_spmd(6, |c| {
             let x = (c.rank() + 1) as u64;
-            (c.allreduce_sum_u64(x), c.exscan_sum_u64(x), c.allreduce_max_u64(x))
+            (
+                c.allreduce_sum_u64(x),
+                c.exscan_sum_u64(x),
+                c.allreduce_max_u64(x),
+            )
         });
         for (rank, (sum, scan, max)) in results.into_iter().enumerate() {
             assert_eq!(sum, 21);
@@ -466,22 +469,29 @@ mod tests {
     #[test]
     fn deadline_reports_blocked_key_and_pending_mailbox() {
         let cfg = CommConfig::with_deadline(Duration::from_millis(100));
-        let errs = run_spmd_with(2, cfg, |c| c, |c| {
-            if c.rank() == 0 {
-                // Send on tag 8; never send the tag 7 message rank 1 waits
-                // for.
-                c.send(1, 8, &[42u64]);
-                None
-            } else {
-                let err = c.try_recv::<u64>(0, 7).unwrap_err();
-                // Drain the tag-8 message so rank 0's send is matched.
-                assert_eq!(c.recv::<u64>(0, 8), vec![42]);
-                Some(err)
-            }
-        });
+        let errs = run_spmd_with(
+            2,
+            cfg,
+            |c| c,
+            |c| {
+                if c.rank() == 0 {
+                    // Send on tag 8; never send the tag 7 message rank 1 waits
+                    // for.
+                    c.send(1, 8, &[42u64]);
+                    None
+                } else {
+                    let err = c.try_recv::<u64>(0, 7).unwrap_err();
+                    // Drain the tag-8 message so rank 0's send is matched.
+                    assert_eq!(c.recv::<u64>(0, 8), vec![42]);
+                    Some(err)
+                }
+            },
+        );
         let err = errs[1].clone().expect("rank 1 returns the error");
         match err {
-            CommError::Deadline { src, tag, pending, .. } => {
+            CommError::Deadline {
+                src, tag, pending, ..
+            } => {
                 assert_eq!((src, tag), (0, 7));
                 assert_eq!(pending, vec![(0, 8, 1)]);
             }

@@ -102,7 +102,12 @@ impl<A: Wire, B: Wire, C: Wire, E: Wire> Wire for (A, B, C, E) {
         self.3.encode(buf);
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
-        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?, E::decode(buf)?))
+        Some((
+            A::decode(buf)?,
+            B::decode(buf)?,
+            C::decode(buf)?,
+            E::decode(buf)?,
+        ))
     }
 }
 
@@ -144,7 +149,11 @@ const CRC_TABLE: [u32; 256] = {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -213,7 +222,8 @@ pub fn unframe(buf: &[u8]) -> Result<&[u8], FrameError> {
 pub fn read_vec<T: Wire>(mut buf: &[u8]) -> Vec<T> {
     let mut v = Vec::new();
     while !buf.is_empty() {
-        let item = T::decode(&mut buf).expect("malformed wire buffer: trailing bytes do not decode");
+        let item =
+            T::decode(&mut buf).expect("malformed wire buffer: trailing bytes do not decode");
         v.push(item);
     }
     v

@@ -28,16 +28,28 @@ pub struct CubeRotation {
 
 impl CubeRotation {
     /// The identity placement.
-    pub const IDENTITY: CubeRotation = CubeRotation { perm: [0, 1, 2], flip: [false, false, false] };
+    pub const IDENTITY: CubeRotation = CubeRotation {
+        perm: [0, 1, 2],
+        flip: [false, false, false],
+    };
 
     /// Quarter-turn about the x axis: y -> z, z -> -y.
-    pub const ROT_X: CubeRotation = CubeRotation { perm: [0, 2, 1], flip: [false, false, true] };
+    pub const ROT_X: CubeRotation = CubeRotation {
+        perm: [0, 2, 1],
+        flip: [false, false, true],
+    };
 
     /// Quarter-turn about the y axis: z -> x, x -> -z.
-    pub const ROT_Y: CubeRotation = CubeRotation { perm: [2, 1, 0], flip: [true, false, false] };
+    pub const ROT_Y: CubeRotation = CubeRotation {
+        perm: [2, 1, 0],
+        flip: [true, false, false],
+    };
 
     /// Quarter-turn about the z axis: x -> y, y -> -x.
-    pub const ROT_Z: CubeRotation = CubeRotation { perm: [1, 0, 2], flip: [false, true, false] };
+    pub const ROT_Z: CubeRotation = CubeRotation {
+        perm: [1, 0, 2],
+        flip: [false, true, false],
+    };
 
     /// Apply to a unit-cube corner offset.
     pub fn apply(&self, c: [i64; 3]) -> [i64; 3] {
@@ -123,14 +135,24 @@ pub fn brick3d(n: [usize; 3], periodic: [bool; 3]) -> Connectivity<D3> {
 /// An `nx x ny` brick of quadtrees, optionally periodic per axis.
 pub fn brick2d(nx: usize, ny: usize, periodic_x: bool, periodic_y: bool) -> Connectivity<D2> {
     assert!(nx >= 1 && ny >= 1);
-    assert!(!periodic_x || nx >= 3, "periodic brick axes need at least three trees");
-    assert!(!periodic_y || ny >= 3, "periodic brick axes need at least three trees");
+    assert!(
+        !periodic_x || nx >= 3,
+        "periodic brick axes need at least three trees"
+    );
+    assert!(
+        !periodic_y || ny >= 3,
+        "periodic brick axes need at least three trees"
+    );
     let mut trees = Vec::new();
     for j in 0..ny {
         for i in 0..nx {
             let corners = (0..4)
                 .map(|c| {
-                    let mut p = [i as i64 + (c & 1) as i64, j as i64 + ((c >> 1) & 1) as i64, 0];
+                    let mut p = [
+                        i as i64 + (c & 1) as i64,
+                        j as i64 + ((c >> 1) & 1) as i64,
+                        0,
+                    ];
                     if periodic_x {
                         p[0] %= nx as i64;
                     }
@@ -228,7 +250,11 @@ fn cap_subtree(face: usize, a: i64, b: i64, split: i64) -> Vec<[i64; 3]> {
             // Interpolate the cube-face geometry from its 4 corner points.
             let p = |q: usize| {
                 let off = D3::corner_offset(corners[q]);
-                [4 * off[0] as i64 - 2, 4 * off[1] as i64 - 2, 4 * off[2] as i64 - 2]
+                [
+                    4 * off[0] as i64 - 2,
+                    4 * off[1] as i64 - 2,
+                    4 * off[2] as i64 - 2,
+                ]
             };
             let (p0, p1, p2, p3) = (p(0), p(1), p(2), p(3));
             let mut s = [0i64; 3];
@@ -275,7 +301,9 @@ mod tests {
     use crate::dim::Dim;
 
     fn glued_faces<D: Dim>(c: &Connectivity<D>, k: u32) -> usize {
-        (0..D::FACES).filter(|&f| c.face_transform(k, f).is_some()).count()
+        (0..D::FACES)
+            .filter(|&f| c.face_transform(k, f).is_some())
+            .count()
     }
 
     #[test]
@@ -368,7 +396,11 @@ mod tests {
         // Tree 0's edge 0 (x-running at y=0, z=0) is the central axis:
         // four trees share it.
         let nbs = c.edge_neighbors(0, 0);
-        assert_eq!(nbs.len(), 4, "central axis must be shared by 4 trees: {nbs:?}");
+        assert_eq!(
+            nbs.len(),
+            4,
+            "central axis must be shared by 4 trees: {nbs:?}"
+        );
         let mut trees: Vec<u32> = nbs.iter().map(|n| n.tree).collect();
         trees.sort_unstable();
         assert_eq!(trees, vec![0, 1, 2, 3]);

@@ -191,9 +191,7 @@ impl<D: Dim> Connectivity<D> {
                     self.face_conn[kb * D::FACES + fb] =
                         Some(self.build_face_transform(kb, fb, ka, fa));
                 }
-                n => panic!(
-                    "non-conforming connectivity: {n} faces share corners {ids:?}"
-                ),
+                n => panic!("non-conforming connectivity: {n} faces share corners {ids:?}"),
             }
         }
     }
@@ -319,7 +317,10 @@ impl<D: Dim> Connectivity<D> {
         for members in groups.values() {
             let list: Vec<CornerNeighbor> = members
                 .iter()
-                .map(|&(k2, c2)| CornerNeighbor { tree: k2 as TreeId, corner: c2 })
+                .map(|&(k2, c2)| CornerNeighbor {
+                    tree: k2 as TreeId,
+                    corner: c2,
+                })
                 .collect();
             for &(k, c) in members {
                 self.corner_conn[k * D::CORNERS + c] = list.clone();
@@ -393,7 +394,14 @@ impl<D: Dim> Connectivity<D> {
                     .iter()
                     .filter(|nb| !(nb.tree == k && nb.edge == e))
                     .map(|nb| {
-                        (nb.tree, nb.apply_octant(e, o), Route::Edge { source_edge: e, nb: *nb })
+                        (
+                            nb.tree,
+                            nb.apply_octant(e, o),
+                            Route::Edge {
+                                source_edge: e,
+                                nb: *nb,
+                            },
+                        )
                     })
                     .collect()
             }
@@ -410,7 +418,10 @@ impl<D: Dim> Connectivity<D> {
                         (
                             nb.tree,
                             nb.octant_at_corner(o.level),
-                            Route::Corner { source_corner: corner, nb: *nb },
+                            Route::Corner {
+                                source_corner: corner,
+                                nb: *nb,
+                            },
                         )
                     })
                     .collect()
@@ -507,7 +518,11 @@ impl<D: Dim> Connectivity<D> {
                     .unwrap_or_else(|| panic!("tree {k} face {f}: no reverse connection"));
                 assert_eq!(back.target, k as TreeId);
                 assert_eq!(back.target_face, f);
-                for p in [[0, 0, 0], [3, 5, 7], [big, big, if D::DIM == 3 { big } else { 0 }]] {
+                for p in [
+                    [0, 0, 0],
+                    [3, 5, 7],
+                    [big, big, if D::DIM == 3 { big } else { 0 }],
+                ] {
                     assert_eq!(
                         back.apply_point(t.apply_point(p)),
                         p,
@@ -520,10 +535,20 @@ impl<D: Dim> Connectivity<D> {
                     let p = [off[0] * big, off[1] * big, off[2] * big];
                     let q = t.apply_point(p);
                     let axis2 = D::face_axis(t.target_face);
-                    let plane2 = if D::face_positive(t.target_face) { big } else { 0 };
-                    assert_eq!(q[axis2], plane2, "tree {k} face {f}: corner off target plane");
+                    let plane2 = if D::face_positive(t.target_face) {
+                        big
+                    } else {
+                        0
+                    };
+                    assert_eq!(
+                        q[axis2], plane2,
+                        "tree {k} face {f}: corner off target plane"
+                    );
                     for (d, &qd) in q.iter().enumerate().take(D::DIM as usize) {
-                        assert!(qd == 0 || qd == big, "tree {k} face {f}: image {q:?} of corner {c} not a corner (axis {d})");
+                        assert!(
+                            qd == 0 || qd == big,
+                            "tree {k} face {f}: image {q:?} of corner {c} not a corner (axis {d})"
+                        );
                     }
                 }
             }
@@ -543,7 +568,9 @@ impl<D: Dim> Connectivity<D> {
                 for nb in self.corner_neighbors(k as TreeId, c) {
                     let theirs = self.corner_neighbors(nb.tree, nb.corner);
                     assert!(
-                        theirs.iter().any(|x| x.tree == k as TreeId && x.corner == c),
+                        theirs
+                            .iter()
+                            .any(|x| x.tree == k as TreeId && x.corner == c),
                         "tree {k} corner {c}: asymmetric corner list"
                     );
                 }
@@ -572,7 +599,11 @@ mod tests {
                 let axis = D3::face_axis(f);
                 let big = D3::root_len();
                 let mut coords = o.coords();
-                coords[axis] = if D3::face_positive(f) { big - o.len() } else { 0 };
+                coords[axis] = if D3::face_positive(f) {
+                    big - o.len()
+                } else {
+                    0
+                };
                 o = Octant::from_coords(coords, o.level);
 
                 let ext = o.face_neighbor(f);
@@ -655,7 +686,11 @@ mod tests {
         let c = shell24();
         let big = D3::root_len();
         // Points to test: a face-interior point, an edge point, a corner.
-        let pts = [[big, big / 2, big / 4], [big, big, big / 2], [big, big, big]];
+        let pts = [
+            [big, big / 2, big / 4],
+            [big, big, big / 2],
+            [big, big, big],
+        ];
         for k in 0..24 {
             for p in pts {
                 let images = c.point_images(k, p);
@@ -688,7 +723,10 @@ mod tests {
         // Mid-edge point on the twisted seam: shared by trees 4 and 0.
         let images = c.point_images(4, [big, big / 4, 0]);
         assert_eq!(images.len(), 2);
-        let other = images.iter().find(|(k, _)| *k == 0).expect("image in tree 0");
+        let other = images
+            .iter()
+            .find(|(k, _)| *k == 0)
+            .expect("image in tree 0");
         // The twist maps y to big - y.
         assert_eq!(other.1, [0, big - big / 4, 0]);
     }

@@ -13,9 +13,9 @@
 //! edge/corner of the target tree is shared, so only the coordinate running
 //! along an edge needs an orientation bit.
 
+use crate::connectivity::TreeId;
 use crate::dim::Dim;
 use crate::octant::Octant;
-use crate::connectivity::TreeId;
 
 /// Affine integer map from one tree's coordinates to a face-neighbor's:
 /// `p_out[perm[d]] = sign[d] * p_in[d] + offset[d]`.
@@ -325,7 +325,11 @@ mod tests {
         // Octant diagonally across edge 0 of the source tree (x-running
         // edge at y=0, z=0): exterior at y=-h, z=-h.
         let o = Octant::<D3>::new(2 * h, -h, -h, 2);
-        let nb = EdgeNeighbor { tree: 4, edge: 3, reversed: true };
+        let nb = EdgeNeighbor {
+            tree: 4,
+            edge: 3,
+            reversed: true,
+        };
         let m = nb.apply_octant::<D3>(0, &o);
         // Edge 3 runs along x at y=1,z=1: target coords flush at big-h.
         assert_eq!(m.y, big - h);
@@ -337,10 +341,18 @@ mod tests {
     #[test]
     fn edge_point_map_reverses_run() {
         let big = D3::root_len();
-        let nb = EdgeNeighbor { tree: 1, edge: 8, reversed: false };
+        let nb = EdgeNeighbor {
+            tree: 1,
+            edge: 8,
+            reversed: false,
+        };
         // Edge 8 runs along z at x=0, y=0.
         assert_eq!(nb.apply_edge_point::<D3>(5), [0, 0, 5]);
-        let nb_rev = EdgeNeighbor { tree: 1, edge: 11, reversed: true };
+        let nb_rev = EdgeNeighbor {
+            tree: 1,
+            edge: 11,
+            reversed: true,
+        };
         // Edge 11 runs along z at x=1, y=1.
         assert_eq!(nb_rev.apply_edge_point::<D3>(5), [big, big, big - 5]);
     }

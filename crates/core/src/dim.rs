@@ -84,7 +84,11 @@ pub trait Dim:
         [
             (c & 1) as i32,
             ((c >> 1) & 1) as i32,
-            if Self::DIM == 3 { ((c >> 2) & 1) as i32 } else { 0 },
+            if Self::DIM == 3 {
+                ((c >> 2) & 1) as i32
+            } else {
+                0
+            },
         ]
     }
 }
@@ -106,8 +110,7 @@ impl Dim for D2 {
     const FACE_CHILDREN: usize = 2;
     const MAX_LEVEL: u8 = 24;
 
-    const FACE_CORNERS: &'static [&'static [usize]] =
-        &[&[0, 2], &[1, 3], &[0, 1], &[2, 3]];
+    const FACE_CORNERS: &'static [&'static [usize]] = &[&[0, 2], &[1, 3], &[0, 1], &[2, 3]];
     const FACE_EDGES: &'static [&'static [usize]] = &[&[], &[], &[], &[]];
     const EDGE_CORNERS: &'static [[usize; 2]] = &[];
 }

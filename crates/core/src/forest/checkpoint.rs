@@ -107,14 +107,22 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
-            CheckpointError::Crc { file, expected, actual } => write!(
+            CheckpointError::Crc {
+                file,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "checkpoint file {} is corrupt: stored CRC {expected:#010x}, \
                  computed {actual:#010x}",
                 file.display()
             ),
             CheckpointError::Format { file, detail } => {
-                write!(f, "checkpoint file {} is malformed: {detail}", file.display())
+                write!(
+                    f,
+                    "checkpoint file {} is malformed: {detail}",
+                    file.display()
+                )
             }
             CheckpointError::MissingSegment { rank, saved_ranks } => write!(
                 f,
@@ -126,10 +134,9 @@ impl std::fmt::Display for CheckpointError {
                 "checkpoint manifest records {expected} octants but segments \
                  hold {actual}"
             ),
-            CheckpointError::DimensionMismatch { found, expected } => write!(
-                f,
-                "checkpoint is {found}-dimensional, expected {expected}"
-            ),
+            CheckpointError::DimensionMismatch { found, expected } => {
+                write!(f, "checkpoint is {found}-dimensional, expected {expected}")
+            }
             CheckpointError::NoCheckpoint { dir } => {
                 write!(f, "no checkpoint found in {}", dir.display())
             }
@@ -226,7 +233,10 @@ fn parse_segment<D: Dim>(path: &Path) -> Result<Segment<D>, CheckpointError> {
     }
     let dim = field("dimension")?;
     if dim != D::DIM as u64 {
-        return Err(CheckpointError::DimensionMismatch { found: dim, expected: D::DIM });
+        return Err(CheckpointError::DimensionMismatch {
+            found: dim,
+            expected: D::DIM,
+        });
     }
     let _trees = field("tree count")?;
     let saved_ranks = field("saved rank count")?;
@@ -249,7 +259,12 @@ fn parse_segment<D: Dim>(path: &Path) -> Result<Segment<D>, CheckpointError> {
     if !s.is_empty() {
         return Err(format_err(path, format!("{} trailing bytes", s.len())));
     }
-    Ok(Segment { octs, payloads, saved_ranks, epoch })
+    Ok(Segment {
+        octs,
+        payloads,
+        saved_ranks,
+        epoch,
+    })
 }
 
 impl<D: Dim> Forest<D> {
@@ -365,12 +380,19 @@ impl<D: Dim> Forest<D> {
             }
             let dim = field("dimension")?;
             if dim != D::DIM as u64 {
-                return Err(CheckpointError::DimensionMismatch { found: dim, expected: D::DIM });
+                return Err(CheckpointError::DimensionMismatch {
+                    found: dim,
+                    expected: D::DIM,
+                });
             }
             let saved_ranks = field("saved rank count")? as usize;
             let epoch = field("epoch")?;
             let global_octants = field("global octant count")?;
-            Some(CheckpointMeta { epoch, saved_ranks, global_octants })
+            Some(CheckpointMeta {
+                epoch,
+                saved_ranks,
+                global_octants,
+            })
         } else {
             None
         };
@@ -380,7 +402,9 @@ impl<D: Dim> Forest<D> {
             None => {
                 let first = segment_path(dir, 0);
                 if !first.exists() {
-                    return Err(CheckpointError::NoCheckpoint { dir: dir.to_path_buf() });
+                    return Err(CheckpointError::NoCheckpoint {
+                        dir: dir.to_path_buf(),
+                    });
                 }
                 parse_segment::<D>(&first)?.saved_ranks as usize
             }
@@ -395,7 +419,10 @@ impl<D: Dim> Forest<D> {
         for r in 0..saved_ranks {
             let path = segment_path(dir, r);
             if !path.exists() {
-                return Err(CheckpointError::MissingSegment { rank: r, saved_ranks });
+                return Err(CheckpointError::MissingSegment {
+                    rank: r,
+                    saved_ranks,
+                });
             }
             let seg = parse_segment::<D>(&path)?;
             if seg.saved_ranks as usize != saved_ranks {
@@ -592,7 +619,13 @@ mod tests {
         std::fs::remove_file(dir.join("forest_1.fst")).unwrap();
         let err = load_err(&dir);
         assert!(
-            matches!(err, CheckpointError::MissingSegment { rank: 1, saved_ranks: 3 }),
+            matches!(
+                err,
+                CheckpointError::MissingSegment {
+                    rank: 1,
+                    saved_ranks: 3
+                }
+            ),
             "{err:?}"
         );
     }
@@ -607,7 +640,13 @@ mod tests {
         std::fs::remove_file(dir.join("forest_2.fst")).unwrap();
         let err = load_err(&dir);
         assert!(
-            matches!(err, CheckpointError::MissingSegment { rank: 2, saved_ranks: 3 }),
+            matches!(
+                err,
+                CheckpointError::MissingSegment {
+                    rank: 2,
+                    saved_ranks: 3
+                }
+            ),
             "{err:?}"
         );
     }
@@ -638,7 +677,10 @@ mod tests {
     fn empty_dir_is_no_checkpoint() {
         let dir = tmpdir("empty");
         let err = load_err(&dir);
-        assert!(matches!(err, CheckpointError::NoCheckpoint { .. }), "{err:?}");
+        assert!(
+            matches!(err, CheckpointError::NoCheckpoint { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -657,7 +699,8 @@ mod tests {
             let payload: Vec<Vec<u64>> = (0..f.num_local())
                 .map(|i| vec![start + i as u64, 2 * (start + i as u64)])
                 .collect();
-            f.save_with_payload(comm, &dir2, 42, Some(&payload)).unwrap();
+            f.save_with_payload(comm, &dir2, 42, Some(&payload))
+                .unwrap();
         });
         run_spmd(2, move |comm| {
             let conn = Arc::new(builders::moebius());

@@ -77,11 +77,7 @@ impl<D: Dim> Forest<D> {
     /// `New`: create an equi-partitioned forest, uniformly refined to
     /// `level`. With `level = 0` this creates only root octants, possibly
     /// leaving many ranks empty (as the paper notes).
-    pub fn new_uniform(
-        conn: Arc<Connectivity<D>>,
-        comm: &impl Communicator,
-        level: u8,
-    ) -> Self {
+    pub fn new_uniform(conn: Arc<Connectivity<D>>, comm: &impl Communicator, level: u8) -> Self {
         assert!(level <= D::MAX_LEVEL);
         let k = conn.num_trees() as u64;
         let per_tree = 1u64 << (D::DIM * level as u32);
@@ -145,7 +141,11 @@ impl<D: Dim> Forest<D> {
         let sentinel = (self.conn.num_trees() as TreeId, Octant::<D>::root());
         let mut markers = vec![sentinel; p + 1];
         for r in (0..p).rev() {
-            markers[r] = if all[r].0 > 0 { (all[r].1, all[r].2) } else { markers[r + 1] };
+            markers[r] = if all[r].0 > 0 {
+                (all[r].1, all[r].2)
+            } else {
+                markers[r + 1]
+            };
         }
         self.markers = markers;
     }
@@ -289,8 +289,7 @@ impl<D: Dim> Forest<D> {
             assert_eq!(self.markers[comm.rank()], (t, o), "marker out of date");
         }
         // Global completeness per tree, and rank-ordered segments.
-        let mine: Vec<(u32, Octant<D>)> =
-            self.iter_local().map(|(t, o)| (t, *o)).collect();
+        let mine: Vec<(u32, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
         let all = comm.allgatherv(&mine);
         let mut global: Vec<(u32, Octant<D>)> = Vec::new();
         for (r, part) in all.iter().enumerate() {
@@ -357,8 +356,7 @@ mod tests {
             let f = Forest::<D2>::new_uniform(conn, comm, 2);
             // Every rank agrees on ownership, and ownership matches
             // who actually stores the leaf.
-            let mine: Vec<(u32, Octant<D2>)> =
-                f.iter_local().map(|(t, o)| (t, *o)).collect();
+            let mine: Vec<(u32, Octant<D2>)> = f.iter_local().map(|(t, o)| (t, *o)).collect();
             let all = comm.allgatherv(&mine);
             for (r, part) in all.iter().enumerate() {
                 for (t, o) in part {

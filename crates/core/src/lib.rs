@@ -33,7 +33,7 @@ pub mod nodes;
 pub mod octant;
 
 pub use connectivity::{Connectivity, TreeId};
+pub use dim::{Dim, D2, D3};
 pub use forest::{BalanceType, Forest, GhostLayer};
 pub use nodes::{NodeKey, NodeStatus, Nodes};
-pub use dim::{Dim, D2, D3};
 pub use octant::Octant;

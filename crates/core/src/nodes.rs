@@ -96,7 +96,11 @@ pub struct Nodes<D: Dim> {
 enum Draft {
     Unset,
     Independent,
-    Hanging { parents: Vec<u32>, rel: [u16; 2], entity_dim: u8 },
+    Hanging {
+        parents: Vec<u32>,
+        rel: [u16; 2],
+        entity_dim: u8,
+    },
 }
 
 /// How one facet of an element hangs, recorded at detection time.
@@ -127,7 +131,10 @@ struct EdgeHang<D: Dim> {
 enum OwnedRoute {
     Interior,
     Face(crate::connectivity::FaceTransform),
-    Edge { source_edge: usize, nb: crate::connectivity::EdgeNeighbor },
+    Edge {
+        source_edge: usize,
+        nb: crate::connectivity::EdgeNeighbor,
+    },
 }
 
 impl OwnedRoute {
@@ -135,9 +142,10 @@ impl OwnedRoute {
         match r {
             Route::Interior => OwnedRoute::Interior,
             Route::Face(t) => OwnedRoute::Face(**t),
-            Route::Edge { source_edge, nb } => {
-                OwnedRoute::Edge { source_edge: *source_edge, nb: *nb }
-            }
+            Route::Edge { source_edge, nb } => OwnedRoute::Edge {
+                source_edge: *source_edge,
+                nb: *nb,
+            },
             Route::Corner { .. } => unreachable!("corner routes never carry hanging entities"),
         }
     }
@@ -146,9 +154,11 @@ impl OwnedRoute {
         match self {
             OwnedRoute::Interior => p,
             OwnedRoute::Face(t) => t.apply_point_scaled(p, scale),
-            OwnedRoute::Edge { source_edge, nb } => {
-                Route::Edge { source_edge: *source_edge, nb: *nb }.map_point_scaled::<D>(p, scale)
+            OwnedRoute::Edge { source_edge, nb } => Route::Edge {
+                source_edge: *source_edge,
+                nb: *nb,
             }
+            .map_point_scaled::<D>(p, scale),
         }
     }
 }
@@ -170,8 +180,7 @@ impl<D: Dim> Forest<D> {
         let npe_1d = degree + 1;
         let nodes_per_elem = npe_1d.pow(D::DIM);
 
-        let elements: Vec<(TreeId, Octant<D>)> =
-            self.iter_local().map(|(t, o)| (t, *o)).collect();
+        let elements: Vec<(TreeId, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
 
         // Leaf lookup across local storage and the ghost layer.
         let find_leaf = |t: TreeId, region: &Octant<D>| -> Option<Octant<D>> {
@@ -212,7 +221,9 @@ impl<D: Dim> Forest<D> {
             for (f, slot) in face_hang.iter_mut().enumerate() {
                 let nb = o.face_neighbor(f);
                 for (k2, m, route) in self.conn.exterior_images_routed(t, &nb) {
-                    let Some(leaf) = find_leaf(k2, &m) else { continue };
+                    let Some(leaf) = find_leaf(k2, &m) else {
+                        continue;
+                    };
                     if leaf.level + 1 != level {
                         continue;
                     }
@@ -225,17 +236,22 @@ impl<D: Dim> Forest<D> {
                     };
                     // The shared plane coordinate equals my face plane
                     // mapped; determine low/high side of the coarse leaf.
-                    let my_plane = if D::face_positive(f) { o.coords()[D::face_axis(f)] + h } else { o.coords()[D::face_axis(f)] };
+                    let my_plane = if D::face_positive(f) {
+                        o.coords()[D::face_axis(f)] + h
+                    } else {
+                        o.coords()[D::face_axis(f)]
+                    };
                     let mut probe = o.coords();
                     probe[D::face_axis(f)] = my_plane;
-                    let probe2 = OwnedRoute::from_route(&route).map_point_scaled::<D>(
-                        [probe[0] * 1, probe[1], probe[2]],
-                        1,
-                    );
+                    let probe2 = OwnedRoute::from_route(&route)
+                        .map_point_scaled::<D>([probe[0] * 1, probe[1], probe[2]], 1);
                     let plane_high = if probe2[plane_axis] == leaf.coords()[plane_axis] {
                         false
                     } else {
-                        debug_assert_eq!(probe2[plane_axis], leaf.coords()[plane_axis] + leaf.len());
+                        debug_assert_eq!(
+                            probe2[plane_axis],
+                            leaf.coords()[plane_axis] + leaf.len()
+                        );
                         true
                     };
                     *slot = Some(FaceHang {
@@ -254,7 +270,9 @@ impl<D: Dim> Forest<D> {
             for (e, slot) in edge_hang.iter_mut().enumerate() {
                 let nb = o.edge_neighbor(e);
                 for (k2, m, route) in self.conn.exterior_images_routed(t, &nb) {
-                    let Some(leaf) = find_leaf(k2, &m) else { continue };
+                    let Some(leaf) = find_leaf(k2, &m) else {
+                        continue;
+                    };
                     if leaf.level + 1 != level {
                         continue;
                     }
@@ -267,17 +285,18 @@ impl<D: Dim> Forest<D> {
                     let run_axis = (0..3)
                         .find(|&d| pa[d] != pb[d])
                         .expect("edge endpoints must differ along one axis");
-                    *slot = Some(EdgeHang { tree: k2, coarse: leaf, run_axis, route: owned });
+                    *slot = Some(EdgeHang {
+                        tree: k2,
+                        coarse: leaf,
+                        run_axis,
+                        route: owned,
+                    });
                     break;
                 }
             }
 
             // --- Classify every node of this element ----------------------
-            let idx_ranges: [usize; 3] = [
-                npe_1d,
-                npe_1d,
-                if D::DIM == 3 { npe_1d } else { 1 },
-            ];
+            let idx_ranges: [usize; 3] = [npe_1d, npe_1d, if D::DIM == 3 { npe_1d } else { 1 }];
             for iz in 0..idx_ranges[2] {
                 for iy in 0..idx_ranges[1] {
                     for ix in 0..idx_ranges[0] {
@@ -291,16 +310,25 @@ impl<D: Dim> Forest<D> {
                         // Faces this node lies on.
                         let on_face = |f: usize| -> bool {
                             let a = D::face_axis(f);
-                            if D::face_positive(f) { idx[a] == n } else { idx[a] == 0 }
+                            if D::face_positive(f) {
+                                idx[a] == n
+                            } else {
+                                idx[a] == 0
+                            }
                         };
                         // First hanging face containing the node wins.
-                        let face_c = (0..D::FACES)
-                            .find(|&f| on_face(f) && face_hang[f].is_some());
+                        let face_c = (0..D::FACES).find(|&f| on_face(f) && face_hang[f].is_some());
 
                         let node_idx = if let Some(f) = face_c {
                             let hang = face_hang[f].as_ref().expect("checked");
                             self.hanging_face_node(
-                                hang, n, pos, &mut intern, &mut keys, &mut drafts, &canon,
+                                hang,
+                                n,
+                                pos,
+                                &mut intern,
+                                &mut keys,
+                                &mut drafts,
+                                &canon,
                             )
                         } else {
                             // Hanging edge: node on edge e, no hanging face.
@@ -324,7 +352,13 @@ impl<D: Dim> Forest<D> {
                                 };
                                 if on_edge {
                                     via_edge = Some(self.hanging_edge_node(
-                                        eh, n, pos, &mut intern, &mut keys, &mut drafts, &canon,
+                                        eh,
+                                        n,
+                                        pos,
+                                        &mut intern,
+                                        &mut keys,
+                                        &mut drafts,
+                                        &canon,
                                     ));
                                     break;
                                 }
@@ -362,9 +396,16 @@ impl<D: Dim> Forest<D> {
                     }
                     let atom = Octant::<D>::from_coords(anchor, D::MAX_LEVEL);
                     owners[i] = self.owner_of_atom(kt, &atom);
-                    status.push(NodeStatus::Independent { global: u64::MAX, owner: owners[i] });
+                    status.push(NodeStatus::Independent {
+                        global: u64::MAX,
+                        owner: owners[i],
+                    });
                 }
-                Draft::Hanging { parents, rel, entity_dim } => {
+                Draft::Hanging {
+                    parents,
+                    rel,
+                    entity_dim,
+                } => {
                     status.push(NodeStatus::Hanging {
                         parents: parents.clone(),
                         rel: *rel,
@@ -469,7 +510,9 @@ impl<D: Dim> Forest<D> {
         let hc = coarse.len();
         let p2 = hang.route.map_point_scaled::<D>(pos, n);
         // Tangential axes of the coarse face, ascending.
-        let tang: Vec<usize> = (0..D::DIM as usize).filter(|&a| a != hang.plane_axis).collect();
+        let tang: Vec<usize> = (0..D::DIM as usize)
+            .filter(|&a| a != hang.plane_axis)
+            .collect();
         // Rational relative position: numerator over 2N per tangential axis.
         let mut rel = [0u16; 2];
         for (j, &a) in tang.iter().enumerate() {
@@ -567,7 +610,11 @@ fn mark_independent(drafts: &mut [Draft], i: u32) {
 fn set_hanging(drafts: &mut [Draft], i: u32, parents: Vec<u32>, rel: [u16; 2], entity_dim: u8) {
     match &drafts[i as usize] {
         Draft::Unset => {
-            drafts[i as usize] = Draft::Hanging { parents, rel, entity_dim };
+            drafts[i as usize] = Draft::Hanging {
+                parents,
+                rel,
+                entity_dim,
+            };
         }
         Draft::Hanging { entity_dim: e0, .. } => {
             // Another element constrained the same node. The records may
@@ -579,7 +626,11 @@ fn set_hanging(drafts: &mut [Draft], i: u32, parents: Vec<u32>, rel: [u16; 2], e
             // over an edge constraint when the dimensions differ (the face
             // form degenerates to the edge form on the boundary).
             if entity_dim > *e0 {
-                drafts[i as usize] = Draft::Hanging { parents, rel, entity_dim };
+                drafts[i as usize] = Draft::Hanging {
+                    parents,
+                    rel,
+                    entity_dim,
+                };
             }
         }
         Draft::Independent => {
@@ -608,7 +659,12 @@ impl<D: Dim> Nodes<D> {
         let p = comm.size();
         // Borrower -> owner partials.
         let out: Vec<Vec<f64>> = (0..p)
-            .map(|r| self.borrowed_by_rank[r].iter().map(|&i| values[i as usize]).collect())
+            .map(|r| {
+                self.borrowed_by_rank[r]
+                    .iter()
+                    .map(|&i| values[i as usize])
+                    .collect()
+            })
             .collect();
         let incoming = comm.alltoallv(out);
         for (r, partials) in incoming.into_iter().enumerate() {
@@ -624,7 +680,12 @@ impl<D: Dim> Nodes<D> {
         assert_eq!(values.len(), self.keys.len());
         let p = comm.size();
         let out: Vec<Vec<f64>> = (0..p)
-            .map(|r| self.lent_to_rank[r].iter().map(|&i| values[i as usize]).collect())
+            .map(|r| {
+                self.lent_to_rank[r]
+                    .iter()
+                    .map(|&i| values[i as usize])
+                    .collect()
+            })
             .collect();
         let incoming = comm.alltoallv(out);
         for (r, vals) in incoming.into_iter().enumerate() {
@@ -683,7 +744,9 @@ mod tests {
     #[test]
     fn two_trees_share_face_nodes() {
         let r = run_spmd(2, |comm| {
-            let (_, nodes) = build(comm, builders::brick2d(2, 1, false, false), 0, 1, |_, _| false);
+            let (_, nodes) = build(comm, builders::brick2d(2, 1, false, false), 0, 1, |_, _| {
+                false
+            });
             nodes.num_global
         });
         assert!(r.iter().all(|&g| g == 6), "{r:?}"); // 2x3 lattice
@@ -744,7 +807,12 @@ mod tests {
                 o.level < 2 && o.x == 0 && o.y == 0
             });
             for s in &nodes.status {
-                if let NodeStatus::Hanging { parents, rel, entity_dim } = s {
+                if let NodeStatus::Hanging {
+                    parents,
+                    rel,
+                    entity_dim,
+                } = s
+                {
                     assert_eq!(*entity_dim, 1, "2D hangs on faces (dim-1 entities)");
                     assert_eq!(parents.len(), 2);
                     assert_eq!(rel[0], 1, "midpoint of the coarse face");
@@ -777,11 +845,7 @@ mod tests {
                         _ => None,
                     })
                     .collect();
-                let all: Vec<_> = comm
-                    .allgatherv(&mine)
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let all: Vec<_> = comm.allgatherv(&mine).into_iter().flatten().collect();
                 let mut map = std::collections::HashMap::new();
                 for (k, g) in all {
                     if let Some(prev) = map.insert(k, g) {
@@ -819,7 +883,13 @@ mod tests {
     #[test]
     fn assemble_add_counts_sharers() {
         run_spmd(4, |comm| {
-            let (_, nodes) = build(comm, builders::brick3d([2, 1, 1], [false; 3]), 1, 1, |_, _| false);
+            let (_, nodes) = build(
+                comm,
+                builders::brick3d([2, 1, 1], [false; 3]),
+                1,
+                1,
+                |_, _| false,
+            );
             // Each element contributes 1 to each of its nodes; after
             // assembly every copy of a node holds the global valence.
             let mut values = vec![0.0f64; nodes.num_local()];
@@ -901,7 +971,12 @@ mod tests {
             let mut edge_like = 0;
             let mut face_hangs = 0;
             for s in &nodes.status {
-                if let NodeStatus::Hanging { parents, rel, entity_dim } = s {
+                if let NodeStatus::Hanging {
+                    parents,
+                    rel,
+                    entity_dim,
+                } = s
+                {
                     match entity_dim {
                         1 => {
                             edge_like += 1;

@@ -154,8 +154,7 @@ fn forest_pipeline_randomized() {
                     let conn = Arc::new(builders::cubed_sphere());
                     let mut f = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
                     f.refine(comm, true, |t, o| {
-                        o.level < 3
-                            && (o.morton() ^ seed.wrapping_mul(t as u64 + 1)) % 5 == 0
+                        o.level < 3 && (o.morton() ^ seed.wrapping_mul(t as u64 + 1)) % 5 == 0
                     });
                     f.balance(comm, BalanceType::Full);
                     f.partition(comm);
@@ -164,8 +163,11 @@ fn forest_pipeline_randomized() {
                     // Ghost layer duals must match.
                     let ghost = f.ghost(comm);
                     let total_ghosts = comm.allreduce_sum_u64(ghost.ghosts.len() as u64);
-                    let my_sends: u64 =
-                        ghost.mirror_idx_by_rank.iter().map(|v| v.len() as u64).sum();
+                    let my_sends: u64 = ghost
+                        .mirror_idx_by_rank
+                        .iter()
+                        .map(|v| v.len() as u64)
+                        .sum();
                     let total_sends = comm.allreduce_sum_u64(my_sends);
                     assert_eq!(total_ghosts, total_sends);
                     f.num_global()

@@ -41,7 +41,12 @@ impl HangingInterp {
 
         let mut constraints = Vec::new();
         for (i, s) in nodes.status.iter().enumerate() {
-            if let NodeStatus::Hanging { parents, rel, entity_dim } = s {
+            if let NodeStatus::Hanging {
+                parents,
+                rel,
+                entity_dim,
+            } = s
+            {
                 let wa = &w1d[rel[0] as usize];
                 let mut pw: Vec<(u32, f64)> = Vec::with_capacity(parents.len());
                 match entity_dim {
@@ -165,9 +170,7 @@ mod tests {
             // function (linear in lattice coords equals linear in space
             // only for the lattice function, which suffices since degree
             // >= 1 reproduces linears... using lattice coordinates).
-            let nval = |key: (u32, [i32; 3])| {
-                3.0 * key.1[0] as f64 + 2.0 * key.1[1] as f64 - 1.0
-            };
+            let nval = |key: (u32, [i32; 3])| 3.0 * key.1[0] as f64 + 2.0 * key.1[1] as f64 - 1.0;
             // Hmm: hanging nodes interpolate in LGL coordinates, which
             // reproduce *polynomials* of the coarse entity exactly; a
             // function linear in lattice coordinates is linear in space,

@@ -75,13 +75,7 @@ impl RefElement {
     ///
     /// Sum factorization: cost `O(np^(d+1))` per element instead of
     /// `O(np^(2d))`.
-    pub fn apply_axis(
-        &self,
-        op: &Matrix,
-        input: &[f64],
-        dim: usize,
-        axis: usize,
-    ) -> Vec<f64> {
+    pub fn apply_axis(&self, op: &Matrix, input: &[f64], dim: usize, axis: usize) -> Vec<f64> {
         let np = self.np;
         assert_eq!(op.cols, np);
         let npo = op.rows;
@@ -106,12 +100,14 @@ impl RefElement {
                     for q in 0..np {
                         let mut iidx = oidx;
                         iidx[axis] = q;
-                        let src =
-                            iidx[0] * stride_in[0] + iidx[1] * stride_in[1] + iidx[2] * stride_in[2];
+                        let src = iidx[0] * stride_in[0]
+                            + iidx[1] * stride_in[1]
+                            + iidx[2] * stride_in[2];
                         acc += op.data[a * np + q] * input[src];
                     }
-                    out[oidx[0] * stride_out[0] + oidx[1] * stride_out[1] + oidx[2] * stride_out[2]] =
-                        acc;
+                    out[oidx[0] * stride_out[0]
+                        + oidx[1] * stride_out[1]
+                        + oidx[2] * stride_out[2]] = acc;
                 }
             }
         }
@@ -121,7 +117,9 @@ impl RefElement {
     /// Reference-space gradient of a nodal field: `dim` vectors of nodal
     /// derivatives along each reference axis.
     pub fn gradient(&self, input: &[f64], dim: usize) -> Vec<Vec<f64>> {
-        (0..dim).map(|a| self.apply_axis(&self.diff, input, dim, a)).collect()
+        (0..dim)
+            .map(|a| self.apply_axis(&self.diff, input, dim, a))
+            .collect()
     }
 
     /// Volume node index of lattice point `(i, j, k)` (x-fastest).

@@ -133,7 +133,11 @@ impl MeshGeometry {
                         let frac = [
                             0.5 * (re.nodes[i] + 1.0),
                             0.5 * (re.nodes[jj] + 1.0),
-                            if dim == 3 { 0.5 * (re.nodes[k] + 1.0) } else { 0.0 },
+                            if dim == 3 {
+                                0.5 * (re.nodes[k] + 1.0)
+                            } else {
+                                0.0
+                            },
                         ];
                         let (j, x) = jac_at(t, &o, frac);
                         let (inv, det) = invert3(j);
@@ -214,8 +218,17 @@ impl MeshGeometry {
                         for b in 0..nb {
                             for a in 0..np {
                                 let frac = my_frac_of_fine_point::<D>(
-                                    re, dim, &o, f, &fine.1, sub.nbr_face, a, b, t,
-                                    fine.0, mesh,
+                                    re,
+                                    dim,
+                                    &o,
+                                    f,
+                                    &fine.1,
+                                    sub.nbr_face,
+                                    a,
+                                    b,
+                                    t,
+                                    fine.0,
+                                    mesh,
                                 );
                                 let (j, x) = jac_at(t, &o, frac);
                                 let (n, s) = nanson(j, f);
@@ -224,14 +237,24 @@ impl MeshGeometry {
                                 ps.push(x);
                             }
                         }
-                        subs.push(SubGeo { normal: ns, sj: ss, pos: ps });
+                        subs.push(SubGeo {
+                            normal: ns,
+                            sj: ss,
+                            pos: ps,
+                        });
                     }
                 }
                 faces.push(FaceGeo { normal, sj, subs });
             }
         }
 
-        MeshGeometry { pos, inv_jac, det_jac, faces, npe }
+        MeshGeometry {
+            pos,
+            inv_jac,
+            det_jac,
+            faces,
+            npe,
+        }
     }
 
     /// Metric slice helpers.
@@ -304,6 +327,10 @@ fn my_frac_of_fine_point<D: Dim>(
     [
         ((x_my[0] - c[0] as f64) / h).clamp(0.0, 1.0),
         ((x_my[1] - c[1] as f64) / h).clamp(0.0, 1.0),
-        if dim == 3 { ((x_my[2] - c[2] as f64) / h).clamp(0.0, 1.0) } else { 0.0 },
+        if dim == 3 {
+            ((x_my[2] - c[2] as f64) / h).clamp(0.0, 1.0)
+        } else {
+            0.0
+        },
     ]
 }

@@ -22,7 +22,11 @@ pub fn legendre(n: usize, x: f64) -> (f64, f64) {
             // Derivative from the standard identity (valid for |x| != 1).
             let dp = if (x * x - 1.0).abs() < 1e-14 {
                 // P_n'(±1) = ±^(n+1) n(n+1)/2
-                let s = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 + 1) };
+                let s = if x > 0.0 {
+                    1.0
+                } else {
+                    (-1.0f64).powi(n as i32 + 1)
+                };
                 s * (n * (n + 1)) as f64 / 2.0
             } else {
                 n as f64 * (x * p - pm) / (x * x - 1.0)
@@ -181,14 +185,22 @@ mod tests {
         for n in 1..=8usize {
             let x = lgl_nodes(n);
             let w = lgl_weights(&x);
-            assert!((w.iter().sum::<f64>() - 2.0).abs() < 1e-12, "weights sum to 2");
+            assert!(
+                (w.iter().sum::<f64>() - 2.0).abs() < 1e-12,
+                "weights sum to 2"
+            );
             for k in 0..=(2 * n - 1) {
-                let q: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(k as i32)).sum();
-                let exact = if k % 2 == 0 { 2.0 / (k as f64 + 1.0) } else { 0.0 };
-                assert!(
-                    (q - exact).abs() < 1e-12,
-                    "n={n} k={k}: {q} vs {exact}"
-                );
+                let q: f64 = x
+                    .iter()
+                    .zip(&w)
+                    .map(|(xi, wi)| wi * xi.powi(k as i32))
+                    .sum();
+                let exact = if k % 2 == 0 {
+                    2.0 / (k as f64 + 1.0)
+                } else {
+                    0.0
+                };
+                assert!((q - exact).abs() < 1e-12, "n={n} k={k}: {q} vs {exact}");
             }
         }
     }
@@ -220,10 +232,7 @@ mod tests {
                 let u: Vec<f64> = x.iter().map(|&xi| xi.powi(3)).collect();
                 for i in 0..np {
                     let du: f64 = (0..np).map(|j| d[i * np + j] * u[j]).sum();
-                    assert!(
-                        (du - 3.0 * x[i] * x[i]).abs() < 1e-11,
-                        "n={n} i={i}: {du}"
-                    );
+                    assert!((du - 3.0 * x[i] * x[i]).abs() < 1e-11, "n={n} i={i}: {du}");
                 }
             }
             // Derivative of a constant is zero (row sums vanish).

@@ -20,13 +20,13 @@
 //!   `forust`'s `Nodes`.
 
 pub mod cg;
-pub mod transfer;
-pub mod geometry;
 pub mod element;
+pub mod geometry;
 pub mod legendre;
 pub mod lserk;
 pub mod matrix;
 pub mod mesh;
+pub mod transfer;
 
 pub use element::RefElement;
 pub use matrix::Matrix;

@@ -83,7 +83,9 @@ mod tests {
         let mut r = vec![0.0];
         let dt = 0.25;
         for s in 0..4 {
-            lserk_step(&mut u, &mut r, s as f64 * dt, dt, |t, _, k| k[0] = 3.0 * t * t);
+            lserk_step(&mut u, &mut r, s as f64 * dt, dt, |t, _, k| {
+                k[0] = 3.0 * t * t
+            });
         }
         assert!((u[0] - 1.0).abs() < 1e-13);
     }

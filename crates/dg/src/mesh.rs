@@ -142,11 +142,20 @@ impl<D: Dim> DgMesh<D> {
         let mut faces = Vec::with_capacity(elements.len() * D::FACES);
         for &(t, o) in &elements {
             for f in 0..D::FACES {
-                faces.push(classify_face(&re, dim, forest, t, &o, f, &find_ref, &find_leaf));
+                faces.push(classify_face(
+                    &re, dim, forest, t, &o, f, &find_ref, &find_leaf,
+                ));
             }
         }
 
-        DgMesh { re, conn: forest.conn.clone(), elements, ghost, mirror_elem, faces }
+        DgMesh {
+            re,
+            conn: forest.conn.clone(),
+            elements,
+            ghost,
+            mirror_elem,
+            faces,
+        }
     }
 
     /// Face connection of local element `e`, face `f`.
@@ -314,7 +323,11 @@ fn classify_face<D: Dim>(
     match find_leaf(*k2, m) {
         Some((nbr, leaf)) if leaf.level == o.level => {
             let from_nbr = interp_from_neighbor(re, dim, o, f, route, &leaf, nbr_face);
-            FaceConn::Conforming { nbr, nbr_face, from_nbr }
+            FaceConn::Conforming {
+                nbr,
+                nbr_face,
+                from_nbr,
+            }
         }
         Some((nbr, leaf)) => {
             assert_eq!(
@@ -323,7 +336,11 @@ fn classify_face<D: Dim>(
                 "face neighbor violates 2:1 balance"
             );
             let from_nbr = interp_from_neighbor(re, dim, o, f, route, &leaf, nbr_face);
-            FaceConn::CoarseNbr { nbr, nbr_face, from_nbr }
+            FaceConn::CoarseNbr {
+                nbr,
+                nbr_face,
+                from_nbr,
+            }
         }
         None => {
             // Fine neighbors: the face-adjacent children of the image.
@@ -342,9 +359,12 @@ fn classify_face<D: Dim>(
                 // nodes: evaluate MY basis at the child's face points.
                 // Build by the same machinery, viewed from the child: map
                 // each child face node back into my frame.
-                let to_fine =
-                    interp_to_fine(re, dim, o, f, route, &child, nbr_face);
-                subs.push(FineSub { nbr, nbr_face, to_fine });
+                let to_fine = interp_to_fine(re, dim, o, f, route, &child, nbr_face);
+                subs.push(FineSub {
+                    nbr,
+                    nbr_face,
+                    to_fine,
+                });
             }
             FaceConn::FineNbrs { subs }
         }
@@ -460,9 +480,7 @@ mod tests {
             let elem_vals = |r: ElemRef| -> Vec<f64> {
                 match r {
                     ElemRef::Local(i) => u[i as usize * npe..(i as usize + 1) * npe].to_vec(),
-                    ElemRef::Ghost(i) => {
-                        ghost_u[i as usize * npe..(i as usize + 1) * npe].to_vec()
-                    }
+                    ElemRef::Ghost(i) => ghost_u[i as usize * npe..(i as usize + 1) * npe].to_vec(),
                 }
             };
 
@@ -475,7 +493,11 @@ mod tests {
                     let my_face = face_values::<D>(re, dim, mine, f);
                     match mesh.face(e, f) {
                         FaceConn::Boundary => {}
-                        FaceConn::Conforming { nbr, nbr_face, from_nbr } => {
+                        FaceConn::Conforming {
+                            nbr,
+                            nbr_face,
+                            from_nbr,
+                        } => {
                             let nv = elem_vals(*nbr);
                             let their = face_values::<D>(re, dim, &nv, *nbr_face);
                             let got = from_nbr.matvec(&their);
@@ -484,7 +506,11 @@ mod tests {
                             }
                             checked_conf += 1;
                         }
-                        FaceConn::CoarseNbr { nbr, nbr_face, from_nbr } => {
+                        FaceConn::CoarseNbr {
+                            nbr,
+                            nbr_face,
+                            from_nbr,
+                        } => {
                             let nv = elem_vals(*nbr);
                             let their = face_values::<D>(re, dim, &nv, *nbr_face);
                             let got = from_nbr.matvec(&their);
@@ -497,8 +523,7 @@ mod tests {
                             assert_eq!(subs.len(), D::FACE_CHILDREN);
                             for sub in subs {
                                 let fine_vals = elem_vals(sub.nbr);
-                                let their =
-                                    face_values::<D>(re, dim, &fine_vals, sub.nbr_face);
+                                let their = face_values::<D>(re, dim, &fine_vals, sub.nbr_face);
                                 let mine_at_fine = sub.to_fine.matvec(&my_face);
                                 for (a, b) in mine_at_fine.iter().zip(&their) {
                                     assert!((a - b).abs() < 1e-9, "fine sub: {a} vs {b}");

@@ -132,9 +132,7 @@ pub fn transfer_fields<D: Dim>(
             }
             assert!(i < olds.len(), "tree {t}: no old leaf overlaps {b:?}");
             let a = olds[i];
-            let a_data = |j: usize| {
-                &old_data[(old_off + j) * chunk..(old_off + j + 1) * chunk]
-            };
+            let a_data = |j: usize| &old_data[(old_off + j) * chunk..(old_off + j + 1) * chunk];
             if a == *b {
                 out.extend_from_slice(a_data(i));
                 i += 1;
@@ -142,12 +140,7 @@ pub fn transfer_fields<D: Dim>(
                 // Refined: interpolate; keep `i` (more descendants follow).
                 let src = a_data(i);
                 for c in 0..ncomp {
-                    let vals = interpolate_to_descendant(
-                        re,
-                        &a,
-                        b,
-                        &src[c * npe..(c + 1) * npe],
-                    );
+                    let vals = interpolate_to_descendant(re, &a, b, &src[c * npe..(c + 1) * npe]);
                     out.extend_from_slice(&vals);
                 }
                 if a.last_descendant(D::MAX_LEVEL) <= b.last_descendant(D::MAX_LEVEL) {
@@ -203,9 +196,8 @@ pub fn reference_integral<D: Dim>(
         for k in 0..nk {
             for j in 0..np {
                 for i in 0..np {
-                    let w = re.weights[i]
-                        * re.weights[j]
-                        * if dim == 3 { re.weights[k] } else { 1.0 };
+                    let w =
+                        re.weights[i] * re.weights[j] * if dim == 3 { re.weights[k] } else { 1.0 };
                     total += w * scale * vals[idx];
                     idx += 1;
                 }

@@ -62,7 +62,11 @@ pub fn octant_ref_coords<D: Dim>(o: &Octant<D>, frac: [f64; 3]) -> [f64; 3] {
     [
         (c[0] as f64 + frac[0] * h) / big,
         (c[1] as f64 + frac[1] * h) / big,
-        if D::DIM == 3 { (c[2] as f64 + frac[2] * h) / big } else { 0.0 },
+        if D::DIM == 3 {
+            (c[2] as f64 + frac[2] * h) / big
+        } else {
+            0.0
+        },
     ]
 }
 
@@ -145,7 +149,11 @@ impl ShellMap {
     /// Build for a `cubed_sphere()` or `shell24()` connectivity.
     pub fn new(conn: Arc<Connectivity<D3>>, r_inner: f64, r_outer: f64) -> Self {
         assert!(r_inner > 0.0 && r_outer > r_inner);
-        ShellMap { conn, r_inner, r_outer }
+        ShellMap {
+            conn,
+            r_inner,
+            r_outer,
+        }
     }
 }
 
@@ -180,7 +188,11 @@ pub struct MoebiusMap {
 impl MoebiusMap {
     /// The standard map for `builders::moebius()`.
     pub fn new() -> Self {
-        MoebiusMap { radius: 2.0, half_width: 0.5, num_trees: 5 }
+        MoebiusMap {
+            radius: 2.0,
+            half_width: 0.5,
+            num_trees: 5,
+        }
     }
 }
 
@@ -273,7 +285,9 @@ mod tests {
         let m = ShellMap::new(Arc::clone(&conn), 0.55, 1.0);
         for t in 0..6u32 {
             for f in 0..4usize {
-                let Some(tr) = conn.face_transform(t, f) else { continue };
+                let Some(tr) = conn.face_transform(t, f) else {
+                    continue;
+                };
                 let big = forust::dim::D3::root_len();
                 // Probe three points on the face.
                 for &(u, v) in &[(big / 2, big / 2), (big / 4, big / 2), (big / 8, big / 8)] {

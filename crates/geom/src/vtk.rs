@@ -36,10 +36,7 @@ pub fn write_forest_vtk<D: Dim>(
     for (t, o) in forest.iter_local() {
         for c in 0..corners {
             let off = D::corner_offset(c);
-            let xi = octant_ref_coords(
-                o,
-                [off[0] as f64, off[1] as f64, off[2] as f64],
-            );
+            let xi = octant_ref_coords(o, [off[0] as f64, off[1] as f64, off[2] as f64]);
             let x = mapping.map(t, xi);
             out.push_str(&format!("{} {} {}\n", x[0], x[1], x[2]));
         }
@@ -48,7 +45,11 @@ pub fn write_forest_vtk<D: Dim>(
     for e in 0..n {
         out.push_str(&format!("{corners}"));
         // VTK vertex order: quads/hexes want (0,1,3,2) per z-layer.
-        let order: &[usize] = if D::DIM == 2 { &[0, 1, 3, 2] } else { &[0, 1, 3, 2, 4, 5, 7, 6] };
+        let order: &[usize] = if D::DIM == 2 {
+            &[0, 1, 3, 2]
+        } else {
+            &[0, 1, 3, 2, 4, 5, 7, 6]
+        };
         for &c in order {
             out.push_str(&format!(" {}", e * corners + c));
         }

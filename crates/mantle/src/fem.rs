@@ -21,7 +21,10 @@ use forust_geom::{octant_ref_coords, Mapping};
 use crate::rheology::{synthetic_temperature, viscosity, RheologyParams};
 
 /// Gauss points of the 2-point rule on [-1, 1].
-const GP: [f64; 2] = [-0.577350269189625764509148780502, 0.577350269189625764509148780502];
+const GP: [f64; 2] = [
+    -0.577350269189625764509148780502,
+    0.577350269189625764509148780502,
+];
 
 /// Matrix-free Stokes discretization state for one mesh.
 pub struct StokesFem {
@@ -52,13 +55,25 @@ pub struct StokesFem {
 
 /// Trilinear basis value at a reference point (`xi` in `[-1,1]^3`).
 fn phi(j: usize, xi: [f64; 3]) -> f64 {
-    let s = |b: usize, x: f64| if b == 1 { 0.5 * (1.0 + x) } else { 0.5 * (1.0 - x) };
+    let s = |b: usize, x: f64| {
+        if b == 1 {
+            0.5 * (1.0 + x)
+        } else {
+            0.5 * (1.0 - x)
+        }
+    };
     s(j & 1, xi[0]) * s((j >> 1) & 1, xi[1]) * s((j >> 2) & 1, xi[2])
 }
 
 /// Reference gradient of the trilinear basis.
 fn dphi(j: usize, xi: [f64; 3]) -> [f64; 3] {
-    let s = |b: usize, x: f64| if b == 1 { 0.5 * (1.0 + x) } else { 0.5 * (1.0 - x) };
+    let s = |b: usize, x: f64| {
+        if b == 1 {
+            0.5 * (1.0 + x)
+        } else {
+            0.5 * (1.0 - x)
+        }
+    };
     let ds = |b: usize| if b == 1 { 0.5 } else { -0.5 };
     let (bx, by, bz) = (j & 1, (j >> 1) & 1, (j >> 2) & 1);
     [
@@ -98,7 +113,11 @@ impl StokesFem {
         for &(t, o) in &nodes.elements {
             for q in 0..8 {
                 let xi = [GP[q & 1], GP[(q >> 1) & 1], GP[(q >> 2) & 1]];
-                let frac = [0.5 * (xi[0] + 1.0), 0.5 * (xi[1] + 1.0), 0.5 * (xi[2] + 1.0)];
+                let frac = [
+                    0.5 * (xi[0] + 1.0),
+                    0.5 * (xi[1] + 1.0),
+                    0.5 * (xi[2] + 1.0),
+                ];
                 let tref = octant_ref_coords(&o, frac);
                 let jt = map.jacobian(t, tref);
                 let scale = o.len() as f64 / (2.0 * D3::root_len() as f64);
@@ -205,8 +224,7 @@ impl StokesFem {
     pub fn update_viscosity(&mut self, p: &RheologyParams, x: &[f64]) {
         let nn = self.nn;
         for e in 0..self.num_elements() {
-            let en: Vec<usize> =
-                self.nodes.element(e).iter().map(|&i| i as usize).collect();
+            let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
             for q in 0..8 {
                 let g = &self.qp_grads[e * 8 + q];
                 // Strain rate second invariant at the quadrature point.
@@ -288,8 +306,7 @@ impl StokesFem {
         let z = self.pre(x);
         y.fill(0.0);
         for e in 0..self.num_elements() {
-            let en: Vec<usize> =
-                self.nodes.element(e).iter().map(|&i| i as usize).collect();
+            let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
             // Element-mean pressure for the stabilization.
             let (mut pbar, mut vol) = (0.0, 0.0);
             let mut eta_bar = 0.0;
@@ -355,8 +372,7 @@ impl StokesFem {
         let nn = self.nn;
         let mut b = vec![0.0; 4 * nn];
         for e in 0..self.num_elements() {
-            let en: Vec<usize> =
-                self.nodes.element(e).iter().map(|&i| i as usize).collect();
+            let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
             for q in 0..8 {
                 let w = self.qp_wdet[e * 8 + q];
                 let x = self.qp_pos[e * 8 + q];
@@ -386,8 +402,7 @@ impl StokesFem {
         let mut du = vec![0.0; 3 * nn];
         let mut dp = vec![0.0; nn];
         for e in 0..self.num_elements() {
-            let en: Vec<usize> =
-                self.nodes.element(e).iter().map(|&i| i as usize).collect();
+            let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
             let mut eta_bar = 0.0;
             let mut vol = 0.0;
             for q in 0..8 {
@@ -473,11 +488,12 @@ mod tests {
     fn setup(comm: &impl Communicator, level: u8) -> StokesFem {
         let conn = Arc::new(builders::cubed_sphere());
         let mut forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, level);
-        forest.refine(comm, false, |t, o| t == 0 && o.child_id() == 0 && o.level == level);
+        forest.refine(comm, false, |t, o| {
+            t == 0 && o.child_id() == 0 && o.level == level
+        });
         forest.balance(comm, BalanceType::Full);
         forest.partition(comm);
-        let map: Arc<dyn Mapping<D3> + Send + Sync> =
-            Arc::new(ShellMap::new(conn, 0.55, 1.0));
+        let map: Arc<dyn Mapping<D3> + Send + Sync> = Arc::new(ShellMap::new(conn, 0.55, 1.0));
         StokesFem::build(&forest, comm, &map, &RheologyParams::default())
     }
 
@@ -490,7 +506,9 @@ mod tests {
             let mk = |seed: u64| -> Vec<f64> {
                 (0..n)
                     .map(|i| {
-                        let h = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                        let h = (i as u64)
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(seed);
                         ((h >> 33) as f64 / 2f64.powi(31)) - 1.0
                     })
                     .collect()

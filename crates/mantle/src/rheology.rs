@@ -80,7 +80,9 @@ pub fn plate_boundary_factor(p: &RheologyParams, x: [f64; 3]) -> f64 {
 /// Synthetic present-day temperature: hot core-side boundary layer, cold
 /// surface boundary layer, and two cold slab-like downwellings.
 pub fn synthetic_temperature(x: [f64; 3]) -> f64 {
-    let r = (x[0] * x[0] + x[1] * x[1] + x[2] * x[2]).sqrt().clamp(0.55, 1.0);
+    let r = (x[0] * x[0] + x[1] * x[1] + x[2] * x[2])
+        .sqrt()
+        .clamp(0.55, 1.0);
     // Conductive profile with boundary layers.
     let s = (r - 0.55) / 0.45;
     let mut t = 0.5 + 0.45 * (-(s / 0.12)).exp() - 0.45 * (-((1.0 - s) / 0.12)).exp();

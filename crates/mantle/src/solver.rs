@@ -110,8 +110,7 @@ impl MantleSolver {
                         let tv = crate::rheology::synthetic_temperature(x);
                         tmin = tmin.min(tv);
                         tmax = tmax.max(tv);
-                        weak |= crate::rheology::plate_boundary_factor(&config.rheology, x)
-                            < 1.0;
+                        weak |= crate::rheology::plate_boundary_factor(&config.rheology, x) < 1.0;
                     }
                     weak || tmax - tmin > 0.15
                 })
@@ -120,7 +119,9 @@ impl MantleSolver {
             if comm.allreduce_sum_u64(marks.len() as u64) == 0 {
                 break;
             }
-            forest.refine(comm, false, |t, o| marks.contains(&(t, o.morton(), o.level)));
+            forest.refine(comm, false, |t, o| {
+                marks.contains(&(t, o.morton(), o.level))
+            });
         }
         forest.balance(comm, BalanceType::Full);
         forest.partition(comm);
@@ -361,8 +362,7 @@ impl MantleSolver {
             .collect();
         let max_level = self.config.max_level;
         self.forest.refine(comm, false, |t, o| {
-            o.level < max_level
-                && map.get(&(t, o.morton(), o.level)).copied().unwrap_or(0.0) > 1.0
+            o.level < max_level && map.get(&(t, o.morton(), o.level)).copied().unwrap_or(0.0) > 1.0
         });
         self.forest.balance(comm, BalanceType::Full);
         self.forest.partition(comm);
@@ -396,8 +396,7 @@ mod tests {
         run_spmd(2, |comm| {
             let conn = Arc::new(builders::cubed_sphere());
             let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
-            let map: Arc<dyn Mapping<D3> + Send + Sync> =
-                Arc::new(ShellMap::new(conn, 0.55, 1.0));
+            let map: Arc<dyn Mapping<D3> + Send + Sync> = Arc::new(ShellMap::new(conn, 0.55, 1.0));
             let config = MantleConfig {
                 picard_iters: 2,
                 amr_every: 100,
@@ -429,8 +428,7 @@ mod tests {
         run_spmd(1, |comm| {
             let conn = Arc::new(builders::cubed_sphere());
             let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
-            let map: Arc<dyn Mapping<D3> + Send + Sync> =
-                Arc::new(ShellMap::new(conn, 0.55, 1.0));
+            let map: Arc<dyn Mapping<D3> + Send + Sync> = Arc::new(ShellMap::new(conn, 0.55, 1.0));
             let config = MantleConfig {
                 picard_iters: 4,
                 amr_every: 2,

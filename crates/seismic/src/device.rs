@@ -193,163 +193,166 @@ impl DeviceState {
         // element, mirroring the GPU kernel structure.
         let npf = np * np;
         let updates: Vec<Vec<f32>> = par_map(self.nel, |e| {
-                let base = e * chunk;
-                let mut rhs = vec![0.0f32; chunk];
-                // Nodal stress.
-                let mut sig = vec![0.0f32; 6 * npe];
-                for v in 0..npe {
-                    let m = mat[e * npe + v];
-                    let (lam, mu) = (m[1], m[2]);
-                    let ex = q[base + 3 * npe + v];
-                    let ey = q[base + 4 * npe + v];
-                    let ez = q[base + 5 * npe + v];
-                    let tr = ex + ey + ez;
-                    sig[v] = 2.0 * mu * ex + lam * tr;
-                    sig[npe + v] = 2.0 * mu * ey + lam * tr;
-                    sig[2 * npe + v] = 2.0 * mu * ez + lam * tr;
-                    sig[3 * npe + v] = 2.0 * mu * q[base + 6 * npe + v];
-                    sig[4 * npe + v] = 2.0 * mu * q[base + 7 * npe + v];
-                    sig[5 * npe + v] = 2.0 * mu * q[base + 8 * npe + v];
+            let base = e * chunk;
+            let mut rhs = vec![0.0f32; chunk];
+            // Nodal stress.
+            let mut sig = vec![0.0f32; 6 * npe];
+            for v in 0..npe {
+                let m = mat[e * npe + v];
+                let (lam, mu) = (m[1], m[2]);
+                let ex = q[base + 3 * npe + v];
+                let ey = q[base + 4 * npe + v];
+                let ez = q[base + 5 * npe + v];
+                let tr = ex + ey + ez;
+                sig[v] = 2.0 * mu * ex + lam * tr;
+                sig[npe + v] = 2.0 * mu * ey + lam * tr;
+                sig[2 * npe + v] = 2.0 * mu * ez + lam * tr;
+                sig[3 * npe + v] = 2.0 * mu * q[base + 6 * npe + v];
+                sig[4 * npe + v] = 2.0 * mu * q[base + 7 * npe + v];
+                sig[5 * npe + v] = 2.0 * mu * q[base + 8 * npe + v];
+            }
+            // Reference derivative along an axis (f32 kernel).
+            let dref = |field: &[f32], axis: usize, v: usize| -> f32 {
+                let (i, j, k) = (v % np, (v / np) % np, v / (np * np));
+                let a = [i, j, k][axis];
+                let mut acc = 0.0f32;
+                for qq in 0..np {
+                    let mut idx3 = [i, j, k];
+                    idx3[axis] = qq;
+                    let src = (idx3[2] * np + idx3[1]) * np + idx3[0];
+                    acc += diff[a * np + qq] * field[src];
                 }
-                // Reference derivative along an axis (f32 kernel).
-                let dref = |field: &[f32], axis: usize, v: usize| -> f32 {
-                    let (i, j, k) = (v % np, (v / np) % np, v / (np * np));
-                    let a = [i, j, k][axis];
-                    let mut acc = 0.0f32;
-                    for qq in 0..np {
-                        let mut idx3 = [i, j, k];
-                        idx3[axis] = qq;
-                        let src = (idx3[2] * np + idx3[1]) * np + idx3[0];
-                        acc += diff[a * np + qq] * field[src];
-                    }
-                    acc
+                acc
+            };
+            for v in 0..npe {
+                let m = mat[e * npe + v];
+                let rho = m[0];
+                let iv = inv[e * npe + v];
+                let dphys = |field: &[f32], i: usize, v: usize| -> f32 {
+                    (0..3).map(|r| iv[r * 3 + i] * dref(field, r, v)).sum()
                 };
-                for v in 0..npe {
+                let sx: &[f32] = &sig[0..npe];
+                let sy = &sig[npe..2 * npe];
+                let sz = &sig[2 * npe..3 * npe];
+                let syz = &sig[3 * npe..4 * npe];
+                let sxz = &sig[4 * npe..5 * npe];
+                let sxy = &sig[5 * npe..6 * npe];
+                rhs[v] = (dphys(sx, 0, v) + dphys(sxy, 1, v) + dphys(sxz, 2, v)) / rho;
+                rhs[npe + v] = (dphys(sxy, 0, v) + dphys(sy, 1, v) + dphys(syz, 2, v)) / rho;
+                rhs[2 * npe + v] = (dphys(sxz, 0, v) + dphys(syz, 1, v) + dphys(sz, 2, v)) / rho;
+                let vx = &q[base..base + npe];
+                let vy = &q[base + npe..base + 2 * npe];
+                let vz = &q[base + 2 * npe..base + 3 * npe];
+                rhs[3 * npe + v] = dphys(vx, 0, v);
+                rhs[4 * npe + v] = dphys(vy, 1, v);
+                rhs[5 * npe + v] = dphys(vz, 2, v);
+                rhs[6 * npe + v] = 0.5 * (dphys(vy, 2, v) + dphys(vz, 1, v));
+                rhs[7 * npe + v] = 0.5 * (dphys(vx, 2, v) + dphys(vz, 0, v));
+                rhs[8 * npe + v] = 0.5 * (dphys(vx, 1, v) + dphys(vy, 0, v));
+            }
+            // Conforming-face penalty flux (device path); boundary
+            // mirrors traction-free.
+            for f in 0..6 {
+                let fidx = &face_idx[f];
+                for j in 0..npf {
+                    let v = fidx[j];
+                    let gslot = (e * 6 + f) * npf + j;
+                    let n = fnormal[gslot];
+                    let sj = fsj[gslot];
                     let m = mat[e * npe + v];
-                    let rho = m[0];
-                    let iv = inv[e * npe + v];
-                    let dphys = |field: &[f32], i: usize, v: usize| -> f32 {
-                        (0..3).map(|r| iv[r * 3 + i] * dref(field, r, v)).sum()
-                    };
-                    let sx: &[f32] = &sig[0..npe];
-                    let sy = &sig[npe..2 * npe];
-                    let sz = &sig[2 * npe..3 * npe];
-                    let syz = &sig[3 * npe..4 * npe];
-                    let sxz = &sig[4 * npe..5 * npe];
-                    let sxy = &sig[5 * npe..6 * npe];
-                    rhs[v] = (dphys(sx, 0, v) + dphys(sxy, 1, v) + dphys(sxz, 2, v)) / rho;
-                    rhs[npe + v] = (dphys(sxy, 0, v) + dphys(sy, 1, v) + dphys(syz, 2, v)) / rho;
-                    rhs[2 * npe + v] =
-                        (dphys(sxz, 0, v) + dphys(syz, 1, v) + dphys(sz, 2, v)) / rho;
-                    let vx = &q[base..base + npe];
-                    let vy = &q[base + npe..base + 2 * npe];
-                    let vz = &q[base + 2 * npe..base + 3 * npe];
-                    rhs[3 * npe + v] = dphys(vx, 0, v);
-                    rhs[4 * npe + v] = dphys(vy, 1, v);
-                    rhs[5 * npe + v] = dphys(vz, 2, v);
-                    rhs[6 * npe + v] = 0.5 * (dphys(vy, 2, v) + dphys(vz, 1, v));
-                    rhs[7 * npe + v] = 0.5 * (dphys(vx, 2, v) + dphys(vz, 0, v));
-                    rhs[8 * npe + v] = 0.5 * (dphys(vx, 1, v) + dphys(vy, 0, v));
-                }
-                // Conforming-face penalty flux (device path); boundary
-                // mirrors traction-free.
-                for f in 0..6 {
-                    let fidx = &face_idx[f];
-                    for j in 0..npf {
-                        let v = fidx[j];
-                        let gslot = (e * 6 + f) * npf + j;
-                        let n = fnormal[gslot];
-                        let sj = fsj[gslot];
-                        let m = mat[e * npe + v];
-                        let (rho, lam, mu) = (m[0], m[1], m[2]);
-                        let cp = ((lam + 2.0 * mu) / rho).sqrt();
-                        let z = rho * cp;
-                        let mut qm = [0.0f32; NCOMP];
-                        for (c, item) in qm.iter_mut().enumerate() {
-                            *item = q[base + c * npe + v];
-                        }
-                        let mut qp = qm;
-                        match mesh.face(e, f) {
-                            FaceConn::Boundary => {
-                                for item in qp.iter_mut().skip(3) {
-                                    *item = -*item;
-                                }
-                            }
-                            FaceConn::Conforming { nbr, nbr_face, from_nbr } => {
-                                // Device fast path valid only for aligned
-                                // conforming faces (identity alignment):
-                                // gather the matching neighbor face node.
-                                let (buf, off): (&[f32], usize) = match nbr {
-                                    ElemRef::Local(i) => (q, *i as usize * chunk),
-                                    ElemRef::Ghost(i) => (&ghost_q, *i as usize * chunk),
-                                };
-                                // Use the alignment matrix row to locate
-                                // the dominant source node (exact for
-                                // permutation rows).
-                                let row = &from_nbr.data[j * npf..(j + 1) * npf];
-                                let src = row
-                                    .iter()
-                                    .enumerate()
-                                    .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
-                                    .map(|(i, _)| i)
-                                    .unwrap_or(j);
-                                let nidx = face_idx[*nbr_face][src];
-                                for (c, item) in qp.iter_mut().enumerate() {
-                                    *item = buf[off + c * npe + nidx];
-                                }
-                            }
-                            // Non-conforming faces: host fallback would be
-                            // used by a production port; the device
-                            // benchmark meshes are conforming, so treat as
-                            // reflective to keep the kernel total.
-                            _ => {
-                                for item in qp.iter_mut().skip(3) {
-                                    *item = -*item;
-                                }
-                            }
-                        }
-                        // Penalty flux (same algebra as the host, f32).
-                        let stress = |s: &[f32; NCOMP]| -> [f32; 6] {
-                            let tr = s[3] + s[4] + s[5];
-                            [
-                                2.0 * mu * s[3] + lam * tr,
-                                2.0 * mu * s[4] + lam * tr,
-                                2.0 * mu * s[5] + lam * tr,
-                                2.0 * mu * s[6],
-                                2.0 * mu * s[7],
-                                2.0 * mu * s[8],
-                            ]
-                        };
-                        let sgm = stress(&qm);
-                        let sgp = stress(&qp);
-                        let sn = |sg: &[f32; 6]| -> [f32; 3] {
-                            [
-                                sg[0] * n[0] + sg[5] * n[1] + sg[4] * n[2],
-                                sg[5] * n[0] + sg[1] * n[1] + sg[3] * n[2],
-                                sg[4] * n[0] + sg[3] * n[1] + sg[2] * n[2],
-                            ]
-                        };
-                        let tm = sn(&sgm);
-                        let tp = sn(&sgp);
-                        let coef = wf[j] * sj / (wv[v] * det[e * npe + v]);
-                        for i in 0..3 {
-                            let tstar = 0.5 * (tm[i] + tp[i]) + 0.5 * z * (qp[i] - qm[i]);
-                            rhs[i * npe + v] += coef * (tstar - tm[i]) / rho;
-                        }
-                        let dvs = [
-                            0.5 * (qp[0] - qm[0]) + 0.5 / z * (tp[0] - tm[0]),
-                            0.5 * (qp[1] - qm[1]) + 0.5 / z * (tp[1] - tm[1]),
-                            0.5 * (qp[2] - qm[2]) + 0.5 / z * (tp[2] - tm[2]),
-                        ];
-                        rhs[3 * npe + v] += coef * n[0] * dvs[0];
-                        rhs[4 * npe + v] += coef * n[1] * dvs[1];
-                        rhs[5 * npe + v] += coef * n[2] * dvs[2];
-                        rhs[6 * npe + v] += coef * 0.5 * (n[1] * dvs[2] + n[2] * dvs[1]);
-                        rhs[7 * npe + v] += coef * 0.5 * (n[0] * dvs[2] + n[2] * dvs[0]);
-                        rhs[8 * npe + v] += coef * 0.5 * (n[0] * dvs[1] + n[1] * dvs[0]);
+                    let (rho, lam, mu) = (m[0], m[1], m[2]);
+                    let cp = ((lam + 2.0 * mu) / rho).sqrt();
+                    let z = rho * cp;
+                    let mut qm = [0.0f32; NCOMP];
+                    for (c, item) in qm.iter_mut().enumerate() {
+                        *item = q[base + c * npe + v];
                     }
+                    let mut qp = qm;
+                    match mesh.face(e, f) {
+                        FaceConn::Boundary => {
+                            for item in qp.iter_mut().skip(3) {
+                                *item = -*item;
+                            }
+                        }
+                        FaceConn::Conforming {
+                            nbr,
+                            nbr_face,
+                            from_nbr,
+                        } => {
+                            // Device fast path valid only for aligned
+                            // conforming faces (identity alignment):
+                            // gather the matching neighbor face node.
+                            let (buf, off): (&[f32], usize) = match nbr {
+                                ElemRef::Local(i) => (q, *i as usize * chunk),
+                                ElemRef::Ghost(i) => (&ghost_q, *i as usize * chunk),
+                            };
+                            // Use the alignment matrix row to locate
+                            // the dominant source node (exact for
+                            // permutation rows).
+                            let row = &from_nbr.data[j * npf..(j + 1) * npf];
+                            let src = row
+                                .iter()
+                                .enumerate()
+                                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+                                .map(|(i, _)| i)
+                                .unwrap_or(j);
+                            let nidx = face_idx[*nbr_face][src];
+                            for (c, item) in qp.iter_mut().enumerate() {
+                                *item = buf[off + c * npe + nidx];
+                            }
+                        }
+                        // Non-conforming faces: host fallback would be
+                        // used by a production port; the device
+                        // benchmark meshes are conforming, so treat as
+                        // reflective to keep the kernel total.
+                        _ => {
+                            for item in qp.iter_mut().skip(3) {
+                                *item = -*item;
+                            }
+                        }
+                    }
+                    // Penalty flux (same algebra as the host, f32).
+                    let stress = |s: &[f32; NCOMP]| -> [f32; 6] {
+                        let tr = s[3] + s[4] + s[5];
+                        [
+                            2.0 * mu * s[3] + lam * tr,
+                            2.0 * mu * s[4] + lam * tr,
+                            2.0 * mu * s[5] + lam * tr,
+                            2.0 * mu * s[6],
+                            2.0 * mu * s[7],
+                            2.0 * mu * s[8],
+                        ]
+                    };
+                    let sgm = stress(&qm);
+                    let sgp = stress(&qp);
+                    let sn = |sg: &[f32; 6]| -> [f32; 3] {
+                        [
+                            sg[0] * n[0] + sg[5] * n[1] + sg[4] * n[2],
+                            sg[5] * n[0] + sg[1] * n[1] + sg[3] * n[2],
+                            sg[4] * n[0] + sg[3] * n[1] + sg[2] * n[2],
+                        ]
+                    };
+                    let tm = sn(&sgm);
+                    let tp = sn(&sgp);
+                    let coef = wf[j] * sj / (wv[v] * det[e * npe + v]);
+                    for i in 0..3 {
+                        let tstar = 0.5 * (tm[i] + tp[i]) + 0.5 * z * (qp[i] - qm[i]);
+                        rhs[i * npe + v] += coef * (tstar - tm[i]) / rho;
+                    }
+                    let dvs = [
+                        0.5 * (qp[0] - qm[0]) + 0.5 / z * (tp[0] - tm[0]),
+                        0.5 * (qp[1] - qm[1]) + 0.5 / z * (tp[1] - tm[1]),
+                        0.5 * (qp[2] - qm[2]) + 0.5 / z * (tp[2] - tm[2]),
+                    ];
+                    rhs[3 * npe + v] += coef * n[0] * dvs[0];
+                    rhs[4 * npe + v] += coef * n[1] * dvs[1];
+                    rhs[5 * npe + v] += coef * n[2] * dvs[2];
+                    rhs[6 * npe + v] += coef * 0.5 * (n[1] * dvs[2] + n[2] * dvs[1]);
+                    rhs[7 * npe + v] += coef * 0.5 * (n[0] * dvs[2] + n[2] * dvs[0]);
+                    rhs[8 * npe + v] += coef * 0.5 * (n[0] * dvs[1] + n[1] * dvs[0]);
                 }
-                rhs
+            }
+            rhs
         });
 
         for (e, rhs) in updates.into_iter().enumerate() {

@@ -79,7 +79,11 @@ pub fn prem_like(r: f64) -> Material {
         }
     } else {
         // Crust.
-        Material { rho: 2.90, vp: 6.80, vs: 3.90 }
+        Material {
+            rho: 2.90,
+            vp: 6.80,
+            vs: 3.90,
+        }
     }
 }
 
@@ -150,7 +154,9 @@ mod tests {
         assert!((ricker(0.5, 2.0, 0.5) - 1.0).abs() < 1e-12);
         assert!(ricker(5.0, 2.0, 0.5).abs() < 1e-10);
         let dt = 1e-3;
-        let integral: f64 = (0..2000).map(|i| ricker(i as f64 * dt, 2.0, 1.0) * dt).sum();
+        let integral: f64 = (0..2000)
+            .map(|i| ricker(i as f64 * dt, 2.0, 1.0) * dt)
+            .sum();
         assert!(integral.abs() < 1e-6);
     }
 }

@@ -155,7 +155,9 @@ impl SeismicSolver {
             if comm.allreduce_sum_u64(marks.len() as u64) == 0 {
                 break;
             }
-            forest.refine(comm, false, |t, o| marks.contains(&(t, o.morton(), o.level)));
+            forest.refine(comm, false, |t, o| {
+                marks.contains(&(t, o.morton(), o.level))
+            });
         }
         forest.balance(comm, BalanceType::Full);
         forest.partition(comm);
@@ -186,7 +188,10 @@ impl SeismicSolver {
             mat,
             time: 0.0,
             dt: 0.0,
-            timers: SeismicTimers { meshing, ..Default::default() },
+            timers: SeismicTimers {
+                meshing,
+                ..Default::default()
+            },
             wv,
             wf,
             face_idx,
@@ -210,9 +215,8 @@ impl SeismicSolver {
                 let cp = ((m[1] + 2.0 * m[2]) / m[0]).sqrt();
                 let mut lam = 0.0;
                 for r in 0..3 {
-                    let nrm = (inv[v][r][0].powi(2) + inv[v][r][1].powi(2)
-                        + inv[v][r][2].powi(2))
-                    .sqrt();
+                    let nrm =
+                        (inv[v][r][0].powi(2) + inv[v][r][1].powi(2) + inv[v][r][2].powi(2)).sqrt();
                     lam += cp * nrm;
                 }
                 lam_max = lam_max.max(lam);
@@ -273,7 +277,8 @@ impl SeismicSolver {
                 let kinetic = 0.5 * m[0] * (s[0] * s[0] + s[1] * s[1] + s[2] * s[2]);
                 let strain = 0.5
                     * (lam * tr * tr
-                        + 2.0 * mu
+                        + 2.0
+                            * mu
                             * (s[3] * s[3]
                                 + s[4] * s[4]
                                 + s[5] * s[5]
@@ -402,67 +407,67 @@ impl SeismicSolver {
                 let fg = self.geo.face(e, f, 6);
                 let fidx = &self.face_idx[f];
                 // My face traces of all components.
-                let trace =
-                    |buf: &[f64], off: usize, idxs: &[usize]| -> Vec<[f64; NCOMP]> {
-                        idxs.iter()
-                            .map(|&i| {
-                                let mut s = [0.0; NCOMP];
-                                for (c, item) in s.iter_mut().enumerate() {
-                                    *item = buf[off + c * npe + i];
-                                }
-                                s
-                            })
-                            .collect()
-                    };
+                let trace = |buf: &[f64], off: usize, idxs: &[usize]| -> Vec<[f64; NCOMP]> {
+                    idxs.iter()
+                        .map(|&i| {
+                            let mut s = [0.0; NCOMP];
+                            for (c, item) in s.iter_mut().enumerate() {
+                                *item = buf[off + c * npe + i];
+                            }
+                            s
+                        })
+                        .collect()
+                };
                 let mine: Vec<[f64; NCOMP]> = trace(&self.q, base, fidx);
 
                 // Gather the neighbor's aligned trace (or build a boundary
                 // mirror state).
-                let apply_flux = |qm: &[[f64; NCOMP]],
-                                  qp: &[[f64; NCOMP]],
-                                  normals: &[[f64; 3]],
-                                  sjs: &[f64],
-                                  lift: &mut dyn FnMut(usize, [f64; NCOMP], f64)| {
-                    for j in 0..qm.len() {
-                        let v = fidx[j % npf]; // volume node for material
-                        let m = self.mat[e * npe + v];
-                        let (rho, lam, mu) = (m[0], m[1], m[2]);
-                        let cp = ((lam + 2.0 * mu) / rho).sqrt();
-                        let z = rho * cp;
-                        let n = normals[j];
-                        let sgm = stress(&qm[j], lam, mu);
-                        let sgp = stress(&qp[j], lam, mu);
-                        let tm = sig_n(&sgm, n);
-                        let tp = sig_n(&sgp, n);
-                        // Numerical traces.
-                        let tstar = [
-                            0.5 * (tm[0] + tp[0]) + 0.5 * z * (qp[j][0] - qm[j][0]),
-                            0.5 * (tm[1] + tp[1]) + 0.5 * z * (qp[j][1] - qm[j][1]),
-                            0.5 * (tm[2] + tp[2]) + 0.5 * z * (qp[j][2] - qm[j][2]),
-                        ];
-                        let vstar = [
-                            0.5 * (qm[j][0] + qp[j][0]) + 0.5 / z * (tp[0] - tm[0]),
-                            0.5 * (qm[j][1] + qp[j][1]) + 0.5 / z * (tp[1] - tm[1]),
-                            0.5 * (qm[j][2] + qp[j][2]) + 0.5 / z * (tp[2] - tm[2]),
-                        ];
-                        let mut d = [0.0; NCOMP];
-                        for i in 0..3 {
-                            d[i] = (tstar[i] - tm[i]) / rho;
+                let apply_flux =
+                    |qm: &[[f64; NCOMP]],
+                     qp: &[[f64; NCOMP]],
+                     normals: &[[f64; 3]],
+                     sjs: &[f64],
+                     lift: &mut dyn FnMut(usize, [f64; NCOMP], f64)| {
+                        for j in 0..qm.len() {
+                            let v = fidx[j % npf]; // volume node for material
+                            let m = self.mat[e * npe + v];
+                            let (rho, lam, mu) = (m[0], m[1], m[2]);
+                            let cp = ((lam + 2.0 * mu) / rho).sqrt();
+                            let z = rho * cp;
+                            let n = normals[j];
+                            let sgm = stress(&qm[j], lam, mu);
+                            let sgp = stress(&qp[j], lam, mu);
+                            let tm = sig_n(&sgm, n);
+                            let tp = sig_n(&sgp, n);
+                            // Numerical traces.
+                            let tstar = [
+                                0.5 * (tm[0] + tp[0]) + 0.5 * z * (qp[j][0] - qm[j][0]),
+                                0.5 * (tm[1] + tp[1]) + 0.5 * z * (qp[j][1] - qm[j][1]),
+                                0.5 * (tm[2] + tp[2]) + 0.5 * z * (qp[j][2] - qm[j][2]),
+                            ];
+                            let vstar = [
+                                0.5 * (qm[j][0] + qp[j][0]) + 0.5 / z * (tp[0] - tm[0]),
+                                0.5 * (qm[j][1] + qp[j][1]) + 0.5 / z * (tp[1] - tm[1]),
+                                0.5 * (qm[j][2] + qp[j][2]) + 0.5 / z * (tp[2] - tm[2]),
+                            ];
+                            let mut d = [0.0; NCOMP];
+                            for i in 0..3 {
+                                d[i] = (tstar[i] - tm[i]) / rho;
+                            }
+                            let dvs = [
+                                vstar[0] - qm[j][0],
+                                vstar[1] - qm[j][1],
+                                vstar[2] - qm[j][2],
+                            ];
+                            d[3] = n[0] * dvs[0];
+                            d[4] = n[1] * dvs[1];
+                            d[5] = n[2] * dvs[2];
+                            d[6] = 0.5 * (n[1] * dvs[2] + n[2] * dvs[1]);
+                            d[7] = 0.5 * (n[0] * dvs[2] + n[2] * dvs[0]);
+                            d[8] = 0.5 * (n[0] * dvs[1] + n[1] * dvs[0]);
+                            lift(j, d, sjs[j]);
                         }
-                        let dvs = [
-                            vstar[0] - qm[j][0],
-                            vstar[1] - qm[j][1],
-                            vstar[2] - qm[j][2],
-                        ];
-                        d[3] = n[0] * dvs[0];
-                        d[4] = n[1] * dvs[1];
-                        d[5] = n[2] * dvs[2];
-                        d[6] = 0.5 * (n[1] * dvs[2] + n[2] * dvs[1]);
-                        d[7] = 0.5 * (n[0] * dvs[2] + n[2] * dvs[0]);
-                        d[8] = 0.5 * (n[0] * dvs[1] + n[1] * dvs[0]);
-                        lift(j, d, sjs[j]);
-                    }
-                };
+                    };
 
                 match self.mesh.face(e, f) {
                     FaceConn::Boundary => {
@@ -488,8 +493,16 @@ impl SeismicSolver {
                             }
                         });
                     }
-                    FaceConn::Conforming { nbr, nbr_face, from_nbr }
-                    | FaceConn::CoarseNbr { nbr, nbr_face, from_nbr } => {
+                    FaceConn::Conforming {
+                        nbr,
+                        nbr_face,
+                        from_nbr,
+                    }
+                    | FaceConn::CoarseNbr {
+                        nbr,
+                        nbr_face,
+                        from_nbr,
+                    } => {
                         let (buf, off) = match nbr {
                             ElemRef::Local(i) => (&self.q, *i as usize * chunk),
                             ElemRef::Ghost(i) => (&ghost_q, *i as usize * chunk),

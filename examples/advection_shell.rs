@@ -30,14 +30,7 @@ fn main() {
             refine_tol: 0.1,
             coarsen_tol: 0.04,
         };
-        let mut s = AdvectSolver::new(
-            comm,
-            forest,
-            map,
-            config,
-            four_fronts,
-            rotation_velocity,
-        );
+        let mut s = AdvectSolver::new(comm, forest, map, config, four_fronts, rotation_velocity);
         if comm.rank() == 0 {
             println!(
                 "initial mesh: {} elements / {} unknowns (paper: 3200 elem/core)",
@@ -52,14 +45,16 @@ fn main() {
             if i % 8 == 7 {
                 // Per-element mean concentration for the snapshot.
                 let npe = s.mesh.re.nodes_per_elem(3);
-                let means: Vec<f64> = s
-                    .c
-                    .chunks(npe)
-                    .map(|c| c.iter().sum::<f64>() / npe as f64)
-                    .collect();
+                let means: Vec<f64> =
+                    s.c.chunks(npe)
+                        .map(|c| c.iter().sum::<f64>() / npe as f64)
+                        .collect();
                 let shellmap = ShellMap::new(Arc::clone(&conn), 0.55, 1.0);
-                let path = std::path::PathBuf::from("advection_out")
-                    .join(format!("step{:03}_{}.vtk", i + 1, comm.rank()));
+                let path = std::path::PathBuf::from("advection_out").join(format!(
+                    "step{:03}_{}.vtk",
+                    i + 1,
+                    comm.rank()
+                ));
                 write_forest_vtk(&path, &s.forest, &shellmap, comm.rank(), &[("C", &means)])
                     .expect("write vtk");
                 let drift = (s.total_mass(comm) - m0) / m0; // collective

@@ -80,22 +80,13 @@ fn main() {
     // checkpoint, before the finish line.
     let crash_at_call = calls[CRASH_RANK] * 3 / 5;
     let plan = FaultPlan::new(2026).with_crash(CRASH_RANK, crash_at_call);
-    println!(
-        "injecting:  crash of rank {CRASH_RANK} at its communication call #{crash_at_call}"
-    );
+    println!("injecting:  crash of rank {CRASH_RANK} at its communication call #{crash_at_call}");
     let chaos_dir = root.join("chaos");
     // The injected crash panics inside rank threads; keep the demo
     // output readable by muting the default hook's backtrace while the
     // recovery driver is catching panics on purpose.
     std::panic::set_hook(Box::new(|_| {}));
-    let outcome = run_with_recovery(
-        RANKS,
-        RANKS - 1,
-        Some(plan),
-        &chaos_dir,
-        &setup,
-        3,
-    );
+    let outcome = run_with_recovery(RANKS, RANKS - 1, Some(plan), &chaos_dir, &setup, 3);
     let _ = std::panic::take_hook();
 
     match outcome.injected_crash {
@@ -108,7 +99,11 @@ fn main() {
         None => println!("caught:     nothing (crash call was past the end of the run)"),
     }
     let epochs: Vec<String> = std::fs::read_dir(&chaos_dir)
-        .map(|d| d.flatten().map(|e| e.file_name().to_string_lossy().into_owned()).collect())
+        .map(|d| {
+            d.flatten()
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect()
+        })
         .unwrap_or_default();
     println!("checkpoints on disk: {epochs:?}");
     println!(

@@ -62,9 +62,7 @@ fn main() {
             let conn = Arc::new(builders::shell24());
             let mut f = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
             // Refine the outermost radial layer (like surface resolution).
-            f.refine(comm, false, |_, o| {
-                o.z + o.len() == D3::root_len()
-            });
+            f.refine(comm, false, |_, o| o.z + o.len() == D3::root_len());
             f.balance(comm, BalanceType::Full);
             f.partition(comm);
             let map = ShellMap::new(conn, 0.55, 1.0);

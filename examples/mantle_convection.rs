@@ -50,15 +50,20 @@ fn main() {
             })
             .collect();
         let shellmap = ShellMap::new(Arc::clone(&conn), 0.55, 1.0);
-        let path = std::path::PathBuf::from("mantle_out")
-            .join(format!("viscosity_{}.vtk", comm.rank()));
-        write_forest_vtk(&path, &s.forest, &shellmap, comm.rank(), &[("log_eta", &eta)])
-            .expect("write vtk");
+        let path =
+            std::path::PathBuf::from("mantle_out").join(format!("viscosity_{}.vtk", comm.rank()));
+        write_forest_vtk(
+            &path,
+            &s.forest,
+            &shellmap,
+            comm.rank(),
+            &[("log_eta", &eta)],
+        )
+        .expect("write vtk");
 
         if comm.rank() == 0 {
             let t = s.timers;
-            let total =
-                t.solve.as_secs_f64() + t.vcycle.as_secs_f64() + t.amr.as_secs_f64();
+            let total = t.solve.as_secs_f64() + t.vcycle.as_secs_f64() + t.amr.as_secs_f64();
             println!("velocity norm: {unorm:.3e}");
             println!(
                 "Fig. 7 split: solve {:.1}% | V-cycle {:.1}% | AMR {:.2}% \
@@ -68,7 +73,10 @@ fn main() {
                 100.0 * t.amr.as_secs_f64() / total,
                 t.krylov_iters
             );
-            println!("final mesh: {} elements; viscosity VTK in mantle_out/", s.forest.num_global());
+            println!(
+                "final mesh: {} elements; viscosity VTK in mantle_out/",
+                s.forest.num_global()
+            );
         }
     });
 }

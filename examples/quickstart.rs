@@ -51,8 +51,5 @@ fn main() {
         );
         forest.num_local() as u64
     });
-    println!(
-        "total octants checked: {}",
-        summary.iter().sum::<u64>()
-    );
+    println!("total octants checked: {}", summary.iter().sum::<u64>());
 }

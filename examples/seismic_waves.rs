@@ -58,8 +58,11 @@ fn main() {
                     })
                     .collect();
                 let shellmap = ShellMap::new(Arc::clone(&conn), 0.55, 1.0);
-                let path = std::path::PathBuf::from("seismic_out")
-                    .join(format!("vmag{:03}_{}.vtk", i + 1, comm.rank()));
+                let path = std::path::PathBuf::from("seismic_out").join(format!(
+                    "vmag{:03}_{}.vtk",
+                    i + 1,
+                    comm.rank()
+                ));
                 write_forest_vtk(&path, &s.forest, &shellmap, comm.rank(), &[("vmag", &vmag)])
                     .expect("write vtk");
             }

@@ -6,9 +6,7 @@
 
 use std::sync::Arc;
 
-use extreme_amr::comm::{
-    run_spmd, run_spmd_with, ChaosComm, CommConfig, Communicator, FaultPlan,
-};
+use extreme_amr::comm::{run_spmd, run_spmd_with, ChaosComm, CommConfig, Communicator, FaultPlan};
 use extreme_amr::forust::connectivity::builders;
 use extreme_amr::forust::dim::D3;
 use extreme_amr::forust::forest::{BalanceType, Forest};
@@ -43,7 +41,10 @@ fn forest_pipeline_survives_message_delay_and_reordering() {
             move |tc| ChaosComm::new(tc, plan.clone()),
             pipeline,
         );
-        assert_eq!(clean, chaotic, "delay injection changed the result (seed {seed})");
+        assert_eq!(
+            clean, chaotic,
+            "delay injection changed the result (seed {seed})"
+        );
     }
 }
 

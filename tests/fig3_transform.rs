@@ -9,7 +9,6 @@
 //! and verify the same structural facts; the specific image coordinates
 //! depend on the rotation chosen, and the round trip is exact.
 
-
 use extreme_amr::forust::connectivity::Connectivity;
 use extreme_amr::forust::dim::{Dim, D3};
 use extreme_amr::forust::octant::Octant;
@@ -50,8 +49,8 @@ fn red_octant_exterior_interior_correspondence() {
     let conn = fig3_connectivity();
     let big = D3::root_len();
     let q = big / 4; // the paper's coordinate unit: root length / 4
-    // The red octant: size 1/4, coordinates (2, -1, 1) with respect to k —
-    // exterior beyond k's -y face.
+                     // The red octant: size 1/4, coordinates (2, -1, 1) with respect to k —
+                     // exterior beyond k's -y face.
     let red_k = Octant::<D3>::new(2 * q, -q, q, 2);
     assert!(!red_k.is_inside_root());
     let images = conn.exterior_images(0, &red_k);
@@ -81,7 +80,12 @@ fn transforms_are_integer_exact() {
     let t = conn.face_transform(0, 2).unwrap();
     let back = conn.face_transform(1, 4).unwrap();
     let big = D3::root_len();
-    for p in [[0, 0, 0], [big, 0, big], [123456, 0, 789], [big / 3, 0, big / 7]] {
+    for p in [
+        [0, 0, 0],
+        [big, 0, big],
+        [123456, 0, 789],
+        [big / 3, 0, big / 7],
+    ] {
         assert_eq!(back.apply_point(t.apply_point(p)), p);
     }
 }

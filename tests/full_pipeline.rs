@@ -18,7 +18,9 @@ fn pipeline(p: usize) -> (u64, u64, f64) {
         let conn = Arc::new(builders::shell24());
         let mut f = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
         // Adapt: refine two trees, coarsen elsewhere, then balance.
-        f.refine(comm, true, |t, o| t < 2 && o.level < 3 && o.child_id() % 3 == 0);
+        f.refine(comm, true, |t, o| {
+            t < 2 && o.level < 3 && o.child_id() % 3 == 0
+        });
         f.coarsen(comm, false, |t, _| t > 20);
         f.balance(comm, BalanceType::Full);
         f.partition(comm);

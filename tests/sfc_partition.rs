@@ -17,7 +17,9 @@ fn three_core_partition_of_adapted_forest() {
     run_spmd(3, |comm| {
         let conn = Arc::new(builders::brick2d(2, 1, false, false));
         let mut f = Forest::<D2>::new_uniform(Arc::clone(&conn), comm, 1);
-        f.refine(comm, true, |t, o| t == 0 && o.level < 3 && o.child_id() == 1);
+        f.refine(comm, true, |t, o| {
+            t == 0 && o.level < 3 && o.child_id() == 1
+        });
         f.balance(comm, BalanceType::Full);
         f.partition(comm);
         f.check_valid(comm);
@@ -71,7 +73,10 @@ fn weighted_partition_tracks_work() {
         f.partition_weighted(comm, |t, _| if t == 0 { 7 } else { 1 });
         f.check_valid(comm);
         // Per-rank weighted load within ~2x of the ideal.
-        let my_weight: u64 = f.iter_local().map(|(t, _)| if t == 0 { 7u64 } else { 1 }).sum();
+        let my_weight: u64 = f
+            .iter_local()
+            .map(|(t, _)| if t == 0 { 7u64 } else { 1 })
+            .sum();
         let total = comm.allreduce_sum_u64(my_weight);
         let ideal = total as f64 / comm.size() as f64;
         assert!(
