@@ -11,6 +11,7 @@ use forust::octant::Octant;
 use forust_comm::{Communicator, Wire};
 use forust_dg::element::RefElement;
 use forust_dg::geometry::MeshGeometry;
+use forust_dg::halo::{HaloData, HaloExchange};
 use forust_dg::lserk::{LSERK_A, LSERK_B};
 use forust_dg::mesh::{DgMesh, ElemRef, FaceConn};
 use forust_dg::transfer::transfer_fields;
@@ -76,6 +77,8 @@ pub struct AdvectSolver {
     pub mesh: DgMesh<D3>,
     /// Metric terms on the current mesh.
     pub geo: MeshGeometry,
+    /// Split-phase face-trace ghost exchange of the current mesh.
+    pub halo: HaloExchange<D3>,
     map: Arc<dyn Mapping<D3> + Send + Sync>,
     velocity: fn([f64; 3]) -> [f64; 3],
     /// The transported field, `num_elements * (N+1)^3` values.
@@ -131,6 +134,7 @@ impl AdvectSolver {
 
         let mesh = DgMesh::build(&forest, comm, config.degree);
         let geo = MeshGeometry::build(&mesh, &*map);
+        let halo = HaloExchange::build(&mesh);
         let re = &mesh.re;
         let c: Vec<f64> = geo.pos.iter().map(|&x| init(x)).collect();
         let resid = vec![0.0; c.len()];
@@ -141,6 +145,7 @@ impl AdvectSolver {
             forest,
             mesh,
             geo,
+            halo,
             map,
             velocity,
             c,
@@ -213,25 +218,51 @@ impl AdvectSolver {
 
     /// The upwind nodal dG right-hand side (advective volume form plus
     /// upwind surface correction, mortar-consistent on 2:1 faces).
+    ///
+    /// Split-phase: the face-trace ghost exchange goes on the wire first,
+    /// interior elements (which read no ghost) are computed while the
+    /// messages fly, then the boundary elements finish after the traces
+    /// arrive. Element results are independent, so the reordering is
+    /// bitwise identical to the old exchange-then-sweep loop.
     fn compute_rhs(&self, comm: &impl Communicator, out: &mut [f64]) {
+        let pending = self.halo.begin(comm, &self.c, 1);
+        let mut nbr_buf = Vec::with_capacity(self.mesh.re.nodes_per_face(3));
+        for &e in self.halo.interior() {
+            self.rhs_element(e as usize, None, &mut nbr_buf, out);
+        }
+        let traces = pending.finish();
+        for &e in self.halo.boundary() {
+            self.rhs_element(e as usize, Some(&traces), &mut nbr_buf, out);
+        }
+    }
+
+    /// RHS of a single element. `traces` carries the received ghost face
+    /// traces; `None` is only valid for interior elements.
+    fn rhs_element(
+        &self,
+        e: usize,
+        traces: Option<&HaloData<'_, D3>>,
+        nbr_buf: &mut Vec<f64>,
+        out: &mut [f64],
+    ) {
         let re = &self.mesh.re;
         let npe = re.nodes_per_elem(3);
         let npf = re.nodes_per_face(3);
-        let nel = self.mesh.num_elements();
-        let ghost_c = self.mesh.exchange_element_data(comm, &self.c, npe);
-        let elem_vals = |r: ElemRef, buf: &mut Vec<f64>| match r {
+        // Face trace of a neighbor (its `nbr_face`, face-lattice order).
+        let nbr_trace = |r: ElemRef, nbr_face: usize, buf: &mut Vec<f64>| match r {
             ElemRef::Local(i) => {
+                let nv = &self.c[i as usize * npe..(i as usize + 1) * npe];
                 buf.clear();
-                buf.extend_from_slice(&self.c[i as usize * npe..(i as usize + 1) * npe]);
+                buf.extend(self.face_idx[nbr_face].iter().map(|&n| nv[n]));
             }
-            ElemRef::Ghost(i) => {
-                buf.clear();
-                buf.extend_from_slice(&ghost_c[i as usize * npe..(i as usize + 1) * npe]);
+            ElemRef::Ghost(g) => {
+                traces
+                    .expect("interior element classified with a ghost face")
+                    .face_values(g as usize, nbr_face, 0, buf);
             }
         };
 
-        let mut nbr_buf: Vec<f64> = Vec::with_capacity(npe);
-        for e in 0..nel {
+        {
             let ce = &self.c[e * npe..(e + 1) * npe];
             let inv = self.geo.elem_inv(e);
             let det = self.geo.elem_det(e);
@@ -270,13 +301,8 @@ impl AdvectSolver {
                         nbr_face,
                         from_nbr,
                     } => {
-                        elem_vals(*nbr, &mut nbr_buf);
-                        let their: Vec<f64> = re
-                            .face_nodes(3, *nbr_face)
-                            .iter()
-                            .map(|&i| nbr_buf[i])
-                            .collect();
-                        let cp = from_nbr.matvec(&their);
+                        nbr_trace(*nbr, *nbr_face, nbr_buf);
+                        let cp = from_nbr.matvec(nbr_buf);
                         for j in 0..npf {
                             let v = fidx[j];
                             let u = (self.velocity)(pos[v]);
@@ -291,12 +317,8 @@ impl AdvectSolver {
                         for (s, sub) in subs.iter().enumerate() {
                             let sg = &fg.subs[s];
                             let mine_at_fine = sub.to_fine.matvec(&cm);
-                            elem_vals(sub.nbr, &mut nbr_buf);
-                            let their: Vec<f64> = re
-                                .face_nodes(3, sub.nbr_face)
-                                .iter()
-                                .map(|&i| nbr_buf[i])
-                                .collect();
+                            nbr_trace(sub.nbr, sub.nbr_face, nbr_buf);
+                            let their = &*nbr_buf;
                             for j in 0..npf {
                                 let u = (self.velocity)(sg.pos[j]);
                                 let n = sg.normal[j];
@@ -383,6 +405,7 @@ impl AdvectSolver {
         // Rebuild mesh-dependent state.
         self.mesh = DgMesh::build(&self.forest, comm, self.config.degree);
         self.geo = MeshGeometry::build(&self.mesh, &*self.map);
+        self.halo = HaloExchange::build(&self.mesh);
         self.resid = vec![0.0; self.c.len()];
         let (wv, wf, face_idx) = cache_constants(&self.mesh.re);
         self.wv = wv;
@@ -508,6 +531,7 @@ impl AdvectSolver {
 
         let mesh = DgMesh::build(&forest, comm, config.degree);
         let geo = MeshGeometry::build(&mesh, &*map);
+        let halo = HaloExchange::build(&mesh);
         let npe = mesh.re.nodes_per_elem(3);
         let c: Vec<f64> = chunks.into_iter().flatten().collect();
         if c.len() != mesh.num_elements() * npe {
@@ -520,6 +544,7 @@ impl AdvectSolver {
             forest,
             mesh,
             geo,
+            halo,
             map,
             velocity,
             c,

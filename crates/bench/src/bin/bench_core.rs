@@ -19,7 +19,9 @@ use std::time::Instant;
 use forust::connectivity::builders;
 use forust::dim::D3;
 use forust::forest::{BalanceType, Forest};
-use forust_comm::SerialComm;
+use forust_comm::{run_spmd, Communicator, SerialComm};
+use forust_dg::halo::HaloExchange;
+use forust_dg::mesh::DgMesh;
 
 fn fractal_forest(level: u8) -> (SerialComm, Forest<D3>) {
     let comm = SerialComm::new();
@@ -45,11 +47,13 @@ fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-/// One benchmark record: kernel name, forest size it ran on, median time.
+/// One benchmark record: kernel name, forest size it ran on, median time,
+/// and (for communication kernels) total bytes on the wire per exchange.
 struct Record {
     name: &'static str,
     octants: usize,
     median_us: f64,
+    bytes: Option<u64>,
 }
 
 fn run(out: &mut Vec<Record>, name: &'static str, octants: usize, reps: usize, f: impl FnMut()) {
@@ -59,7 +63,23 @@ fn run(out: &mut Vec<Record>, name: &'static str, octants: usize, reps: usize, f
         name,
         octants,
         median_us: us,
+        bytes: None,
     });
+}
+
+/// Median wall time across `reps` rank-synchronized runs of `f`, in
+/// microseconds (a barrier before every rep keeps the ranks in step).
+fn median_us_sync<C: Communicator>(comm: &C, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            comm.barrier();
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
 }
 
 fn git_rev() -> String {
@@ -95,11 +115,16 @@ fn write_json(path: &std::path::Path, records: &[Record], prev: Option<(String, 
     s.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
     s.push_str("  \"kernels\": [\n");
     for (i, r) in records.iter().enumerate() {
+        let bytes = r
+            .bytes
+            .map(|b| format!(", \"bytes\": {b}"))
+            .unwrap_or_default();
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"octants\": {}, \"median_us\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"octants\": {}, \"median_us\": {:.1}{}}}{}\n",
             r.name,
             r.octants,
             r.median_us,
+            bytes,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -191,6 +216,80 @@ fn main() {
         }
         assert_eq!(hits, nb3);
     });
+
+    // --- split-phase halo exchange (4 ranks, level-3 fractal forest) ----
+    // The per-RK-stage communication of the dG solvers: full-payload ghost
+    // exchange vs the face-trace pipeline, with bytes-on-wire per stage
+    // and the non-overlappable send-side cost of the split begin.
+    let halo = run_spmd(4, |comm| {
+        let conn = Arc::new(builders::rotcubes6());
+        let mut f = Forest::<D3>::new_uniform(conn, comm, 3);
+        let maxl = 5;
+        f.refine(comm, true, |_, o| {
+            o.level < maxl && matches!(o.child_id(), 0 | 3 | 5 | 6)
+        });
+        f.balance(comm, BalanceType::Full);
+        f.partition(comm);
+        let mesh = DgMesh::build(&f, comm, 3);
+        let halo = HaloExchange::build(&mesh);
+        let npe = mesh.re.nodes_per_elem(3);
+        let nghost = mesh.ghost.ghosts.len();
+        let u: Vec<f64> = (0..mesh.num_elements() * npe)
+            .map(|i| (i % 97) as f64)
+            .collect();
+
+        let octants = comm.allreduce_sum_u64(mesh.num_elements() as u64) as usize;
+        let full_local: u64 = mesh
+            .ghost
+            .mirror_idx_by_rank
+            .iter()
+            .map(|v| (v.len() * npe * 8) as u64)
+            .sum();
+        let full_bytes = comm.allreduce_sum_u64(full_local);
+        let trace_bytes = comm.allreduce_sum_u64(halo.send_bytes_per_exchange(1));
+
+        const REPS: usize = 9;
+        let full_us = median_us_sync(comm, REPS, || {
+            let g = mesh.exchange_element_data(comm, &u, npe);
+            assert_eq!(g.len(), nghost * npe);
+        });
+        let trace_us = median_us_sync(comm, REPS, || {
+            drop(halo.exchange(comm, &u, 1));
+        });
+        let mut begin_acc = Vec::new();
+        let begin_us = median_us_sync(comm, REPS, || {
+            let t0 = Instant::now();
+            let pending = halo.begin(comm, &u, 1);
+            begin_acc.push(t0.elapsed().as_secs_f64() * 1e6);
+            drop(pending.finish());
+        });
+        let _ = begin_us; // outer timer includes the finish; use inner one
+        begin_acc.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let begin_us = begin_acc[begin_acc.len() / 2];
+        (
+            octants,
+            full_bytes,
+            trace_bytes,
+            full_us,
+            trace_us,
+            begin_us,
+        )
+    });
+    let (octs, full_bytes, trace_bytes, full_us, trace_us, begin_us) = halo[0];
+    for (name, us, bytes) in [
+        ("halo_full_exchange", full_us, Some(full_bytes)),
+        ("halo_trace_exchange", trace_us, Some(trace_bytes)),
+        ("halo_begin", begin_us, None),
+    ] {
+        let b = bytes.map(|b| format!("{b:>10} B")).unwrap_or_default();
+        println!("{name:<24} {octs:>9} oct {us:>12.1} us {b}");
+        records.push(Record {
+            name,
+            octants: octs,
+            median_us: us,
+            bytes,
+        });
+    }
 
     // --- JSON trajectory ------------------------------------------------
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

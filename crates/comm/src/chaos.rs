@@ -239,6 +239,15 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
         self.inner.try_recv_bytes(src, tag)
     }
 
+    fn poll_recv_bytes(&self, src: usize, tag: u32) -> Option<Vec<u8>> {
+        // A poll is a communication call: the crash clock advances and
+        // held messages are released, so the wait/poll side of a
+        // split-phase exchange is just as fault-exposed as the start side.
+        self.on_call();
+        self.flush_held();
+        self.inner.poll_recv_bytes(src, tag)
+    }
+
     fn barrier(&self) {
         self.on_call();
         self.flush_held();
@@ -360,6 +369,36 @@ mod tests {
             .expect("root-cause payload should be the injected crash");
         assert_eq!(crash.rank, 1);
         assert_eq!(crash.call, 3);
+    }
+
+    #[test]
+    fn crash_fires_on_the_wait_side_of_a_split_exchange() {
+        // Probe run (fault-free): measure rank 1's call clock right after
+        // start_alltoallv_bytes returns, then schedule the crash one call
+        // later — i.e. inside the wait()-side receives.
+        let program = |c: &ChaosComm<crate::ThreadComm>| {
+            let outgoing: Vec<Vec<u8>> = (0..3).map(|d| vec![d as u8; 4]).collect();
+            let pending = c.start_alltoallv_bytes(outgoing, 3);
+            let after_start = c.calls();
+            let incoming = pending.wait();
+            (after_start, c.calls(), incoming)
+        };
+        let probe = chaos_run(3, FaultPlan::new(0), program);
+        let (after_start, after_wait, _) = probe[1].clone();
+        assert!(
+            after_wait > after_start,
+            "wait must advance the chaos call clock"
+        );
+        let plan = FaultPlan::new(0).with_crash(1, after_start + 1);
+        let caught = std::panic::catch_unwind(|| {
+            chaos_run(3, plan, program);
+        });
+        let payload = caught.unwrap_err();
+        let crash = payload
+            .downcast_ref::<RankCrashed>()
+            .expect("root cause should be the injected wait-side crash");
+        assert_eq!(crash.rank, 1);
+        assert_eq!(crash.call, after_start + 1);
     }
 
     #[test]

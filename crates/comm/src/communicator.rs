@@ -14,7 +14,7 @@ use crate::wire::{frame, read_vec, try_read_vec, unframe, write_vec, FrameError,
 
 /// Tag space reserved for the default collective implementations.
 /// User point-to-point traffic must use tags below this value.
-pub(crate) const TAG_COLLECTIVE: u32 = 0xFFFF_0000;
+pub const TAG_COLLECTIVE: u32 = 0xFFFF_0000;
 
 /// An MPI-like communicator connecting `size()` SPMD ranks.
 ///
@@ -42,6 +42,19 @@ pub trait Communicator {
     /// delegates to the infallible [`recv_bytes`](Self::recv_bytes).
     fn try_recv_bytes(&self, src: usize, tag: u32) -> Result<Vec<u8>, CommError> {
         Ok(self.recv_bytes(src, tag))
+    }
+
+    /// Nonblocking receive: the next message from `(src, tag)` if one has
+    /// already arrived, `None` otherwise.
+    ///
+    /// This is the progress primitive of the request API
+    /// ([`PendingExchange::poll`]). The default conservatively reports
+    /// "nothing yet"; implementations without a nonblocking transport may
+    /// keep it — requests then complete only in the blocking `wait()`
+    /// path, which is always correct.
+    fn poll_recv_bytes(&self, src: usize, tag: u32) -> Option<Vec<u8>> {
+        let _ = (src, tag);
+        None
     }
 
     /// Block until all ranks have entered the barrier.
@@ -111,32 +124,98 @@ pub trait Communicator {
     }
 
     // ------------------------------------------------------------------
+    // Request API: split-phase (start/wait) communication
+    // ------------------------------------------------------------------
+    //
+    // MPI-style nonblocking semantics: a `start_*` call puts messages on
+    // the wire immediately (sends are buffered, so starting never blocks)
+    // and returns a handle; the caller overlaps local work, then `poll()`s
+    // or `wait()`s the handle. The blocking collectives are thin
+    // start+wait wrappers, so there is exactly one wire code path.
+
+    /// Start a nonblocking framed send of `payload` to `dest`.
+    ///
+    /// Sends are buffered by the transport contract, so the message is
+    /// fully in flight when this returns — there is nothing to wait on.
+    fn start_send(&self, dest: usize, tag: u32, payload: &[u8]) {
+        self.send_framed(dest, tag, payload);
+    }
+
+    /// Start a nonblocking receive from `(src, tag)`; complete it with
+    /// [`PendingRecv::poll`] or [`PendingRecv::wait`].
+    fn start_recv(&self, src: usize, tag: u32) -> PendingRecv<'_, Self> {
+        PendingRecv {
+            comm: self,
+            src,
+            tag,
+            got: None,
+        }
+    }
+
+    /// Start an `MPI_Alltoallv` on the given `tag`: element `d` of
+    /// `outgoing` is sent to rank `d` immediately; the returned
+    /// [`PendingExchange`] completes the `size()` receives.
+    ///
+    /// At most one exchange per tag may be in flight at a time (message
+    /// matching is FIFO per `(source, tag)`, so two concurrent exchanges
+    /// on one tag would steal each other's messages). Concurrent
+    /// exchanges must use distinct tags.
+    fn start_alltoallv_bytes(&self, outgoing: Vec<Vec<u8>>, tag: u32) -> PendingExchange<'_, Self> {
+        let (p, me) = (self.size(), self.rank());
+        assert_eq!(outgoing.len(), p, "alltoallv: need one buffer per rank");
+        let total: usize = outgoing.iter().map(Vec::len).sum();
+        self.stats().record_collective(total);
+        let mut slots: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
+        for (dest, buf) in outgoing.into_iter().enumerate() {
+            if dest == me {
+                slots[me] = Some(buf);
+            } else {
+                self.send_framed(dest, tag, &buf);
+            }
+        }
+        PendingExchange {
+            comm: self,
+            tag,
+            slots,
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Collectives (default implementations over point-to-point)
     // ------------------------------------------------------------------
 
-    /// Gather one byte buffer from every rank onto every rank,
-    /// returned in rank order.
-    fn allgather_bytes(&self, mine: Vec<u8>) -> Vec<Vec<u8>> {
+    /// Start an allgather on the given `tag`: `mine` goes to every peer
+    /// immediately; the returned [`PendingExchange`] completes the
+    /// receives and yields the contributions in rank order.
+    ///
+    /// Same one-in-flight-per-tag rule as
+    /// [`start_alltoallv_bytes`](Self::start_alltoallv_bytes).
+    fn start_allgather_bytes(&self, mine: Vec<u8>, tag: u32) -> PendingExchange<'_, Self> {
         let (p, me) = (self.size(), self.rank());
         self.stats().record_collective(mine.len());
-        if p == 1 {
-            return vec![mine];
-        }
-        let framed = frame(&mine);
-        for dest in 0..p {
-            if dest != me {
-                self.send_bytes(dest, TAG_COLLECTIVE, framed.clone());
+        let mut slots: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
+        if p > 1 {
+            let framed = frame(&mine);
+            for dest in 0..p {
+                if dest != me {
+                    self.send_bytes(dest, tag, framed.clone());
+                }
             }
         }
-        let mut out = Vec::with_capacity(p);
-        for src in 0..p {
-            if src == me {
-                out.push(mine.clone());
-            } else {
-                out.push(self.recv_framed(src, TAG_COLLECTIVE));
-            }
+        slots[me] = Some(mine);
+        PendingExchange {
+            comm: self,
+            tag,
+            slots,
         }
-        out
+    }
+
+    /// Gather one byte buffer from every rank onto every rank,
+    /// returned in rank order.
+    ///
+    /// Blocking wrapper over the request API: start, then wait.
+    fn allgather_bytes(&self, mine: Vec<u8>) -> Vec<Vec<u8>> {
+        self.start_allgather_bytes(mine, TAG_COLLECTIVE).wait()
     }
 
     /// `MPI_Allgather` of exactly one value per rank.
@@ -204,25 +283,11 @@ pub trait Communicator {
     /// `MPI_Alltoallv` over byte buffers: element `d` of `outgoing` is sent
     /// to rank `d`; the result's element `s` is the buffer received from
     /// rank `s`. Every rank must call this with `outgoing.len() == size()`.
+    ///
+    /// Blocking wrapper over the request API: start, then wait.
     fn alltoallv_bytes(&self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        let (p, me) = (self.size(), self.rank());
-        assert_eq!(outgoing.len(), p, "alltoallv: need one buffer per rank");
-        let total: usize = outgoing.iter().map(Vec::len).sum();
-        self.stats().record_collective(total);
-        let mut incoming: Vec<Vec<u8>> = (0..p).map(|_| Vec::new()).collect();
-        for (dest, buf) in outgoing.into_iter().enumerate() {
-            if dest == me {
-                incoming[me] = buf;
-            } else {
-                self.send_framed(dest, TAG_COLLECTIVE + 1, &buf);
-            }
-        }
-        for (src, slot) in incoming.iter_mut().enumerate() {
-            if src != me {
-                *slot = self.recv_framed(src, TAG_COLLECTIVE + 1);
-            }
-        }
-        incoming
+        self.start_alltoallv_bytes(outgoing, TAG_COLLECTIVE + 1)
+            .wait()
     }
 
     /// Typed `MPI_Alltoallv`: send `outgoing[d]` to rank `d`, receive the
@@ -258,6 +323,119 @@ pub trait Communicator {
     }
 }
 
+/// Unframe a raw transport buffer, panicking with the same typed
+/// diagnostic as [`Communicator::recv_framed`] on integrity failure.
+fn unframe_or_panic(rank: usize, src: usize, tag: u32, raw: &[u8]) -> Vec<u8> {
+    match unframe(raw) {
+        Ok(payload) => payload.to_vec(),
+        Err(FrameError::TooShort(len)) => {
+            let e = CommError::Truncated { src, tag, len };
+            panic!("rank {rank}: {e}")
+        }
+        Err(FrameError::Crc { expected, actual }) => {
+            let e = CommError::Corrupt {
+                src,
+                tag,
+                expected,
+                actual,
+            };
+            panic!("rank {rank}: {e}")
+        }
+    }
+}
+
+/// An in-flight all-to-all exchange started by
+/// [`Communicator::start_alltoallv_bytes`].
+///
+/// The outgoing buffers are already on the wire; this handle owns the
+/// `size()` incoming slots. [`poll`](Self::poll) makes progress without
+/// blocking; [`wait`](Self::wait) blocks until every slot has arrived and
+/// returns the buffers in source-rank order.
+#[must_use = "an exchange must be completed with wait() (or polled to completion)"]
+pub struct PendingExchange<'a, C: Communicator + ?Sized> {
+    pub(crate) comm: &'a C,
+    pub(crate) tag: u32,
+    /// `slots[s]` is the payload received from rank `s` (the own-rank slot
+    /// is filled at start time).
+    pub(crate) slots: Vec<Option<Vec<u8>>>,
+}
+
+impl<C: Communicator + ?Sized> PendingExchange<'_, C> {
+    /// The tag this exchange travels on.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// True once every incoming buffer has arrived (poll/wait would not
+    /// block).
+    pub fn is_complete(&self) -> bool {
+        self.slots.iter().all(Option::is_some)
+    }
+
+    /// Receive whatever has already arrived, without blocking. Returns
+    /// `true` once the exchange is complete.
+    ///
+    /// On transports without nonblocking progress this is a no-op that
+    /// returns the current completion state; [`wait`](Self::wait) then
+    /// does the receiving.
+    pub fn poll(&mut self) -> bool {
+        for (src, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                if let Some(raw) = self.comm.poll_recv_bytes(src, self.tag) {
+                    *slot = Some(unframe_or_panic(self.comm.rank(), src, self.tag, &raw));
+                }
+            }
+        }
+        self.is_complete()
+    }
+
+    /// Block until the exchange completes; returns the received buffers in
+    /// source-rank order (the own-rank slot holds the locally addressed
+    /// buffer, unframed and uncopied).
+    pub fn wait(mut self) -> Vec<Vec<u8>> {
+        for (src, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(self.comm.recv_framed(src, self.tag));
+            }
+        }
+        self.slots.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+/// An in-flight single receive started by [`Communicator::start_recv`].
+#[must_use = "a receive must be completed with wait() (or polled to completion)"]
+pub struct PendingRecv<'a, C: Communicator + ?Sized> {
+    pub(crate) comm: &'a C,
+    pub(crate) src: usize,
+    pub(crate) tag: u32,
+    pub(crate) got: Option<Vec<u8>>,
+}
+
+impl<C: Communicator + ?Sized> PendingRecv<'_, C> {
+    /// True once the message has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.got.is_some()
+    }
+
+    /// Check for the message without blocking; `true` once it has arrived.
+    pub fn poll(&mut self) -> bool {
+        if self.got.is_none() {
+            if let Some(raw) = self.comm.poll_recv_bytes(self.src, self.tag) {
+                self.got = Some(unframe_or_panic(self.comm.rank(), self.src, self.tag, &raw));
+            }
+        }
+        self.got.is_some()
+    }
+
+    /// Block until the message arrives and return its payload.
+    pub fn wait(mut self) -> Vec<u8> {
+        match self.got.take() {
+            Some(buf) => buf,
+            None => self.comm.recv_framed(self.src, self.tag),
+        }
+    }
+}
+
 #[cfg(test)]
 mod default_collective_tests {
     use super::*;
@@ -289,5 +467,91 @@ mod default_collective_tests {
     fn exscan_of_zeroes() {
         let results = run_spmd(3, |c| c.exscan_sum_u64(0));
         assert_eq!(results, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn split_phase_alltoallv_overlaps_local_work() {
+        let p = 4;
+        let results = run_spmd(p, |c| {
+            let outgoing: Vec<Vec<u8>> = (0..p)
+                .map(|d| vec![(10 * c.rank() + d) as u8; d + 1])
+                .collect();
+            let mut pending = c.start_alltoallv_bytes(outgoing, 77);
+            // Local work while the exchange is in flight.
+            let local: u64 = (0..1000).sum();
+            let _ = pending.poll(); // progress is optional and never blocks
+            (local, pending.wait())
+        });
+        for (d, (local, incoming)) in results.into_iter().enumerate() {
+            assert_eq!(local, 499500);
+            for (s, buf) in incoming.into_iter().enumerate() {
+                assert_eq!(buf, vec![(10 * s + d) as u8; d + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn poll_alone_completes_an_exchange() {
+        // Sends complete at start time on the buffered transport, so
+        // polling (never a blocking receive) must drain the exchange.
+        let results = run_spmd(3, |c| {
+            let outgoing: Vec<Vec<u8>> = (0..3).map(|d| vec![c.rank() as u8, d as u8]).collect();
+            let mut pending = c.start_alltoallv_bytes(outgoing, 5);
+            let mut spins = 0u64;
+            while !pending.poll() {
+                spins += 1;
+                assert!(spins < 100_000_000, "poll never completed");
+                std::thread::yield_now();
+            }
+            assert!(pending.is_complete());
+            pending.wait() // must not block: every slot already arrived
+        });
+        for (d, incoming) in results.into_iter().enumerate() {
+            for (s, buf) in incoming.into_iter().enumerate() {
+                assert_eq!(buf, vec![s as u8, d as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn start_recv_pairs_with_start_send() {
+        let results = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.start_send(1, 9, &[7u8, 8]);
+                Vec::new()
+            } else {
+                let mut r = c.start_recv(0, 9);
+                while !r.poll() {
+                    std::thread::yield_now();
+                }
+                r.wait()
+            }
+        });
+        assert_eq!(results[1], vec![7, 8]);
+    }
+
+    #[test]
+    fn blocking_alltoallv_is_start_plus_wait() {
+        // The blocking wrapper and an explicit start+wait must agree.
+        let p = 3;
+        let results = run_spmd(p, |c| {
+            let mk = |c: &crate::ThreadComm| -> Vec<Vec<u8>> {
+                (0..p).map(|d| vec![(c.rank() * p + d) as u8]).collect()
+            };
+            let a = c.alltoallv_bytes(mk(c));
+            let b = c.start_alltoallv_bytes(mk(c), 11).wait();
+            (a, b)
+        });
+        for (a, b) in results {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn serial_poll_completes_self_exchange() {
+        let c = crate::SerialComm::new();
+        let mut pending = c.start_alltoallv_bytes(vec![vec![1u8, 2, 3]], 4);
+        assert!(pending.poll());
+        assert_eq!(pending.wait(), vec![vec![1, 2, 3]]);
     }
 }

@@ -57,9 +57,9 @@ mod thread;
 mod wire;
 
 pub use chaos::{ChaosComm, CrashPoint, FaultPlan, RankCrashed};
-pub use communicator::Communicator;
+pub use communicator::{Communicator, PendingExchange, PendingRecv, TAG_COLLECTIVE};
 pub use error::CommError;
 pub use serial::SerialComm;
-pub use stats::{StatsSnapshot, TrafficStats};
+pub use stats::{StatsSnapshot, TagTraffic, TrafficStats};
 pub use thread::{run_spmd, run_spmd_with, CommConfig, ThreadComm};
 pub use wire::{crc32, frame, read_vec, try_read_vec, unframe, write_vec, FrameError, Wire};

@@ -35,7 +35,7 @@ impl Communicator for SerialComm {
 
     fn send_bytes(&self, dest: usize, tag: u32, data: Vec<u8>) {
         assert_eq!(dest, 0, "SerialComm: destination rank out of range");
-        self.stats.record_p2p(data.len());
+        self.stats.record_p2p(tag, data.len());
         self.mailbox
             .borrow_mut()
             .entry(tag)
@@ -50,6 +50,14 @@ impl Communicator for SerialComm {
             .get_mut(&tag)
             .and_then(VecDeque::pop_front)
             .expect("SerialComm: recv with no matching message would deadlock")
+    }
+
+    fn poll_recv_bytes(&self, src: usize, tag: u32) -> Option<Vec<u8>> {
+        assert_eq!(src, 0, "SerialComm: source rank out of range");
+        self.mailbox
+            .borrow_mut()
+            .get_mut(&tag)
+            .and_then(VecDeque::pop_front)
     }
 
     fn barrier(&self) {}

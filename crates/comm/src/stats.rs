@@ -6,18 +6,35 @@
 //! per core. The benchmark harnesses verify those claims on the Rust
 //! implementation by reading these counters.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Lock-free counters of messages and payload bytes, split into
-/// point-to-point and collective traffic.
+/// point-to-point and collective traffic, plus a per-tag breakdown of
+/// point-to-point traffic so phases (ghost exchange, halo traces, node
+/// assembly, collectives) can be attributed individually.
 ///
-/// Counters use relaxed ordering: they are statistics, not synchronization.
+/// The grand-total counters use relaxed atomics: they are statistics, not
+/// synchronization. The per-tag map takes a mutex, which is fine because a
+/// rank's sends are not themselves concurrent.
 #[derive(Debug, Default)]
 pub struct TrafficStats {
     p2p_msgs: AtomicU64,
     p2p_bytes: AtomicU64,
     coll_calls: AtomicU64,
     coll_bytes: AtomicU64,
+    by_tag: Mutex<BTreeMap<u32, TagTraffic>>,
+}
+
+/// Message/byte totals of one point-to-point tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagTraffic {
+    /// Messages sent on this tag.
+    pub msgs: u64,
+    /// Payload bytes sent on this tag (including any framing the sender
+    /// put on the wire).
+    pub bytes: u64,
 }
 
 /// A plain-data copy of [`TrafficStats`] at one instant.
@@ -34,11 +51,27 @@ pub struct StatsSnapshot {
 }
 
 impl TrafficStats {
-    /// Record one point-to-point send of `bytes` payload bytes.
+    /// Record one point-to-point send of `bytes` payload bytes on `tag`.
     #[inline]
-    pub fn record_p2p(&self, bytes: usize) {
+    pub fn record_p2p(&self, tag: u32, bytes: usize) {
         self.p2p_msgs.fetch_add(1, Ordering::Relaxed);
         self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut map = self.by_tag.lock().unwrap_or_else(|e| e.into_inner());
+        let t = map.entry(tag).or_default();
+        t.msgs += 1;
+        t.bytes += bytes as u64;
+    }
+
+    /// Per-tag breakdown of point-to-point traffic, sorted by tag.
+    pub fn by_tag(&self) -> Vec<(u32, TagTraffic)> {
+        let map = self.by_tag.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(&t, &v)| (t, v)).collect()
+    }
+
+    /// Totals for one point-to-point tag (zero if never used).
+    pub fn tag_traffic(&self, tag: u32) -> TagTraffic {
+        let map = self.by_tag.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(&tag).copied().unwrap_or_default()
     }
 
     /// Record participation in one collective contributing `bytes` bytes.
@@ -64,6 +97,10 @@ impl TrafficStats {
         self.p2p_bytes.store(0, Ordering::Relaxed);
         self.coll_calls.store(0, Ordering::Relaxed);
         self.coll_bytes.store(0, Ordering::Relaxed);
+        self.by_tag
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 }
 
@@ -91,8 +128,8 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = TrafficStats::default();
-        s.record_p2p(10);
-        s.record_p2p(20);
+        s.record_p2p(1, 10);
+        s.record_p2p(1, 20);
         s.record_collective(8);
         let snap = s.snapshot();
         assert_eq!(snap.p2p_msgs, 2);
@@ -105,9 +142,9 @@ mod tests {
     #[test]
     fn since_subtracts() {
         let s = TrafficStats::default();
-        s.record_p2p(10);
+        s.record_p2p(1, 10);
         let a = s.snapshot();
-        s.record_p2p(5);
+        s.record_p2p(1, 5);
         s.record_collective(3);
         let b = s.snapshot();
         let d = b.since(&a);
@@ -119,8 +156,30 @@ mod tests {
     #[test]
     fn reset_zeroes() {
         let s = TrafficStats::default();
-        s.record_p2p(10);
+        s.record_p2p(1, 10);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert!(s.by_tag().is_empty());
+    }
+
+    #[test]
+    fn per_tag_breakdown_attributes_traffic() {
+        let s = TrafficStats::default();
+        s.record_p2p(7, 10);
+        s.record_p2p(7, 20);
+        s.record_p2p(9, 5);
+        let tags = s.by_tag();
+        assert_eq!(
+            tags,
+            vec![
+                (7, TagTraffic { msgs: 2, bytes: 30 }),
+                (9, TagTraffic { msgs: 1, bytes: 5 }),
+            ]
+        );
+        assert_eq!(s.tag_traffic(7).bytes, 30);
+        assert_eq!(s.tag_traffic(1234), TagTraffic::default());
+        // Per-tag totals sum to the grand total.
+        let sum: u64 = tags.iter().map(|(_, t)| t.bytes).sum();
+        assert_eq!(sum, s.snapshot().p2p_bytes);
     }
 }

@@ -189,7 +189,7 @@ impl Communicator for ThreadComm {
 
     fn send_bytes(&self, dest: usize, tag: u32, data: Vec<u8>) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
-        self.stats.record_p2p(data.len());
+        self.stats.record_p2p(tag, data.len());
         if self.peers[dest].send((self.rank, tag, data)).is_err() {
             // The destination endpoint was dropped: that rank crashed or
             // exited early. Poison the communicator and fail with the same
@@ -252,6 +252,29 @@ impl Communicator for ThreadComm {
                 }
             }
         }
+    }
+
+    fn poll_recv_bytes(&self, src: usize, tag: u32) -> Option<Vec<u8>> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let key = (src, tag);
+        if let Some(buf) = self
+            .lock_mailbox()
+            .get_mut(&key)
+            .and_then(VecDeque::pop_front)
+        {
+            return Some(buf);
+        }
+        // Drain whatever has already arrived, without blocking.
+        while let Ok((from, t, data)) = self.inbox.try_recv() {
+            if (from, t) == key {
+                return Some(data);
+            }
+            self.lock_mailbox()
+                .entry((from, t))
+                .or_default()
+                .push_back(data);
+        }
+        None
     }
 
     fn barrier(&self) {

@@ -30,7 +30,7 @@ mod search;
 
 pub use balance::BalanceType;
 pub use checkpoint::{CheckpointError, CheckpointMeta};
-pub use ghost::GhostLayer;
+pub use ghost::{GhostDataPending, GhostLayer, TAG_GHOST_EXCHANGE};
 pub use search::Descend;
 
 use std::sync::Arc;

@@ -35,5 +35,5 @@ pub mod octant;
 pub use connectivity::{Connectivity, TreeId};
 pub use dim::{Dim, D2, D3};
 pub use forest::{BalanceType, Forest, GhostLayer};
-pub use nodes::{NodeKey, NodeStatus, Nodes};
+pub use nodes::{AssemblePending, NodeKey, NodeStatus, Nodes, TAG_ASSEMBLE};
 pub use octant::Octant;

@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use forust_comm::Communicator;
+use forust_comm::{read_vec, write_vec, Communicator, PendingExchange, TAG_COLLECTIVE};
 
 use crate::connectivity::{Route, TreeId};
 use crate::dim::Dim;
@@ -639,6 +639,27 @@ fn set_hanging(drafts: &mut [Draft], i: u32, parents: Vec<u32>, rel: [u16; 2], e
     }
 }
 
+/// Base message tag of the split-phase cG assembly: a 16-lane block in
+/// the reserved space below the collective tags, so concurrent per-field
+/// assemblies neither steal each other's messages nor interleave with
+/// collectives issued between begin and end.
+pub const TAG_ASSEMBLE: u32 = TAG_COLLECTIVE - 48;
+
+/// An in-flight [`Nodes::assemble_add_begin`] reduction; complete it with
+/// [`Nodes::assemble_add_end`].
+#[must_use = "complete the assembly with Nodes::assemble_add_end"]
+pub struct AssemblePending<'a, C: Communicator> {
+    pending: PendingExchange<'a, C>,
+}
+
+impl<C: Communicator> AssemblePending<'_, C> {
+    /// Receive whatever has already arrived, without blocking; `true`
+    /// once every peer's partials are in.
+    pub fn poll(&mut self) -> bool {
+        self.pending.poll()
+    }
+}
+
 impl<D: Dim> Nodes<D> {
     /// Node indices of local element `e`, lattice x-fastest.
     pub fn element(&self, e: usize) -> &[u32] {
@@ -655,19 +676,56 @@ impl<D: Dim> Nodes<D> {
     /// copies of each dof agree afterwards. (The cG scatter-gather of
     /// paper §II-E.) Hanging-node entries are ignored.
     pub fn assemble_add(&self, comm: &impl Communicator, values: &mut [f64]) {
+        let pending = self.assemble_add_begin(comm, values, 0);
+        self.assemble_add_end(comm, pending, values);
+    }
+
+    /// Start the borrower-to-owner leg of [`Nodes::assemble_add`]: the
+    /// partials of `values` at borrowed dofs go on the wire and the call
+    /// returns immediately. Independent local work (e.g. accumulating the
+    /// next field's element integrals) proceeds while the messages fly;
+    /// [`Nodes::assemble_add_end`] completes the reduction. Up to 16
+    /// assemblies may be in flight at once, each on its own `lane`.
+    pub fn assemble_add_begin<'a, C: Communicator>(
+        &self,
+        comm: &'a C,
+        values: &[f64],
+        lane: u32,
+    ) -> AssemblePending<'a, C> {
         assert_eq!(values.len(), self.keys.len());
+        assert!(
+            lane < 16,
+            "assembly lane {lane} out of the reserved tag range"
+        );
         let p = comm.size();
         // Borrower -> owner partials.
-        let out: Vec<Vec<f64>> = (0..p)
+        let outgoing: Vec<Vec<u8>> = (0..p)
             .map(|r| {
-                self.borrowed_by_rank[r]
+                let partials: Vec<f64> = self.borrowed_by_rank[r]
                     .iter()
                     .map(|&i| values[i as usize])
-                    .collect()
+                    .collect();
+                write_vec(&partials)
             })
             .collect();
-        let incoming = comm.alltoallv(out);
-        for (r, partials) in incoming.into_iter().enumerate() {
+        AssemblePending {
+            pending: comm.start_alltoallv_bytes(outgoing, TAG_ASSEMBLE + lane),
+        }
+    }
+
+    /// Complete a reduction started by [`Nodes::assemble_add_begin`]: add
+    /// the received partials at the owned dofs and broadcast the totals
+    /// back to every borrower. `values` must be the same field the begin
+    /// call packed (mutations at *shared* dofs in between would be lost).
+    pub fn assemble_add_end<C: Communicator>(
+        &self,
+        comm: &C,
+        pending: AssemblePending<'_, C>,
+        values: &mut [f64],
+    ) {
+        assert_eq!(values.len(), self.keys.len());
+        for (r, buf) in pending.pending.wait().into_iter().enumerate() {
+            let partials: Vec<f64> = read_vec(&buf);
             for (&i, v) in self.lent_to_rank[r].iter().zip(partials) {
                 values[i as usize] += v;
             }

@@ -16,12 +16,16 @@
 //! - [`mesh`]: the dG element mesh extracted from a balanced forest and its
 //!   ghost layer — neighbor classification per face (conforming, 2:1
 //!   mortar, inter-tree with rotation) and ghost field exchange;
+//! - [`halo`]: the split-phase, face-trace-only ghost exchange — restricts
+//!   mirror payloads to the dofs actually read across the partition
+//!   boundary and overlaps the messages with interior element work;
 //! - [`cg`]: continuous-Galerkin hanging-node interpolation built on
 //!   `forust`'s `Nodes`.
 
 pub mod cg;
 pub mod element;
 pub mod geometry;
+pub mod halo;
 pub mod legendre;
 pub mod lserk;
 pub mod matrix;
@@ -29,4 +33,5 @@ pub mod mesh;
 pub mod transfer;
 
 pub use element::RefElement;
+pub use halo::{HaloData, HaloExchange, HaloPending, TAG_HALO_EXCHANGE};
 pub use matrix::Matrix;

@@ -353,7 +353,24 @@ fn classify_face<D: Dim>(
                 }
                 let child = m.child(cid);
                 let nbr = find_ref(*k2, &child).unwrap_or_else(|| {
-                    panic!("fine face neighbor {child:?} of tree {k2} not found")
+                    // A missing fine neighbor means 2:1 balance or the
+                    // ghost layer is broken; name every party so the
+                    // hanging face can be reconstructed from the log.
+                    panic!(
+                        "dG mesh: fine face neighbor not found\n  \
+                         my element:    tree {t}, face {f}, octant {o:?} \
+                         (level {}, sfc key {:#018x})\n  \
+                         neighbor image: tree {k2}, region {m:?} \
+                         (level {}, sfc key {:#018x})\n  \
+                         missing child:  {child:?} (level {}, sfc key {:#018x})\n  \
+                         neighbor-frame face toward me: {nbr_face}",
+                        o.level,
+                        o.morton(),
+                        m.level,
+                        m.morton(),
+                        child.level,
+                        child.morton(),
+                    )
                 });
                 // Matrix mapping MY face values to the fine child's face
                 // nodes: evaluate MY basis at the child's face points.

@@ -275,11 +275,23 @@ impl StokesFem {
 
     /// Post-state: collect hanging transposes, assemble across ranks,
     /// enforce identity rows for Dirichlet and hanging slots.
+    ///
+    /// The four per-field reductions are split-phase: field `c`'s
+    /// borrower partials fly while field `c + 1`'s hanging transposes are
+    /// still being collected locally, each on its own assembly lane.
     fn post(&self, comm: &impl Communicator, x: &[f64], y: &mut [f64]) {
         let nn = self.nn;
+        let mut pending = Vec::with_capacity(4);
         for c in 0..4 {
             self.interp.collect_add(&mut y[c * nn..(c + 1) * nn]);
-            self.nodes.assemble_add(comm, &mut y[c * nn..(c + 1) * nn]);
+            pending.push(
+                self.nodes
+                    .assemble_add_begin(comm, &y[c * nn..(c + 1) * nn], c as u32),
+            );
+        }
+        for (c, p) in pending.into_iter().enumerate() {
+            self.nodes
+                .assemble_add_end(comm, p, &mut y[c * nn..(c + 1) * nn]);
         }
         for i in 0..nn {
             if self.bc[i] {

@@ -18,6 +18,7 @@ use forust::dim::D3;
 use forust::forest::{BalanceType, Forest};
 use forust_comm::Communicator;
 use forust_dg::geometry::MeshGeometry;
+use forust_dg::halo::{HaloData, HaloExchange};
 use forust_dg::lserk::{LSERK_A, LSERK_B, LSERK_C};
 use forust_dg::mesh::{DgMesh, ElemRef, FaceConn};
 use forust_geom::Mapping;
@@ -84,6 +85,8 @@ pub struct SeismicSolver {
     pub mesh: DgMesh<D3>,
     /// Metric terms.
     pub geo: MeshGeometry,
+    /// Split-phase face-trace ghost exchange of the (static) mesh.
+    pub halo: HaloExchange<D3>,
     /// State, `num_elements * npe * NCOMP`, component-major per element.
     pub q: Vec<f64>,
     resid: Vec<f64>,
@@ -164,6 +167,7 @@ impl SeismicSolver {
 
         let mesh = DgMesh::build(&forest, comm, config.degree);
         let geo = MeshGeometry::build(&mesh, &*map);
+        let halo = HaloExchange::build(&mesh);
         let meshing = t0.elapsed();
 
         let npe = mesh.re.nodes_per_elem(3);
@@ -183,6 +187,7 @@ impl SeismicSolver {
             forest,
             mesh,
             geo,
+            halo,
             q,
             resid,
             mat,
@@ -301,14 +306,48 @@ impl SeismicSolver {
     }
 
     /// The dG right-hand side at time `t` (source active).
+    ///
+    /// Split-phase: the face-trace ghost exchange goes on the wire first,
+    /// interior elements (which read no ghost) are computed while the
+    /// messages fly, then the boundary elements finish after the traces
+    /// arrive. Element results are independent, so the reordering is
+    /// bitwise identical to the old exchange-then-sweep loop.
     fn compute_rhs(&self, comm: &impl Communicator, t: f64, out: &mut [f64]) {
+        let pending = self.halo.begin(comm, &self.q, NCOMP);
+        out.fill(0.0);
+        let mut sig_nodal = vec![0.0; 6 * self.mesh.re.nodes_per_elem(3)];
+        let mut nbr_buf: Vec<f64> = Vec::new();
+        for &e in self.halo.interior() {
+            self.rhs_element(e as usize, t, None, &mut sig_nodal, &mut nbr_buf, out);
+        }
+        let traces = pending.finish();
+        for &e in self.halo.boundary() {
+            self.rhs_element(
+                e as usize,
+                t,
+                Some(&traces),
+                &mut sig_nodal,
+                &mut nbr_buf,
+                out,
+            );
+        }
+    }
+
+    /// RHS of a single element. `traces` carries the received ghost face
+    /// traces; `None` is only valid for interior elements.
+    fn rhs_element(
+        &self,
+        e: usize,
+        t: f64,
+        traces: Option<&HaloData<'_, D3>>,
+        sig_nodal: &mut [f64],
+        nbr_buf: &mut Vec<f64>,
+        out: &mut [f64],
+    ) {
         let re = &self.mesh.re;
         let npe = re.nodes_per_elem(3);
         let npf = re.nodes_per_face(3);
         let chunk = npe * NCOMP;
-        let nel = self.mesh.num_elements();
-        let ghost_q = self.mesh.exchange_element_data(comm, &self.q, chunk);
-        out.fill(0.0);
 
         // Stress of a state given material.
         let stress = |s: &[f64; NCOMP], lam: f64, mu: f64| -> [f64; 6] {
@@ -332,9 +371,25 @@ impl SeismicSolver {
         };
 
         let cfg = &self.config;
-        let mut sig_nodal = vec![0.0; 6 * npe];
-        let mut nbr_buf: Vec<f64> = Vec::new();
-        for e in 0..nel {
+        // Face trace of one component of a neighbor (its `nbr_face`,
+        // face-lattice order).
+        let nbr_trace = |r: ElemRef, nbr_face: usize, c: usize, buf: &mut Vec<f64>| match r {
+            ElemRef::Local(i) => {
+                let off = i as usize * chunk;
+                buf.clear();
+                buf.extend(
+                    self.face_idx[nbr_face]
+                        .iter()
+                        .map(|&n| self.q[off + c * npe + n]),
+                );
+            }
+            ElemRef::Ghost(g) => {
+                traces
+                    .expect("interior element classified with a ghost face")
+                    .face_values(g as usize, nbr_face, c, buf);
+            }
+        };
+        {
             let base = e * chunk;
             let inv = self.geo.elem_inv(e);
             let det = self.geo.elem_det(e);
@@ -503,18 +558,11 @@ impl SeismicSolver {
                         nbr_face,
                         from_nbr,
                     } => {
-                        let (buf, off) = match nbr {
-                            ElemRef::Local(i) => (&self.q, *i as usize * chunk),
-                            ElemRef::Ghost(i) => (&ghost_q, *i as usize * chunk),
-                        };
-                        nbr_buf.clear();
                         // Interpolate each component's neighbor trace.
-                        let nidx = re.face_nodes(3, *nbr_face);
                         let mut qp = vec![[0.0; NCOMP]; npf];
                         for c in 0..NCOMP {
-                            let their: Vec<f64> =
-                                nidx.iter().map(|&i| buf[off + c * npe + i]).collect();
-                            let gp = from_nbr.matvec(&their);
+                            nbr_trace(*nbr, *nbr_face, c, nbr_buf);
+                            let gp = from_nbr.matvec(nbr_buf);
                             for j in 0..npf {
                                 qp[j][c] = gp[j];
                             }
@@ -540,15 +588,11 @@ impl SeismicSolver {
                                     qm[j][c] = at_fine[j];
                                 }
                             }
-                            let (buf, off) = match sub.nbr {
-                                ElemRef::Local(i) => (&self.q, i as usize * chunk),
-                                ElemRef::Ghost(i) => (&ghost_q, i as usize * chunk),
-                            };
-                            let nidx = re.face_nodes(3, sub.nbr_face);
                             let mut qp = vec![[0.0; NCOMP]; npf];
                             for c in 0..NCOMP {
-                                for (j, &i) in nidx.iter().enumerate() {
-                                    qp[j][c] = buf[off + c * npe + i];
+                                nbr_trace(sub.nbr, sub.nbr_face, c, nbr_buf);
+                                for j in 0..npf {
+                                    qp[j][c] = nbr_buf[j];
                                 }
                             }
                             apply_flux(&qm, &qp, &sg.normal, &sg.sj, &mut |j, d, s| {
