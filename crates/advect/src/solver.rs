@@ -196,13 +196,16 @@ impl AdvectSolver {
 
     /// Advance one RK step; adapt every `adapt_every` steps.
     pub fn step(&mut self, comm: &impl Communicator) {
+        let _span = forust_obs::span!("advect.step");
         let t0 = Instant::now();
         // 2N-storage RK with a hand-rolled loop so the ghost exchange can
         // borrow disjoint fields.
         let mut k = vec![0.0; self.c.len()];
         self.resid.fill(0.0);
         for s in 0..5 {
+            let _stage = forust_obs::span!("rk.stage");
             self.compute_rhs(comm, &mut k);
+            let _update = forust_obs::span!("rk.update");
             for i in 0..self.c.len() {
                 self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
                 self.c[i] += LSERK_B[s] * self.resid[i];
@@ -227,10 +230,17 @@ impl AdvectSolver {
     fn compute_rhs(&self, comm: &impl Communicator, out: &mut [f64]) {
         let pending = self.halo.begin(comm, &self.c, 1);
         let mut nbr_buf = Vec::with_capacity(self.mesh.re.nodes_per_face(3));
-        for &e in self.halo.interior() {
-            self.rhs_element(e as usize, None, &mut nbr_buf, out);
+        {
+            let _span = forust_obs::span!("rhs.interior");
+            for &e in self.halo.interior() {
+                self.rhs_element(e as usize, None, &mut nbr_buf, out);
+            }
         }
-        let traces = pending.finish();
+        let traces = {
+            let _span = forust_obs::span!("rhs.exchange_wait");
+            pending.finish()
+        };
+        let _span = forust_obs::span!("rhs.boundary");
         for &e in self.halo.boundary() {
             self.rhs_element(e as usize, Some(&traces), &mut nbr_buf, out);
         }
@@ -349,6 +359,7 @@ impl AdvectSolver {
     /// Adapt the mesh to the current solution and repartition, carrying
     /// the field along (the paper's every-32-steps cycle).
     pub fn adapt(&mut self, comm: &impl Communicator) {
+        let _span = forust_obs::span!("advect.adapt");
         let t0 = Instant::now();
         let re = RefElement::new(self.config.degree);
         let npe = re.nodes_per_elem(3);
@@ -397,15 +408,19 @@ impl AdvectSolver {
         self.forest.balance(comm, BalanceType::Full);
 
         // Transfer the solution to the new local mesh, then repartition.
-        self.c = transfer_fields(&re, &old, &self.c, &self.forest, 1);
+        {
+            let _span = forust_obs::span!("adapt.transfer");
+            self.c = transfer_fields(&re, &old, &self.c, &self.forest, 1);
+        }
         let chunks: Vec<Vec<f64>> = self.c.chunks(npe).map(|c| c.to_vec()).collect();
         let moved = self.forest.partition_with_payload(comm, |_, _| 1, chunks);
         self.c = moved.into_iter().flatten().collect();
 
         // Rebuild mesh-dependent state.
+        let _rebuild = forust_obs::span!("adapt.rebuild");
         self.mesh = DgMesh::build(&self.forest, comm, self.config.degree);
         self.geo = MeshGeometry::build(&self.mesh, &*self.map);
-        self.halo = HaloExchange::build(&self.mesh);
+        self.halo.rebuild(&self.mesh);
         self.resid = vec![0.0; self.c.len()];
         let (wv, wf, face_idx) = cache_constants(&self.mesh.re);
         self.wv = wv;

@@ -22,6 +22,7 @@ use forust::forest::{BalanceType, Forest};
 use forust_comm::{run_spmd, Communicator, SerialComm};
 use forust_dg::halo::HaloExchange;
 use forust_dg::mesh::DgMesh;
+use forust_obs::metrics::{MetricsReport, Registry};
 
 fn fractal_forest(level: u8) -> (SerialComm, Forest<D3>) {
     let comm = SerialComm::new();
@@ -108,7 +109,13 @@ fn extract_prev(text: &str) -> Option<(String, String)> {
     Some((kernels, text[q1..q2].to_string()))
 }
 
-fn write_json(path: &std::path::Path, records: &[Record], prev: Option<(String, String)>) {
+fn write_json(
+    path: &std::path::Path,
+    records: &[Record],
+    report: &MetricsReport,
+    total_wall_s: f64,
+    prev: Option<(String, String)>,
+) {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"bench_core\",\n");
@@ -128,6 +135,27 @@ fn write_json(path: &std::path::Path, records: &[Record], prev: Option<(String, 
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    // The observability phase breakdown: self-time percentages tile the
+    // run, so downstream tooling can track where bench wall time goes.
+    s.push_str(&format!("  \"total_wall_s\": {total_wall_s:.6},\n"));
+    s.push_str("  \"phases\": [\n");
+    for (i, p) in report.phases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"calls\": {}, \"self_s\": {:.6}, \
+             \"total_s\": {:.6}, \"self_pct\": {:.2}}}{}\n",
+            p.name,
+            p.calls_max,
+            p.self_s.mean,
+            p.total_s.mean,
+            if total_wall_s > 0.0 {
+                100.0 * p.self_s.mean / total_wall_s
+            } else {
+                0.0
+            },
+            if i + 1 < report.phases.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]");
     if let Some((kernels, rev)) = prev {
         s.push_str(&format!(
@@ -143,7 +171,14 @@ fn main() {
     const REPS_BIG: usize = 5;
     let mut records: Vec<Record> = Vec::new();
 
+    // Phase tracing: one recorder on the bench thread; the forest ops
+    // called inside the kernels nest under the bench.* section spans.
+    forust_obs::install(0);
+    let t_wall = Instant::now();
+    let outer = forust_obs::span!("bench.main");
+
     // --- level 2 fractal (small, as in the original smoke bench) -------
+    let sec = forust_obs::span!("bench.l2");
     let (comm, forest2) = fractal_forest(2);
     let n2 = forest2.num_local();
     run(&mut records, "refine_fractal_l2", n2, REPS, || {
@@ -172,6 +207,8 @@ fn main() {
     });
 
     // --- level 3 fractal (the sizes the acceptance gates run at) -------
+    drop(sec);
+    let sec = forust_obs::span!("bench.l3");
     let (comm3, forest3) = fractal_forest(3);
     let n3 = forest3.num_local();
     run(&mut records, "refine_fractal_l3", n3, REPS_BIG, || {
@@ -195,6 +232,8 @@ fn main() {
     });
 
     // Pure octant-key throughput: sum of Morton keys over the forest.
+    drop(sec);
+    let sec = forust_obs::span!("bench.octant_kernels");
     let octs: Vec<_> = balanced3.iter_local().map(|(_, o)| *o).collect();
     run(&mut records, "morton_sum_l3", octs.len(), REPS, || {
         let sum: u64 = octs.iter().map(|o| o.morton()).sum();
@@ -221,6 +260,8 @@ fn main() {
     // The per-RK-stage communication of the dG solvers: full-payload ghost
     // exchange vs the face-trace pipeline, with bytes-on-wire per stage
     // and the non-overlappable send-side cost of the split begin.
+    drop(sec);
+    let sec = forust_obs::span!("bench.halo_spmd");
     let halo = run_spmd(4, |comm| {
         let conn = Arc::new(builders::rotcubes6());
         let mut f = Forest::<D3>::new_uniform(conn, comm, 3);
@@ -291,6 +332,24 @@ fn main() {
         });
     }
 
+    drop(sec);
+    drop(outer);
+    let total_wall_s = t_wall.elapsed().as_secs_f64();
+
+    // --- phase breakdown -------------------------------------------------
+    // The paper-style percentage table: self times tile the run, so the
+    // rows (plus "(untracked)") sum to 100% of wall time.
+    let obs_comm = SerialComm::new();
+    let report = Registry::collect(&obs_comm);
+    println!();
+    print!("{}", report.phase_table(total_wall_s));
+    let coverage = report.coverage(total_wall_s);
+    assert!(
+        coverage > 0.99 && coverage <= 1.0 + 1e-9,
+        "phase self-times cover {:.2}% of wall time (expected >99%)",
+        coverage * 100.0
+    );
+
     // --- JSON trajectory ------------------------------------------------
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -301,6 +360,6 @@ fn main() {
         .ok()
         .as_deref()
         .and_then(extract_prev);
-    write_json(&path, &records, prev);
+    write_json(&path, &records, &report, total_wall_s, prev);
     println!("wrote {}", path.display());
 }

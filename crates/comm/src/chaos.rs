@@ -120,6 +120,45 @@ impl SplitMix64 {
     }
 }
 
+/// Which communication entry point a fault fired in. The crash clock
+/// ticks at every site; delay and corruption can only fire on sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Site {
+    Send,
+    Recv,
+    TryRecv,
+    Poll,
+    Barrier,
+}
+
+/// Per-rank counts of injected faults, by kind and call site. Names
+/// follow the observability counter convention `chaos.<kind>.<site>` so
+/// [`ChaosComm::fault_counts`] can feed them straight into
+/// `forust-obs` counters (this crate sits below the obs layer and
+/// cannot call it directly).
+#[derive(Debug, Default)]
+struct FaultCounters {
+    delay_send: AtomicU64,
+    corrupt_send: AtomicU64,
+    crash_send: AtomicU64,
+    crash_recv: AtomicU64,
+    crash_try_recv: AtomicU64,
+    crash_poll: AtomicU64,
+    crash_barrier: AtomicU64,
+}
+
+impl FaultCounters {
+    fn crash_site(&self, site: Site) -> &AtomicU64 {
+        match site {
+            Site::Send => &self.crash_send,
+            Site::Recv => &self.crash_recv,
+            Site::TryRecv => &self.crash_try_recv,
+            Site::Poll => &self.crash_poll,
+            Site::Barrier => &self.crash_barrier,
+        }
+    }
+}
+
 /// A fault-injecting decorator around any [`Communicator`].
 pub struct ChaosComm<C: Communicator> {
     inner: C,
@@ -127,6 +166,7 @@ pub struct ChaosComm<C: Communicator> {
     rng: Mutex<SplitMix64>,
     calls: AtomicU64,
     held: Mutex<VecDeque<(usize, u32, Vec<u8>)>>,
+    faults: FaultCounters,
 }
 
 impl<C: Communicator> ChaosComm<C> {
@@ -141,6 +181,7 @@ impl<C: Communicator> ChaosComm<C> {
             rng: Mutex::new(SplitMix64(stream)),
             calls: AtomicU64::new(0),
             held: Mutex::new(VecDeque::new()),
+            faults: FaultCounters::default(),
         }
     }
 
@@ -156,11 +197,35 @@ impl<C: Communicator> ChaosComm<C> {
         &self.inner
     }
 
+    /// Faults fired so far on this rank, as `(name, count)` pairs named
+    /// `chaos.<kind>.<site>` (e.g. `chaos.corrupt.send`,
+    /// `chaos.crash.barrier`). Only nonzero counters are returned; the
+    /// order is fixed. The names match the observability counter
+    /// convention, so callers can forward them verbatim:
+    /// `for (name, n) in chaos.fault_counts() { obs::counter_add(name, n); }`
+    pub fn fault_counts(&self) -> Vec<(&'static str, u64)> {
+        let f = &self.faults;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        [
+            ("chaos.delay.send", load(&f.delay_send)),
+            ("chaos.corrupt.send", load(&f.corrupt_send)),
+            ("chaos.crash.send", load(&f.crash_send)),
+            ("chaos.crash.recv", load(&f.crash_recv)),
+            ("chaos.crash.try_recv", load(&f.crash_try_recv)),
+            ("chaos.crash.poll", load(&f.crash_poll)),
+            ("chaos.crash.barrier", load(&f.crash_barrier)),
+        ]
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .collect()
+    }
+
     /// Advance the call clock and fire a scheduled crash.
-    fn on_call(&self) -> u64 {
+    fn on_call(&self, site: Site) -> u64 {
         let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(cp) = self.plan.crash {
             if cp.rank == self.inner.rank() && call == cp.at_call {
+                self.faults.crash_site(site).fetch_add(1, Ordering::Relaxed);
                 std::panic::panic_any(RankCrashed {
                     rank: cp.rank,
                     call,
@@ -192,8 +257,8 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
     }
 
     fn send_bytes(&self, dest: usize, tag: u32, mut data: Vec<u8>) {
-        self.on_call();
-        let (corrupt, delay) = {
+        self.on_call(Site::Send);
+        let delay = {
             let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
             let corrupt = rng.chance(self.plan.corrupt_prob);
             let delay = rng.chance(self.plan.delay_prob);
@@ -204,10 +269,13 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
             };
             if let Some((byte, bit)) = bitpos {
                 data[byte] ^= 1 << bit;
+                self.faults.corrupt_send.fetch_add(1, Ordering::Relaxed);
             }
-            (corrupt, delay)
+            if delay {
+                self.faults.delay_send.fetch_add(1, Ordering::Relaxed);
+            }
+            delay
         };
-        let _ = corrupt;
         // Preserve FIFO per (dest, tag): a newer message must never
         // overtake a held one with the same key.
         let same_key_held = {
@@ -228,13 +296,13 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
     }
 
     fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8> {
-        self.on_call();
+        self.on_call(Site::Recv);
         self.flush_held();
         self.inner.recv_bytes(src, tag)
     }
 
     fn try_recv_bytes(&self, src: usize, tag: u32) -> Result<Vec<u8>, CommError> {
-        self.on_call();
+        self.on_call(Site::TryRecv);
         self.flush_held();
         self.inner.try_recv_bytes(src, tag)
     }
@@ -243,13 +311,13 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
         // A poll is a communication call: the crash clock advances and
         // held messages are released, so the wait/poll side of a
         // split-phase exchange is just as fault-exposed as the start side.
-        self.on_call();
+        self.on_call(Site::Poll);
         self.flush_held();
         self.inner.poll_recv_bytes(src, tag)
     }
 
     fn barrier(&self) {
-        self.on_call();
+        self.on_call(Site::Barrier);
         self.flush_held();
         self.inner.barrier();
     }
@@ -294,12 +362,16 @@ mod tests {
             let results = chaos_run(2, plan, |c| {
                 if c.rank() == 0 {
                     c.send(1, 7, &[seed, 2, 3]);
-                    None
+                    (None, c.fault_counts())
                 } else {
-                    Some(c.try_recv::<u64>(0, 7))
+                    (Some(c.try_recv::<u64>(0, 7)), c.fault_counts())
                 }
             });
-            let err = results[1].clone().unwrap().unwrap_err();
+            // The sender fired exactly one corruption fault; the
+            // receiver (which only receives) fired none.
+            assert_eq!(results[0].1, vec![("chaos.corrupt.send", 1)]);
+            assert_eq!(results[1].1, Vec::<(&str, u64)>::new());
+            let err = results[1].0.clone().unwrap().unwrap_err();
             assert_eq!(err.key(), (0, 7), "seed {seed}: wrong key in {err}");
             assert!(
                 matches!(err, CommError::Corrupt { .. } | CommError::Truncated { .. }),
@@ -339,6 +411,9 @@ mod tests {
                     c.send(1, 1, &[i]);
                 }
                 c.barrier();
+                // With delay probability 1 every one of the 20 sends
+                // fired a delay fault.
+                assert_eq!(c.fault_counts(), vec![("chaos.delay.send", 20)]);
                 Vec::new()
             } else {
                 // Messages on one (src, tag) key must arrive in order even
@@ -349,6 +424,45 @@ mod tests {
             }
         });
         assert_eq!(results[1], (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fault_counts_split_by_kind_and_site() {
+        // Both kinds at probability 1: every send fires one delay and
+        // one corruption; receives and barriers fire nothing.
+        let plan = FaultPlan::new(5).with_delay(1.0).with_corruption(1.0);
+        let counts = chaos_run(2, plan, |c| {
+            if c.rank() == 0 {
+                for i in 0..4u8 {
+                    c.send_bytes(1, 1, vec![i; 8]);
+                }
+            } else {
+                for _ in 0..4 {
+                    let _ = c.try_recv_bytes(0, 1);
+                }
+            }
+            c.barrier();
+            c.fault_counts()
+        });
+        assert_eq!(
+            counts[0],
+            vec![("chaos.delay.send", 4), ("chaos.corrupt.send", 4)]
+        );
+        assert_eq!(counts[1], Vec::<(&str, u64)>::new());
+    }
+
+    #[test]
+    fn crash_site_is_counted_before_the_panic() {
+        // Crash rank 0 at its very first call, which is a barrier; the
+        // site counter must be bumped before the panic unwinds.
+        let plan = FaultPlan::new(0).with_crash(0, 1);
+        let inner = crate::SerialComm::new();
+        let chaos = ChaosComm::new(inner, plan);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            chaos.barrier();
+        }));
+        assert!(caught.is_err());
+        assert_eq!(chaos.fault_counts(), vec![("chaos.crash.barrier", 1)]);
     }
 
     #[test]

@@ -62,7 +62,13 @@ impl TrafficStats {
         t.bytes += bytes as u64;
     }
 
-    /// Per-tag breakdown of point-to-point traffic, sorted by tag.
+    /// Per-tag breakdown of point-to-point traffic.
+    ///
+    /// **Ordering guarantee:** the result is sorted by ascending tag,
+    /// independent of the order in which tags were first recorded
+    /// (backed by a `BTreeMap`). Consumers that reduce or diff
+    /// per-tag snapshots across ranks — e.g. the observability layer's
+    /// `comm.tag.<tag>.*` counters — rely on this determinism.
     pub fn by_tag(&self) -> Vec<(u32, TagTraffic)> {
         let map = self.by_tag.lock().unwrap_or_else(|e| e.into_inner());
         map.iter().map(|(&t, &v)| (t, v)).collect()
@@ -181,5 +187,43 @@ mod tests {
         // Per-tag totals sum to the grand total.
         let sum: u64 = tags.iter().map(|(_, t)| t.bytes).sum();
         assert_eq!(sum, s.snapshot().p2p_bytes);
+    }
+
+    #[test]
+    fn per_tag_snapshot_is_sorted_regardless_of_recording_order() {
+        use crate::communicator::TAG_COLLECTIVE;
+        // The real phase tags from the stack, recorded deliberately out
+        // of order (ghost before halo before assemble before a plain
+        // user tag before the collective tag).
+        let halo = TAG_COLLECTIVE - 32;
+        let ghost = TAG_COLLECTIVE - 16;
+        let assemble = TAG_COLLECTIVE - 48;
+        let s = TrafficStats::default();
+        s.record_p2p(ghost, 100);
+        s.record_p2p(halo, 40);
+        s.record_p2p(TAG_COLLECTIVE, 8);
+        s.record_p2p(assemble, 24);
+        s.record_p2p(3, 1);
+        s.record_p2p(halo, 60);
+        let tags = s.by_tag();
+        let order: Vec<u32> = tags.iter().map(|(t, _)| *t).collect();
+        assert_eq!(order, vec![3, assemble, halo, ghost, TAG_COLLECTIVE]);
+        assert!(order.windows(2).all(|w| w[0] < w[1]));
+        // Each phase's traffic is attributed to its own tag.
+        assert_eq!(
+            s.tag_traffic(halo),
+            TagTraffic {
+                msgs: 2,
+                bytes: 100
+            }
+        );
+        assert_eq!(
+            s.tag_traffic(ghost),
+            TagTraffic {
+                msgs: 1,
+                bytes: 100
+            }
+        );
+        assert_eq!(s.tag_traffic(assemble), TagTraffic { msgs: 1, bytes: 24 });
     }
 }

@@ -161,6 +161,7 @@ impl<D: Dim> Forest<D> {
     /// least fixed point the original one-split-at-a-time ripple
     /// ([`Forest::balance_ripple`], retained as the test oracle) computes.
     pub fn balance(&mut self, comm: &impl Communicator, btype: BalanceType) {
+        let _span = forust_obs::span!("forest.balance");
         let p = comm.size();
         let me = comm.rank();
         let dirs = directions::<D>(btype);

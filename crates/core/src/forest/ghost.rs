@@ -75,6 +75,7 @@ impl<D: Dim> GhostLayer<D> {
         comm: &'a C,
         mirror_values: &[T],
     ) -> GhostDataPending<'a, C, T> {
+        let _span = forust_obs::span!("ghost.exchange_begin");
         assert_eq!(mirror_values.len(), self.mirrors.len());
         let p = comm.size();
         let outgoing: Vec<Vec<u8>> = (0..p)
@@ -86,6 +87,10 @@ impl<D: Dim> GhostLayer<D> {
                 write_vec(&vals)
             })
             .collect();
+        forust_obs::counter_add(
+            "ghost.bytes_sent",
+            outgoing.iter().map(|b| b.len() as u64).sum(),
+        );
         GhostDataPending {
             pending: comm.start_alltoallv_bytes(outgoing, TAG_GHOST_EXCHANGE),
             _payload: PhantomData,
@@ -99,6 +104,7 @@ impl<D: Dim> GhostLayer<D> {
         &self,
         pending: GhostDataPending<'_, C, T>,
     ) -> Vec<T> {
+        let _span = forust_obs::span!("ghost.exchange_end");
         let incoming: Vec<Vec<T>> = pending
             .pending
             .wait()
@@ -163,6 +169,7 @@ impl<D: Dim> Forest<D> {
     /// Communication: one all-to-all whose volume scales with the number of
     /// octants on partition boundaries, as the paper describes.
     pub fn ghost(&self, comm: &impl Communicator) -> GhostLayer<D> {
+        let _span = forust_obs::span!("forest.ghost");
         let p = comm.size();
         let me = comm.rank();
 

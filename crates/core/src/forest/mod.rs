@@ -78,6 +78,7 @@ impl<D: Dim> Forest<D> {
     /// `level`. With `level = 0` this creates only root octants, possibly
     /// leaving many ranks empty (as the paper notes).
     pub fn new_uniform(conn: Arc<Connectivity<D>>, comm: &impl Communicator, level: u8) -> Self {
+        let _span = forust_obs::span!("forest.new");
         assert!(level <= D::MAX_LEVEL);
         let k = conn.num_trees() as u64;
         let per_tree = 1u64 << (D::DIM * level as u32);
@@ -240,6 +241,7 @@ impl<D: Dim> Forest<D> {
         recursive: bool,
         mut mark: impl FnMut(TreeId, &Octant<D>) -> bool,
     ) {
+        let _span = forust_obs::span!("forest.refine");
         for t in 0..self.trees.len() {
             let leaves = &mut self.trees[t];
             linear::refine_marked(leaves, recursive, |o| mark(t as TreeId, o));
@@ -257,6 +259,7 @@ impl<D: Dim> Forest<D> {
         recursive: bool,
         mut mark: impl FnMut(TreeId, &[Octant<D>]) -> bool,
     ) {
+        let _span = forust_obs::span!("forest.coarsen");
         for t in 0..self.trees.len() {
             let leaves = &mut self.trees[t];
             linear::coarsen_marked(leaves, recursive, |fam| mark(t as TreeId, fam));

@@ -29,6 +29,7 @@ impl<D: Dim> Forest<D> {
         comm: &impl Communicator,
         mut weight: impl FnMut(TreeId, &Octant<D>) -> u64,
     ) {
+        let _span = forust_obs::span!("forest.partition");
         let p = comm.size();
         let weights: Vec<u64> = self.iter_local().map(|(t, o)| weight(t, o)).collect();
         let local_total: u64 = weights.iter().sum();
@@ -86,6 +87,7 @@ impl<D: Dim> Forest<D> {
         mut weight: impl FnMut(TreeId, &Octant<D>) -> u64,
         payload: Vec<T>,
     ) -> Vec<T> {
+        let _span = forust_obs::span!("forest.partition");
         assert_eq!(payload.len(), self.num_local());
         let p = comm.size();
         let weights: Vec<u64> = self.iter_local().map(|(t, o)| weight(t, o)).collect();

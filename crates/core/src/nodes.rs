@@ -173,6 +173,7 @@ impl<D: Dim> Forest<D> {
         ghost: &GhostLayer<D>,
         degree: usize,
     ) -> Nodes<D> {
+        let _span = forust_obs::span!("forest.nodes");
         assert!(degree >= 1, "nodes: degree must be at least 1");
         let n = degree as i32;
         let me = comm.rank();
@@ -692,6 +693,7 @@ impl<D: Dim> Nodes<D> {
         values: &[f64],
         lane: u32,
     ) -> AssemblePending<'a, C> {
+        let _span = forust_obs::span!("nodes.assemble_begin");
         assert_eq!(values.len(), self.keys.len());
         assert!(
             lane < 16,
@@ -723,6 +725,7 @@ impl<D: Dim> Nodes<D> {
         pending: AssemblePending<'_, C>,
         values: &mut [f64],
     ) {
+        let _span = forust_obs::span!("nodes.assemble_end");
         assert_eq!(values.len(), self.keys.len());
         for (r, buf) in pending.pending.wait().into_iter().enumerate() {
             let partials: Vec<f64> = read_vec(&buf);

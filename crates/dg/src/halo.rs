@@ -249,6 +249,29 @@ impl<D: Dim> HaloExchange<D> {
         }
     }
 
+    /// Rebuild the exchange for a changed mesh (after adapt, partition
+    /// or checkpoint restore), **reusing** the unpack scratch buffer.
+    ///
+    /// Dropping the old `HaloExchange` and calling [`build`](Self::build)
+    /// would throw the steady-state allocation away, forcing a scratch
+    /// grow on the first exchange after every adapt; `rebuild` carries
+    /// the buffer's capacity over and resets
+    /// [`scratch_grow_events`](Self::scratch_grow_events) to zero, so the
+    /// counter always reads "grow events since this mesh was built" and
+    /// an adapt on a shrinking-or-equal mesh allocates nothing.
+    pub fn rebuild(&mut self, mesh: &DgMesh<D>) {
+        let _span = forust_obs::span!("halo.rebuild");
+        let fresh = Self::build(mesh);
+        {
+            let mut old = self.lock_scratch();
+            let mut new = fresh.lock_scratch();
+            std::mem::swap(&mut new.data, &mut old.data);
+            new.data.clear();
+            new.grow_events = 0;
+        }
+        *self = fresh;
+    }
+
     /// Local elements with no ghost-face neighbor, safe to update while
     /// the exchange is in flight.
     pub fn interior(&self) -> &[u32] {
@@ -299,6 +322,7 @@ impl<D: Dim> HaloExchange<D> {
         local: &[f64],
         ncomp: usize,
     ) -> HaloPending<'a, C, D> {
+        let _span = forust_obs::span!("halo.begin");
         let chunk = self.npe * ncomp;
         let outgoing: Vec<Vec<u8>> = self
             .send_entries
@@ -321,6 +345,10 @@ impl<D: Dim> HaloExchange<D> {
                 buf
             })
             .collect();
+        forust_obs::counter_add(
+            "halo.bytes_sent",
+            outgoing.iter().map(|b| b.len() as u64).sum(),
+        );
         HaloPending {
             halo: self,
             pending: comm.start_alltoallv_bytes(outgoing, TAG_HALO_EXCHANGE),
@@ -346,6 +374,7 @@ impl<D: Dim> HaloExchange<D> {
         let needed = self.trace_len() * ncomp;
         if needed > scratch.data.capacity() {
             scratch.grow_events += 1;
+            forust_obs::counter_add("halo.scratch_grow", 1);
             let additional = needed - scratch.data.len();
             scratch.data.reserve(additional);
         }
@@ -404,6 +433,7 @@ impl<'a, C: Communicator, D: Dim> HaloPending<'a, C, D> {
 
     /// Block until the exchange completes and unpack the ghost traces.
     pub fn finish(self) -> HaloData<'a, D> {
+        let _span = forust_obs::span!("halo.finish");
         let incoming = self.pending.wait();
         self.halo.unpack(incoming, self.ncomp)
     }
@@ -647,6 +677,44 @@ mod tests {
             let u1 = synthetic_field(&mesh, npe, 1);
             drop(halo.exchange(comm, &u1, 1));
             assert_eq!(halo.scratch_grow_events(), after_first);
+        });
+    }
+
+    /// Satellite: `rebuild` must reset the grow counter to zero and carry
+    /// the scratch allocation over, so a rebuild on a same-size mesh
+    /// performs no grow on its first exchange (unlike a fresh `build`).
+    #[test]
+    fn rebuild_resets_grow_counter_and_reuses_scratch() {
+        run_spmd(3, |comm| {
+            let mesh = rotcubes_mesh(comm, 2);
+            let npe = mesh.re.nodes_per_elem(3);
+            let ncomp = 3;
+            let u = synthetic_field(&mesh, npe, ncomp);
+            let mut halo = HaloExchange::build(&mesh);
+            drop(halo.exchange(comm, &u, ncomp));
+            let grew = halo.scratch_grow_events();
+
+            // Same mesh again: the rebuilt halo needs exactly the same
+            // scratch, which rebuild carried over — zero grow events both
+            // right after the rebuild and after the next exchange.
+            halo.rebuild(&mesh);
+            assert_eq!(halo.scratch_grow_events(), 0);
+            drop(halo.exchange(comm, &u, ncomp));
+            assert_eq!(
+                halo.scratch_grow_events(),
+                0,
+                "rebuild dropped the scratch allocation"
+            );
+
+            // A fresh build by contrast starts cold and must grow (when
+            // there is anything to receive at all).
+            let cold = HaloExchange::build(&mesh);
+            drop(cold.exchange(comm, &u, ncomp));
+            assert_eq!(
+                cold.scratch_grow_events(),
+                grew,
+                "fresh build should repeat the first-exchange grow"
+            );
         });
     }
 

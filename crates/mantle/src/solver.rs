@@ -142,6 +142,7 @@ impl MantleSolver {
     /// Run the full nonlinear iteration with interleaved dynamic AMR.
     /// Returns the final velocity norm (diagnostic).
     pub fn solve(&mut self, comm: &impl Communicator) -> f64 {
+        let _span = forust_obs::span!("mantle.solve");
         for it in 0..self.config.picard_iters {
             // Picard operator construction: refresh viscosity.
             let t0 = Instant::now();
@@ -338,6 +339,7 @@ impl MantleSolver {
     /// rates and viscosity gradients (paper §IV-A), then rebuild the FEM
     /// state and re-project the velocity (restart pressure).
     pub fn adapt(&mut self, comm: &impl Communicator) {
+        let _span = forust_obs::span!("mantle.adapt");
         let t0 = Instant::now();
         // Per-element indicator: range of log-viscosity over qps.
         let nel = self.fem.num_elements();

@@ -1,0 +1,471 @@
+//! # forust-obs — per-rank phase tracing and cross-rank metrics
+//!
+//! The SC10 paper's central evidence is instrumentation: per-phase wall
+//! clock breakdowns of `New`/`Refine`/`Coarsen`/`Balance`/`Partition`/
+//! `Ghost`/`Nodes` and the AMR-vs-solve runtime fraction, measured per
+//! rank at scale (Figs. 4–10). This crate is the workspace's unified way
+//! to produce those numbers:
+//!
+//! - **Hierarchical RAII spans** ([`span!`]): `let _g = span!("balance");`
+//!   accumulates per-rank wall clock per phase name, tracking both
+//!   *inclusive* time and *self* time (inclusive minus children), so a
+//!   percentage table over self times tiles the run without double
+//!   counting.
+//! - **Named counters** ([`counter_add`]): octants touched, bytes
+//!   shipped, scratch grow events, faults fired.
+//! - **Cross-rank reductions** ([`metrics::Registry`]): mpiP-style
+//!   min/mean/max/imbalance statistics of every phase and counter,
+//!   computed via one `Communicator` allgather and therefore identical
+//!   on every rank.
+//! - **Chrome Trace Event export** ([`trace::export_trace`]): a
+//!   `trace.json` loadable in Perfetto / `chrome://tracing`, one track
+//!   per rank, spans nested by time containment.
+//!
+//! ## Cost model
+//!
+//! Ranks are OS threads (see `forust-comm`), so the recorder is a
+//! thread-local installed per rank by [`install`]. Until a recorder is
+//! installed the probes are **disabled**: a probe is one relaxed
+//! `AtomicBool` load and a branch (gated below 2% overhead in CI on the
+//! bench_core smoke). Building with `--no-default-features` compiles
+//! every probe out entirely.
+//!
+//! ```
+//! use forust_obs as obs;
+//! obs::install(0);
+//! {
+//!     let _outer = obs::span!("step");
+//!     let _inner = obs::span!("exchange");
+//!     obs::counter_add("bytes_shipped", 4096);
+//! }
+//! let report = obs::snapshot_local().unwrap();
+//! assert_eq!(report.counters, vec![("bytes_shipped".to_string(), 4096)]);
+//! obs::uninstall();
+//! ```
+
+pub mod metrics;
+pub mod trace;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide master switch. Flipped on by the first [`install`]; a
+/// disabled probe is one relaxed load of this flag plus a branch.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Shared time origin of all ranks in the process, so the per-rank
+/// tracks of the exported trace are aligned on one timeline.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// True if probes are live (some rank has installed a recorder).
+#[inline]
+pub fn enabled() -> bool {
+    if cfg!(not(feature = "capture")) {
+        return false;
+    }
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One completed span occurrence, for the trace export. Times are
+/// nanoseconds relative to the process [`epoch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Phase name (static, from the `span!` call site).
+    pub name: &'static str,
+    /// Start, ns since the process epoch.
+    pub ts_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+}
+
+/// Accumulated wall clock of one phase name on one rank.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseStat {
+    /// Phase name.
+    pub name: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Inclusive wall clock, ns.
+    pub total_ns: u64,
+    /// Self wall clock (inclusive minus children), ns.
+    pub self_ns: u64,
+}
+
+/// A plain-data copy of one rank's recorder state.
+#[derive(Debug, Clone, Default)]
+pub struct LocalReport {
+    /// The rank that recorded this.
+    pub rank: usize,
+    /// Per-phase accumulated wall clock, sorted by name.
+    pub phases: Vec<PhaseStat>,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Completed span occurrences (capped; see `dropped_events`).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded after the in-memory cap was hit.
+    pub dropped_events: u64,
+}
+
+/// An open span on the recorder stack.
+struct OpenSpan {
+    name: &'static str,
+    start: Instant,
+    /// Inclusive ns of already-closed children, subtracted for self time.
+    child_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseAcc {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+/// Per-rank (per-thread) recorder.
+struct Recorder {
+    rank: usize,
+    stack: Vec<OpenSpan>,
+    phases: BTreeMap<&'static str, PhaseAcc>,
+    counters: BTreeMap<String, u64>,
+    events: Vec<TraceEvent>,
+    max_events: usize,
+    dropped_events: u64,
+    epoch: Instant,
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Default cap on stored trace events per rank (phase-granular spans stay
+/// far below this; the cap bounds memory if a probe lands in a hot loop).
+pub const DEFAULT_MAX_EVENTS: usize = 1 << 20;
+
+/// Install a recorder on the current thread (= this rank) and enable
+/// probes process-wide. Call once at the top of the rank closure;
+/// reinstalling replaces any previous recorder on the thread.
+pub fn install(rank: usize) {
+    if cfg!(not(feature = "capture")) {
+        return;
+    }
+    let rec = Recorder {
+        rank,
+        stack: Vec::new(),
+        phases: BTreeMap::new(),
+        counters: BTreeMap::new(),
+        events: Vec::new(),
+        max_events: DEFAULT_MAX_EVENTS,
+        dropped_events: 0,
+        epoch: epoch(),
+    };
+    RECORDER.with(|r| *r.borrow_mut() = Some(rec));
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Remove this thread's recorder and return its final report, if one was
+/// installed. Other ranks' recorders (and the global enable flag) are
+/// unaffected.
+pub fn uninstall() -> Option<LocalReport> {
+    RECORDER.with(|r| r.borrow_mut().take().map(|rec| rec.report()))
+}
+
+/// True if this thread has a live recorder.
+pub fn installed() -> bool {
+    enabled() && RECORDER.with(|r| r.borrow().is_some())
+}
+
+/// Clear this thread's recorded phases, counters and events (the
+/// recorder stays installed). Useful to exclude warmup work.
+pub fn reset() {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            rec.phases.clear();
+            rec.counters.clear();
+            rec.events.clear();
+            rec.dropped_events = 0;
+        }
+    });
+}
+
+/// Copy this thread's recorder state out (open spans contribute nothing
+/// until they close). `None` if no recorder is installed.
+pub fn snapshot_local() -> Option<LocalReport> {
+    RECORDER.with(|r| r.borrow().as_ref().map(|rec| rec.report()))
+}
+
+impl Recorder {
+    fn report(&self) -> LocalReport {
+        LocalReport {
+            rank: self.rank,
+            phases: self
+                .phases
+                .iter()
+                .map(|(&name, acc)| PhaseStat {
+                    name: name.to_string(),
+                    count: acc.count,
+                    total_ns: acc.total_ns,
+                    self_ns: acc.self_ns,
+                })
+                .collect(),
+            counters: self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            events: self.events.clone(),
+            dropped_events: self.dropped_events,
+        }
+    }
+}
+
+/// Add `delta` to the named counter on this rank. A no-op when probes
+/// are disabled or this thread has no recorder.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    counter_add_slow(name, delta);
+}
+
+#[cold]
+fn counter_add_slow(name: &str, delta: u64) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            if let Some(v) = rec.counters.get_mut(name) {
+                *v += delta;
+            } else {
+                rec.counters.insert(name.to_string(), delta);
+            }
+        }
+    });
+}
+
+/// RAII guard of one phase span; created by [`span!`] (or
+/// [`SpanGuard::enter`]). Closing order is guaranteed by scoping, so
+/// spans nest strictly.
+#[must_use = "bind the span guard to a scope: let _g = span!(...)"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// Open a span named `name`. Disabled probes return an inert guard.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard { armed: false };
+        }
+        SpanGuard {
+            armed: enter_slow(name),
+        }
+    }
+}
+
+#[cold]
+fn enter_slow(name: &'static str) -> bool {
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        let Some(rec) = r.as_mut() else {
+            return false;
+        };
+        rec.stack.push(OpenSpan {
+            name,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+        true
+    })
+}
+
+#[cold]
+fn exit_slow() {
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        let Some(rec) = r.as_mut() else {
+            return;
+        };
+        let Some(open) = rec.stack.pop() else {
+            return;
+        };
+        let dur_ns = open.start.elapsed().as_nanos() as u64;
+        let self_ns = dur_ns.saturating_sub(open.child_ns);
+        if let Some(parent) = rec.stack.last_mut() {
+            parent.child_ns += dur_ns;
+        }
+        let acc = rec.phases.entry(open.name).or_default();
+        acc.count += 1;
+        acc.total_ns += dur_ns;
+        acc.self_ns += self_ns;
+        if rec.events.len() < rec.max_events {
+            let ts_ns = open.start.duration_since(rec.epoch).as_nanos() as u64;
+            rec.events.push(TraceEvent {
+                name: open.name,
+                ts_ns,
+                dur_ns,
+            });
+        } else {
+            rec.dropped_events += 1;
+        }
+    });
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if self.armed {
+            exit_slow();
+        }
+    }
+}
+
+/// Open a hierarchical phase span: `let _g = forust_obs::span!("balance");`.
+/// The span closes when the guard drops. Names must be `&'static str`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(all(test, feature = "capture"))]
+mod tests {
+    use super::*;
+
+    fn spin(us: u64) {
+        let t0 = Instant::now();
+        while t0.elapsed().as_micros() < us as u128 {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn nested_spans_account_self_and_total() {
+        install(7);
+        reset();
+        {
+            let _outer = span!("outer");
+            spin(200);
+            {
+                let _inner = span!("inner");
+                spin(200);
+            }
+            spin(200);
+        }
+        let rep = uninstall().unwrap();
+        assert_eq!(rep.rank, 7);
+        let get = |n: &str| rep.phases.iter().find(|p| p.name == n).unwrap().clone();
+        let outer = get("outer");
+        let inner = get("inner");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Inclusive outer covers inner entirely; self excludes it.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns <= outer.total_ns - inner.total_ns);
+        assert_eq!(inner.self_ns, inner.total_ns);
+        // Two complete events, inner nested within outer on the timeline.
+        assert_eq!(rep.events.len(), 2);
+        let ev_inner = rep.events.iter().find(|e| e.name == "inner").unwrap();
+        let ev_outer = rep.events.iter().find(|e| e.name == "outer").unwrap();
+        assert!(ev_outer.ts_ns <= ev_inner.ts_ns);
+        assert!(ev_inner.ts_ns + ev_inner.dur_ns <= ev_outer.ts_ns + ev_outer.dur_ns);
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        install(0);
+        reset();
+        counter_add("z.last", 1);
+        counter_add("a.first", 2);
+        counter_add("a.first", 3);
+        let rep = uninstall().unwrap();
+        assert_eq!(
+            rep.counters,
+            vec![("a.first".to_string(), 5), ("z.last".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn probes_without_recorder_are_noops() {
+        // Another test may have flipped ENABLED on; with no recorder on
+        // this thread every probe must be inert.
+        let _ = uninstall();
+        {
+            let _g = span!("orphan");
+            counter_add("orphan", 1);
+        }
+        assert!(snapshot_local().is_none());
+    }
+
+    #[test]
+    fn repeated_spans_count() {
+        install(0);
+        reset();
+        for _ in 0..5 {
+            let _g = span!("loop");
+        }
+        let rep = uninstall().unwrap();
+        let p = rep.phases.iter().find(|p| p.name == "loop").unwrap();
+        assert_eq!(p.count, 5);
+        assert_eq!(rep.events.len(), 5);
+    }
+
+    /// The CI overhead gate: phase-granular probes in disabled mode must
+    /// cost < 2% on a representative kernel. Run explicitly
+    /// (`cargo test -p forust-obs --release -- --ignored overhead`);
+    /// excluded from the default run because it measures wall time.
+    #[test]
+    #[ignore = "perf gate, run explicitly in CI"]
+    fn disabled_overhead_under_two_percent() {
+        let _ = uninstall(); // disabled mode: no recorder on this thread
+        fn kernel(seed: u64) -> u64 {
+            // ~1k ops of integer mixing, the scale of one fine-grained
+            // instrumented phase body.
+            let mut z = seed;
+            for _ in 0..1000 {
+                z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ seed;
+            }
+            z
+        }
+        let reps = 4000usize;
+        let time_pass = |probed: bool| -> f64 {
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for i in 0..reps {
+                if probed {
+                    let _g = span!("overhead_probe");
+                    acc ^= kernel(i as u64);
+                } else {
+                    acc ^= kernel(i as u64);
+                }
+            }
+            std::hint::black_box(acc);
+            t0.elapsed().as_secs_f64()
+        };
+        // Warm up, then interleave measurement rounds and take the
+        // minimum of each side: the min is the noise-robust estimator
+        // here — scheduler preemption and frequency transitions only
+        // ever add time, and a shared CI core adds a lot of it.
+        time_pass(false);
+        time_pass(true);
+        let (mut base, mut probed) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..15 {
+            base = base.min(time_pass(false));
+            probed = probed.min(time_pass(true));
+        }
+        let (b, p) = (base, probed);
+        let overhead = (p - b) / b;
+        println!(
+            "disabled-probe overhead: {:.3}% (base {b:.6}s probed {p:.6}s)",
+            overhead * 100.0
+        );
+        assert!(
+            overhead < 0.02,
+            "disabled-mode span overhead {:.3}% exceeds the 2% budget",
+            overhead * 100.0
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Cross-rank metric reductions and the per-phase report.
+//!
+//! The paper reports per-phase statistics across ranks (max and mean
+//! runtimes, load imbalance); mpiP does the same for MPI call sites.
+//! [`reduce_metrics`] computes min/mean/max/imbalance of any named
+//! per-rank scalar with **one** allgather over the [`Communicator`]
+//! trait — no wire format beyond length-prefixed name/value pairs, and
+//! the fold runs in rank order on every rank, so all ranks hold the
+//! identical summary afterwards.
+//!
+//! [`Registry::collect`] packages the whole per-rank state — every span
+//! phase (inclusive and self time), every counter, and the
+//! communicator's traffic counters including the per-tag breakdown —
+//! into one reduced [`MetricsReport`].
+
+use std::collections::BTreeMap;
+
+use forust_comm::Communicator;
+
+use crate::{snapshot_local, LocalReport};
+
+/// Cross-rank summary of one named scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Metric name.
+    pub name: String,
+    /// Minimum across ranks (ranks without the metric contribute 0).
+    pub min: f64,
+    /// Mean across all ranks.
+    pub mean: f64,
+    /// Maximum across ranks.
+    pub max: f64,
+    /// Load imbalance `max / mean` (1.0 when the mean is zero: an
+    /// absent metric is perfectly balanced).
+    pub imbalance: f64,
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn get<const N: usize>(buf: &[u8], at: &mut usize) -> [u8; N] {
+    let out: [u8; N] = buf[*at..*at + N].try_into().expect("truncated metrics");
+    *at += N;
+    out
+}
+
+/// Encode one rank's `(name, value)` entries for the allgather.
+fn encode(entries: &[(String, f64)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, entries.len() as u32);
+    for (name, v) in entries {
+        let bytes = name.as_bytes();
+        assert!(bytes.len() <= u16::MAX as usize, "metric name too long");
+        put_u16(&mut buf, bytes.len() as u16);
+        buf.extend_from_slice(bytes);
+        put_u64(&mut buf, v.to_bits());
+    }
+    buf
+}
+
+fn decode(buf: &[u8]) -> Vec<(String, f64)> {
+    let mut at = 0usize;
+    let n = u32::from_le_bytes(get(buf, &mut at)) as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = u16::from_le_bytes(get(buf, &mut at)) as usize;
+        let name = String::from_utf8(buf[at..at + len].to_vec()).expect("metric name utf8");
+        at += len;
+        let v = f64::from_bits(u64::from_le_bytes(get(buf, &mut at)));
+        out.push((name, v));
+    }
+    out
+}
+
+/// Reduce per-rank named scalars to cross-rank min/mean/max/imbalance.
+///
+/// Name sets may differ across ranks: the result covers the union, and
+/// a rank that never produced a metric contributes `0.0` to it (a rank
+/// that never entered a phase spent zero time there). Entries repeated
+/// on one rank are summed. Results are sorted by name and — because the
+/// allgather delivers contributions in rank order — bitwise identical
+/// on every rank.
+pub fn reduce_metrics<C: Communicator>(comm: &C, entries: &[(String, f64)]) -> Vec<MetricSummary> {
+    let all = comm.allgather_bytes(encode(entries));
+    let p = all.len();
+    let mut by_name: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (r, buf) in all.iter().enumerate() {
+        for (name, v) in decode(buf) {
+            by_name.entry(name).or_insert_with(|| vec![0.0; p])[r] += v;
+        }
+    }
+    by_name
+        .into_iter()
+        .map(|(name, vals)| {
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mean = vals.iter().sum::<f64>() / p as f64;
+            let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+            MetricSummary {
+                name,
+                min,
+                mean,
+                max,
+                imbalance,
+            }
+        })
+        .collect()
+}
+
+/// Cross-rank summary of one span phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub name: String,
+    /// Maximum per-rank entry count.
+    pub calls_max: u64,
+    /// Inclusive seconds across ranks.
+    pub total_s: MetricSummary,
+    /// Self seconds (inclusive minus children) across ranks.
+    pub self_s: MetricSummary,
+}
+
+/// The reduced observability state of one run: every phase and counter,
+/// identical on all ranks.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// Communicator size the report was reduced over.
+    pub ranks: usize,
+    /// Per-phase wall-clock statistics, sorted by name.
+    pub phases: Vec<PhaseSummary>,
+    /// Counter statistics (includes `comm.*` traffic counters), sorted
+    /// by name.
+    pub counters: Vec<MetricSummary>,
+}
+
+/// Snapshots per-rank recorder state and reduces it across ranks.
+pub struct Registry;
+
+impl Registry {
+    /// Gather this rank's spans, counters and communicator traffic (the
+    /// grand totals plus the per-tag point-to-point breakdown, tagged
+    /// `comm.tag.<tag>.*`) and reduce everything across ranks in a
+    /// single allgather. Collective: every rank must call it.
+    pub fn collect<C: Communicator>(comm: &C) -> MetricsReport {
+        let local = snapshot_local().unwrap_or_default();
+        Self::collect_from(comm, &local)
+    }
+
+    /// As [`Registry::collect`], from an explicit local report (test
+    /// support and post-hoc reduction of drained recorders).
+    pub fn collect_from<C: Communicator>(comm: &C, local: &LocalReport) -> MetricsReport {
+        let mut entries: Vec<(String, f64)> = Vec::new();
+        for ph in &local.phases {
+            entries.push((format!("t:{}", ph.name), ph.total_ns as f64 * 1e-9));
+            entries.push((format!("s:{}", ph.name), ph.self_ns as f64 * 1e-9));
+            entries.push((format!("n:{}", ph.name), ph.count as f64));
+        }
+        for (name, v) in &local.counters {
+            entries.push((format!("c:{name}"), *v as f64));
+        }
+        let snap = comm.stats().snapshot();
+        entries.push(("c:comm.p2p_msgs".to_string(), snap.p2p_msgs as f64));
+        entries.push(("c:comm.p2p_bytes".to_string(), snap.p2p_bytes as f64));
+        entries.push(("c:comm.coll_calls".to_string(), snap.coll_calls as f64));
+        entries.push(("c:comm.coll_bytes".to_string(), snap.coll_bytes as f64));
+        for (tag, t) in comm.stats().by_tag() {
+            entries.push((format!("c:comm.tag.{tag}.msgs"), t.msgs as f64));
+            entries.push((format!("c:comm.tag.{tag}.bytes"), t.bytes as f64));
+        }
+
+        let reduced = reduce_metrics(comm, &entries);
+        let mut totals: BTreeMap<String, MetricSummary> = BTreeMap::new();
+        let mut selfs: BTreeMap<String, MetricSummary> = BTreeMap::new();
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut counters = Vec::new();
+        for mut m in reduced {
+            let (kind, name) = {
+                let (k, n) = m.name.split_at(2);
+                (k.to_string(), n.to_string())
+            };
+            m.name = name.clone();
+            match kind.as_str() {
+                "t:" => {
+                    totals.insert(name, m);
+                }
+                "s:" => {
+                    selfs.insert(name, m);
+                }
+                "n:" => {
+                    counts.insert(name, m.max as u64);
+                }
+                "c:" => counters.push(m),
+                _ => unreachable!("unprefixed metric {name}"),
+            }
+        }
+        let phases = totals
+            .into_iter()
+            .map(|(name, total_s)| PhaseSummary {
+                calls_max: counts.get(&name).copied().unwrap_or(0),
+                self_s: selfs.remove(&name).expect("self metric rides with total"),
+                total_s,
+                name,
+            })
+            .collect();
+        MetricsReport {
+            ranks: comm.size(),
+            phases,
+            counters,
+        }
+    }
+}
+
+impl MetricsReport {
+    /// Sum of mean self seconds over all phases — the wall clock the
+    /// instrumentation accounts for. `coverage(total)` close to 1.0
+    /// means the phase table tiles the run.
+    pub fn tracked_self_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.self_s.mean).sum()
+    }
+
+    /// Fraction of `total_wall_s` covered by phase self times.
+    pub fn coverage(&self, total_wall_s: f64) -> f64 {
+        if total_wall_s > 0.0 {
+            self.tracked_self_s() / total_wall_s
+        } else {
+            1.0
+        }
+    }
+
+    /// The paper-style per-phase percentage table: one row per phase,
+    /// self-time percentages of `total_wall_s` (which tile the run
+    /// without double counting), plus inclusive mean/max and the
+    /// cross-rank imbalance. Ends with an `(untracked)` row so the
+    /// percentage column sums to 100.
+    pub fn phase_table(&self, total_wall_s: f64) -> String {
+        let mut rows: Vec<&PhaseSummary> = self.phases.iter().collect();
+        rows.sort_by(|a, b| b.self_s.mean.partial_cmp(&a.self_s.mean).unwrap());
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<28} {:>7} {:>7} {:>12} {:>12} {:>9}\n",
+            "phase", "calls", "self%", "self mean s", "incl max s", "max/mean"
+        ));
+        let pct = |v: f64| {
+            if total_wall_s > 0.0 {
+                100.0 * v / total_wall_s
+            } else {
+                0.0
+            }
+        };
+        for p in &rows {
+            s.push_str(&format!(
+                "{:<28} {:>7} {:>6.2}% {:>12.6} {:>12.6} {:>9.3}\n",
+                p.name,
+                p.calls_max,
+                pct(p.self_s.mean),
+                p.self_s.mean,
+                p.total_s.max,
+                p.total_s.imbalance,
+            ));
+        }
+        let untracked = (total_wall_s - self.tracked_self_s()).max(0.0);
+        s.push_str(&format!(
+            "{:<28} {:>7} {:>6.2}% {:>12.6}\n",
+            "(untracked)",
+            "",
+            pct(untracked),
+            untracked
+        ));
+        s.push_str(&format!(
+            "{:<28} {:>7} {:>6.2}% {:>12.6}\n",
+            "total", "", 100.0, total_wall_s
+        ));
+        s
+    }
+
+    /// Counter statistics table (mean/min/max/imbalance per counter).
+    pub fn counter_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<32} {:>14} {:>14} {:>14} {:>9}\n",
+            "counter", "mean", "min", "max", "max/mean"
+        ));
+        for c in &self.counters {
+            s.push_str(&format!(
+                "{:<32} {:>14.1} {:>14.1} {:>14.1} {:>9.3}\n",
+                c.name, c.mean, c.min, c.max, c.imbalance
+            ));
+        }
+        s
+    }
+
+    /// Look up a counter summary by name.
+    pub fn counter(&self, name: &str) -> Option<&MetricSummary> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// Look up a phase summary by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSummary> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}

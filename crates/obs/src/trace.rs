@@ -1,0 +1,477 @@
+//! Chrome Trace Event Format export (Perfetto-viewable) and a
+//! zero-dependency validator for the emitted JSON.
+//!
+//! [`export_trace`] is collective: every rank ships its buffered span
+//! events to rank 0 via one allgather, and rank 0 writes a single
+//! `trace.json` with one track (`tid`) per rank. Load the file in
+//! <https://ui.perfetto.dev> or `chrome://tracing`; nesting is inferred
+//! from time containment, which our strictly LIFO span guards satisfy
+//! by construction.
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+
+use forust_comm::Communicator;
+
+use crate::{snapshot_local, LocalReport, TraceEvent};
+
+fn encode_events(rank: usize, report: &LocalReport) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(rank as u32).to_le_bytes());
+    buf.extend_from_slice(&(report.events.len() as u32).to_le_bytes());
+    for ev in &report.events {
+        let name = ev.name.as_bytes();
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.extend_from_slice(&ev.ts_ns.to_le_bytes());
+        buf.extend_from_slice(&ev.dur_ns.to_le_bytes());
+    }
+    buf
+}
+
+fn decode_events(buf: &[u8]) -> (usize, Vec<(String, u64, u64)>) {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| {
+        let s = &buf[*at..*at + n];
+        *at += n;
+        s
+    };
+    let rank = u32::from_le_bytes(take(&mut at, 4).try_into().unwrap()) as usize;
+    let n = u32::from_le_bytes(take(&mut at, 4).try_into().unwrap()) as usize;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = u16::from_le_bytes(take(&mut at, 2).try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(&mut at, len).to_vec()).expect("span name utf8");
+        let ts = u64::from_le_bytes(take(&mut at, 8).try_into().unwrap());
+        let dur = u64::from_le_bytes(take(&mut at, 8).try_into().unwrap());
+        events.push((name, ts, dur));
+    }
+    (rank, events)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write the gathered trace as Chrome Trace Event Format JSON.
+fn write_trace(
+    w: &mut impl Write,
+    per_rank: &[(usize, Vec<(String, u64, u64)>)],
+) -> std::io::Result<()> {
+    writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |w: &mut dyn Write, first: &mut bool| -> std::io::Result<()> {
+        if !*first {
+            writeln!(w, ",")?;
+        }
+        *first = false;
+        Ok(())
+    };
+    for (rank, _) in per_rank {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"rank {rank}\"}}}}"
+        )?;
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"name\":\"thread_sort_index\",\
+             \"args\":{{\"sort_index\":{rank}}}}}"
+        )?;
+    }
+    for (rank, events) in per_rank {
+        for (name, ts_ns, dur_ns) in events {
+            sep(w, &mut first)?;
+            // Chrome trace timestamps are microseconds; keep sub-µs
+            // resolution with fractional values.
+            write!(
+                w,
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{rank},\"name\":\"{}\",\
+                 \"ts\":{:.3},\"dur\":{:.3}}}",
+                json_escape(name),
+                *ts_ns as f64 / 1e3,
+                *dur_ns as f64 / 1e3,
+            )?;
+        }
+    }
+    writeln!(w, "\n]}}")?;
+    Ok(())
+}
+
+/// Export every rank's span timeline to `path` as a Chrome Trace Event
+/// Format file with one track per rank. Collective: all ranks must
+/// call it; rank 0 performs the write and a final barrier guarantees
+/// the file exists on return for every rank.
+pub fn export_trace<C: Communicator>(comm: &C, path: &Path) -> std::io::Result<()> {
+    let local = snapshot_local().unwrap_or_default();
+    export_trace_from(comm, path, &local)
+}
+
+/// As [`export_trace`], from an explicit local report.
+pub fn export_trace_from<C: Communicator>(
+    comm: &C,
+    path: &Path,
+    local: &LocalReport,
+) -> std::io::Result<()> {
+    let gathered = comm.allgather_bytes(encode_events(comm.rank(), local));
+    if comm.rank() == 0 {
+        let mut per_rank: Vec<(usize, Vec<(String, u64, u64)>)> =
+            gathered.iter().map(|b| decode_events(b)).collect();
+        per_rank.sort_by_key(|(rank, _)| *rank);
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write_trace(&mut out, &per_rank)?;
+        out.flush()?;
+    }
+    comm.barrier();
+    Ok(())
+}
+
+/// What [`validate_trace`] extracts from a trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Number of `"ph":"X"` complete events.
+    pub complete_events: usize,
+    /// Distinct `tid` values among complete events — one per rank.
+    pub tids: BTreeSet<i64>,
+    /// Distinct span names among complete events.
+    pub names: BTreeSet<String>,
+}
+
+/// Minimal JSON scanner for Chrome Trace files: checks the overall
+/// structure parses and summarizes the complete events. Not a general
+/// JSON parser — enough to gate CI on "Perfetto would load this".
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let root = p.value()?;
+    p.skip_ws();
+    if p.at != p.b.len() {
+        return Err(format!("trailing bytes at offset {}", p.at));
+    }
+    let Json::Object(fields) = root else {
+        return Err("root is not an object".into());
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .ok_or("missing traceEvents")?;
+    let Json::Array(events) = &events.1 else {
+        return Err("traceEvents is not an array".into());
+    };
+    let mut summary = TraceSummary::default();
+    for ev in events {
+        let Json::Object(ev) = ev else {
+            return Err("trace event is not an object".into());
+        };
+        let get = |k: &str| ev.iter().find(|(f, _)| f == k).map(|(_, v)| v);
+        let Some(Json::String(ph)) = get("ph") else {
+            return Err("trace event missing ph".into());
+        };
+        if ph != "X" {
+            continue;
+        }
+        summary.complete_events += 1;
+        match get("tid") {
+            Some(Json::Number(t)) => {
+                summary.tids.insert(*t as i64);
+            }
+            _ => return Err("complete event missing numeric tid".into()),
+        }
+        match get("name") {
+            Some(Json::String(n)) => {
+                summary.names.insert(n.clone());
+            }
+            _ => return Err("complete event missing name".into()),
+        }
+        if !matches!(get("ts"), Some(Json::Number(_))) {
+            return Err("complete event missing numeric ts".into());
+        }
+        if !matches!(get("dur"), Some(Json::Number(_))) {
+            return Err("complete event missing numeric dur".into());
+        }
+    }
+    Ok(summary)
+}
+
+enum Json {
+    Null,
+    Bool,
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.at < self.b.len() && self.b[self.at].is_ascii_whitespace() {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.at).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool),
+            Some(b'f') => self.literal("false", Json::Bool),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.at)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.at))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.b[start..self.at])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar, not one byte.
+                    let s = std::str::from_utf8(&self.b[self.at..])
+                        .map_err(|_| "invalid utf8 in string")?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.at += 1;
+                }
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.at += 1;
+                }
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.at)),
+            }
+        }
+    }
+}
+
+/// Round-trip helper for tests: write the given per-rank events into a
+/// string in trace format.
+pub fn render_trace_for_test(per_rank: &[(usize, Vec<TraceEvent>)]) -> String {
+    let decoded: Vec<(usize, Vec<(String, u64, u64)>)> = per_rank
+        .iter()
+        .map(|(r, evs)| {
+            (
+                *r,
+                evs.iter()
+                    .map(|e| (e.name.to_string(), e.ts_ns, e.dur_ns))
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &decoded).expect("write to vec");
+    String::from_utf8(buf).expect("trace is utf8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_validates_with_one_track_per_rank() {
+        let per_rank = vec![
+            (
+                0,
+                vec![
+                    TraceEvent {
+                        name: "step",
+                        ts_ns: 1_000,
+                        dur_ns: 10_000,
+                    },
+                    TraceEvent {
+                        name: "rhs.interior",
+                        ts_ns: 2_000,
+                        dur_ns: 3_000,
+                    },
+                ],
+            ),
+            (
+                1,
+                vec![TraceEvent {
+                    name: "step",
+                    ts_ns: 1_500,
+                    dur_ns: 9_000,
+                }],
+            ),
+        ];
+        let text = render_trace_for_test(&per_rank);
+        let summary = validate_trace(&text).expect("valid trace");
+        assert_eq!(summary.complete_events, 3);
+        assert_eq!(summary.tids.iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(summary.names.contains("step"));
+        assert!(summary.names.contains("rhs.interior"));
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let per_rank = vec![(
+            0,
+            vec![TraceEvent {
+                name: "weird\"name\\x",
+                ts_ns: 0,
+                dur_ns: 1,
+            }],
+        )];
+        let text = render_trace_for_test(&per_rank);
+        let summary = validate_trace(&text).expect("valid trace");
+        assert!(summary.names.contains("weird\"name\\x"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_trace("not json").is_err());
+        assert!(validate_trace("{\"traceEvents\": 5}").is_err());
+        assert!(validate_trace("{}").is_err());
+        // Complete event missing tid.
+        let bad = "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"ts\":0,\"dur\":1}]}";
+        assert!(validate_trace(bad).is_err());
+    }
+
+    #[test]
+    fn empty_rank_set_still_valid() {
+        let text = render_trace_for_test(&[]);
+        let summary = validate_trace(&text).expect("valid trace");
+        assert_eq!(summary.complete_events, 0);
+    }
+}

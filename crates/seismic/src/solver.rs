@@ -234,12 +234,15 @@ impl SeismicSolver {
 
     /// Advance one RK step.
     pub fn step(&mut self, comm: &impl Communicator) {
+        let _span = forust_obs::span!("seismic.step");
         let t0 = Instant::now();
         let mut k = vec![0.0; self.q.len()];
         self.resid.fill(0.0);
         for s in 0..5 {
+            let _stage = forust_obs::span!("rk.stage");
             let ts = self.time + LSERK_C[s] * self.dt;
             self.compute_rhs(comm, ts, &mut k);
+            let _update = forust_obs::span!("rk.update");
             for i in 0..self.q.len() {
                 self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
                 self.q[i] += LSERK_B[s] * self.resid[i];
@@ -317,10 +320,17 @@ impl SeismicSolver {
         out.fill(0.0);
         let mut sig_nodal = vec![0.0; 6 * self.mesh.re.nodes_per_elem(3)];
         let mut nbr_buf: Vec<f64> = Vec::new();
-        for &e in self.halo.interior() {
-            self.rhs_element(e as usize, t, None, &mut sig_nodal, &mut nbr_buf, out);
+        {
+            let _span = forust_obs::span!("rhs.interior");
+            for &e in self.halo.interior() {
+                self.rhs_element(e as usize, t, None, &mut sig_nodal, &mut nbr_buf, out);
+            }
         }
-        let traces = pending.finish();
+        let traces = {
+            let _span = forust_obs::span!("rhs.exchange_wait");
+            pending.finish()
+        };
+        let _span = forust_obs::span!("rhs.boundary");
         for &e in self.halo.boundary() {
             self.rhs_element(
                 e as usize,

@@ -8,14 +8,17 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use extreme_amr::advect::{
     attempt, four_fronts, rotation_velocity, run_with_recovery, AdvectConfig, RecoverySetup,
 };
-use extreme_amr::comm::{run_spmd_with, ChaosComm, CommConfig, FaultPlan};
+use extreme_amr::comm::{run_spmd_with, ChaosComm, CommConfig, Communicator, FaultPlan};
 use extreme_amr::forust::connectivity::{builders, Connectivity};
 use extreme_amr::forust::dim::D3;
 use extreme_amr::geom::{Mapping, ShellMap};
+use extreme_amr::obs;
+use extreme_amr::obs::metrics::Registry;
 
 fn build_conn() -> Connectivity<D3> {
     builders::cubed_sphere()
@@ -58,16 +61,41 @@ fn main() {
 
     // A transparent ChaosComm pass (empty fault plan) doubles as the
     // reference run and the calibration: it counts each rank's
-    // communication calls so the crash can be placed mid-run.
+    // communication calls so the crash can be placed mid-run.  Each
+    // rank installs an observability recorder, so the fault-free run
+    // also yields the paper-style per-phase breakdown.
     let ref_dir = root.join("reference");
     let s_ref = setup.clone();
     let reference = run_spmd_with(
         RANKS,
         CommConfig::default(),
         |tc| ChaosComm::new(tc, FaultPlan::new(0)),
-        move |comm| (attempt(comm, &s_ref, &ref_dir), comm.calls()),
+        move |comm| {
+            obs::install(comm.rank());
+            let t_wall = Instant::now();
+            let result = {
+                let _span = obs::span!("recovery.attempt");
+                attempt(comm, &s_ref, &ref_dir)
+            };
+            // Fault-site counters (zero on the fault-free reference)
+            // flow through the same counter API as everything else.
+            for (name, n) in comm.fault_counts() {
+                obs::counter_add(name, n);
+            }
+            let report = Registry::collect(comm);
+            let wall = t_wall.elapsed().as_secs_f64();
+            obs::uninstall();
+            (result, comm.calls(), report, wall)
+        },
     );
-    let (reference, calls): (Vec<_>, Vec<_>) = reference.into_iter().unzip();
+    let mut phase_report = None;
+    let (reference, calls): (Vec<_>, Vec<_>) = reference
+        .into_iter()
+        .map(|(result, calls, report, wall)| {
+            phase_report.get_or_insert((report, wall));
+            (result, calls)
+        })
+        .unzip();
     println!(
         "reference:  t = {:.6}, {} steps, {} dofs, {} comm calls on rank {CRASH_RANK}",
         reference[0].time,
@@ -75,6 +103,11 @@ fn main() {
         reference[0].solution.len(),
         calls[CRASH_RANK]
     );
+    if let Some((report, wall)) = &phase_report {
+        println!("\nper-phase breakdown of the fault-free run:");
+        print!("{}", report.phase_table(*wall));
+        println!();
+    }
 
     // Crash at ~60% of the fault-free call count: past the first
     // checkpoint, before the finish line.
@@ -123,4 +156,38 @@ fn main() {
         if bitwise { "YES" } else { "NO" }
     );
     assert!(bitwise, "recovery diverged from the fault-free run");
+
+    // One more pass with message delays injected: delays reorder the
+    // transport's internal timing but not delivery order, so the run
+    // still completes — and the `chaos.*` fault-site counters show up
+    // in the cross-rank counter statistics.
+    let delay_dir = root.join("delayed");
+    let s_delay = setup.clone();
+    let delay_reports = run_spmd_with(
+        RANKS,
+        CommConfig::default(),
+        |tc| ChaosComm::new(tc, FaultPlan::new(7).with_delay(0.25)),
+        move |comm| {
+            obs::install(comm.rank());
+            let _ = {
+                let _span = obs::span!("recovery.attempt");
+                attempt(comm, &s_delay, &delay_dir)
+            };
+            for (name, n) in comm.fault_counts() {
+                obs::counter_add(name, n);
+            }
+            let report = Registry::collect(comm);
+            obs::uninstall();
+            report
+        },
+    );
+    let delayed = delay_reports.into_iter().next().expect("rank 0 report");
+    let held = delayed
+        .counter("chaos.delay.send")
+        .expect("delay faults fired");
+    println!(
+        "\ndelay injection (p=0.25): chaos.delay.send min {:.0} / mean {:.1} / max {:.0} across {RANKS} ranks",
+        held.min, held.mean, held.max
+    );
+    assert!(held.max > 0.0, "expected at least one injected delay");
 }
