@@ -12,6 +12,7 @@ use forust_comm::{Communicator, Wire};
 use forust_dg::element::RefElement;
 use forust_dg::geometry::MeshGeometry;
 use forust_dg::halo::{HaloData, HaloExchange};
+use forust_dg::kernels::{self, KernelWorkspace};
 use forust_dg::lserk::{LSERK_A, LSERK_B};
 use forust_dg::mesh::{DgMesh, ElemRef, FaceConn};
 use forust_dg::transfer::transfer_fields;
@@ -94,6 +95,27 @@ pub struct AdvectSolver {
     wv: Vec<f64>,
     wf: Vec<f64>,
     face_idx: Vec<Vec<usize>>,
+    /// Kernel-engine scratch arena (gradient panels, face traces, mortar
+    /// buffers), sized once per mesh (re)build.
+    pub ws: KernelWorkspace,
+    /// RK stage buffer, hoisted out of [`step`](Self::step) so steady-state
+    /// stepping allocates nothing.
+    stage_k: Vec<f64>,
+    /// Velocity at every volume node, cached at mesh (re)build instead of a
+    /// fn-pointer evaluation per node per stage.
+    vel: Vec<[f64; 3]>,
+    /// Velocity at every mortar point of 2:1 faces, flat across
+    /// `(element, face, sub, face node)`.
+    mortar_vel: Vec<[f64; 3]>,
+    /// Offset into `mortar_vel` per `(element, face)` (`u32::MAX` when the
+    /// face carries no mortar).
+    mortar_off: Vec<u32>,
+    /// Inverse Jacobians repacked as SoA planes (`9 * npe` per element,
+    /// [`kernels::pack_volume_soa`] layout) so the fused volume
+    /// contraction loads unit-stride.
+    metr_soa: Vec<f64>,
+    /// Nodal velocities as SoA planes (`3 * npe` per element).
+    vel_soa: Vec<f64>,
 }
 
 impl AdvectSolver {
@@ -139,6 +161,10 @@ impl AdvectSolver {
         let c: Vec<f64> = geo.pos.iter().map(|&x| init(x)).collect();
         let resid = vec![0.0; c.len()];
         let (wv, wf, face_idx) = cache_constants(re);
+        let (npe, npf) = (re.nodes_per_elem(3), re.nodes_per_face(3));
+        let caches = velocity_caches(&mesh, &geo, velocity);
+        let mut ws = KernelWorkspace::new();
+        ws.configure(npe, npf, 1);
 
         let mut s = AdvectSolver {
             config,
@@ -156,6 +182,13 @@ impl AdvectSolver {
             wv,
             wf,
             face_idx,
+            ws,
+            stage_k: Vec::new(),
+            vel: caches.vel,
+            mortar_vel: caches.mortar_vel,
+            mortar_off: caches.mortar_off,
+            metr_soa: caches.metr_soa,
+            vel_soa: caches.vel_soa,
         };
         s.dt = s.stable_dt(comm);
         s
@@ -178,9 +211,8 @@ impl AdvectSolver {
         let mut lam_max: f64 = 1e-30;
         for e in 0..self.mesh.num_elements() {
             let inv = self.geo.elem_inv(e);
-            let pos = self.geo.elem_pos(e);
             for v in 0..npe {
-                let u = (self.velocity)(pos[v]);
+                let u = self.vel[e * npe + v];
                 let mut lam = 0.0;
                 for r in 0..3 {
                     let a = u[0] * inv[v][r][0] + u[1] * inv[v][r][1] + u[2] * inv[v][r][2];
@@ -195,22 +227,32 @@ impl AdvectSolver {
     }
 
     /// Advance one RK step; adapt every `adapt_every` steps.
+    ///
+    /// Steady-state allocation-free: the stage vector and the kernel
+    /// workspace are solver-owned and only (re)sized when the mesh grows.
     pub fn step(&mut self, comm: &impl Communicator) {
         let _span = forust_obs::span!("advect.step");
         let t0 = Instant::now();
         // 2N-storage RK with a hand-rolled loop so the ghost exchange can
-        // borrow disjoint fields.
-        let mut k = vec![0.0; self.c.len()];
+        // borrow disjoint fields. The stage buffer and workspace are
+        // moved out of `self` for the duration of the stages so
+        // `compute_rhs` can borrow `self` immutably alongside them.
+        let mut k = std::mem::take(&mut self.stage_k);
+        k.resize(self.c.len(), 0.0);
+        let mut ws = std::mem::take(&mut self.ws);
         self.resid.fill(0.0);
         for s in 0..5 {
             let _stage = forust_obs::span!("rk.stage");
-            self.compute_rhs(comm, &mut k);
+            self.compute_rhs(comm, &mut ws, &mut k);
             let _update = forust_obs::span!("rk.update");
             for i in 0..self.c.len() {
                 self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
                 self.c[i] += LSERK_B[s] * self.resid[i];
             }
         }
+        ws.check_steady();
+        self.ws = ws;
+        self.stage_k = k;
         self.time += self.dt;
         self.timers.integrate += t0.elapsed();
         self.timers.steps += 1;
@@ -227,13 +269,12 @@ impl AdvectSolver {
     /// messages fly, then the boundary elements finish after the traces
     /// arrive. Element results are independent, so the reordering is
     /// bitwise identical to the old exchange-then-sweep loop.
-    fn compute_rhs(&self, comm: &impl Communicator, out: &mut [f64]) {
+    fn compute_rhs(&self, comm: &impl Communicator, ws: &mut KernelWorkspace, out: &mut [f64]) {
         let pending = self.halo.begin(comm, &self.c, 1);
-        let mut nbr_buf = Vec::with_capacity(self.mesh.re.nodes_per_face(3));
         {
             let _span = forust_obs::span!("rhs.interior");
             for &e in self.halo.interior() {
-                self.rhs_element(e as usize, None, &mut nbr_buf, out);
+                self.rhs_element(e as usize, None, ws, out);
             }
         }
         let traces = {
@@ -242,13 +283,186 @@ impl AdvectSolver {
         };
         let _span = forust_obs::span!("rhs.boundary");
         for &e in self.halo.boundary() {
-            self.rhs_element(e as usize, Some(&traces), &mut nbr_buf, out);
+            self.rhs_element(e as usize, Some(&traces), ws, out);
+        }
+        forust_obs::counter_add("kernels.rhs_elements", self.mesh.num_elements() as u64);
+    }
+
+    /// RHS of a single element via the kernel engine: fused volume pass
+    /// (reference gradient → metric contraction → flux accumulation),
+    /// cached nodal/mortar velocities, and workspace-backed face buffers —
+    /// zero heap allocations. `traces` carries the received ghost face
+    /// traces; `None` is only valid for interior elements.
+    fn rhs_element(
+        &self,
+        e: usize,
+        traces: Option<&HaloData<'_, D3>>,
+        ws: &mut KernelWorkspace,
+        out: &mut [f64],
+    ) {
+        let re = &self.mesh.re;
+        let npe = re.nodes_per_elem(3);
+        let npf = re.nodes_per_face(3);
+        // Split-borrow the workspace: cm lives in face_a, the interpolated
+        // neighbor/mortar trace in face_b, the raw neighbor trace in nbr.
+        let KernelWorkspace {
+            grad,
+            face_a,
+            face_b,
+            nbr: nbr_buf,
+            ..
+        } = ws;
+        // Face trace of a neighbor (its `nbr_face`, face-lattice order).
+        let nbr_trace = |r: ElemRef, nbr_face: usize, buf: &mut Vec<f64>| match r {
+            ElemRef::Local(i) => {
+                let nv = &self.c[i as usize * npe..(i as usize + 1) * npe];
+                buf.clear();
+                buf.extend(self.face_idx[nbr_face].iter().map(|&n| nv[n]));
+            }
+            ElemRef::Ghost(g) => {
+                traces
+                    .expect("interior element classified with a ghost face")
+                    .face_values(g as usize, nbr_face, 0, buf);
+            }
+        };
+
+        {
+            let ce = &self.c[e * npe..(e + 1) * npe];
+            let det = self.geo.elem_det(e);
+            // Volume term: -(u . grad C), fused in one kernel pass over
+            // the SoA metric/velocity planes.
+            kernels::advect_volume_rhs(
+                &re.diff,
+                re.np,
+                ce,
+                &self.metr_soa[e * 9 * npe..(e + 1) * 9 * npe],
+                &self.vel_soa[e * 3 * npe..(e + 1) * 3 * npe],
+                &mut grad[..3 * npe],
+                &mut out[e * npe..(e + 1) * npe],
+            );
+            // Surface terms.
+            for f in 0..6 {
+                let fg = self.geo.face(e, f, self.mesh.nfaces);
+                let fidx = &self.face_idx[f];
+                let cm = &mut face_a[..npf];
+                for (c, &i) in cm.iter_mut().zip(fidx.iter()) {
+                    *c = ce[i];
+                }
+                match self.mesh.face(e, f) {
+                    FaceConn::Boundary => {
+                        // Tangential velocity at shell boundaries: the
+                        // reflective flux difference vanishes identically.
+                    }
+                    FaceConn::Conforming {
+                        nbr,
+                        nbr_face,
+                        from_nbr,
+                    }
+                    | FaceConn::CoarseNbr {
+                        nbr,
+                        nbr_face,
+                        from_nbr,
+                    } => {
+                        nbr_trace(*nbr, *nbr_face, nbr_buf);
+                        let cp = &mut face_b[..npf];
+                        from_nbr.matvec_into(nbr_buf, cp);
+                        for j in 0..npf {
+                            let v = fidx[j];
+                            let u = self.vel[e * npe + v];
+                            let n = fg.normal[j];
+                            let un = u[0] * n[0] + u[1] * n[1] + u[2] * n[2];
+                            let fstar = if un >= 0.0 { un * cm[j] } else { un * cp[j] };
+                            let coef = self.wf[j] * fg.sj[j] / (self.wv[v] * det[v]);
+                            out[e * npe + v] += coef * (un * cm[j] - fstar);
+                        }
+                    }
+                    FaceConn::FineNbrs { subs } => {
+                        let moff = self.mortar_off[e * self.mesh.nfaces + f] as usize;
+                        for (s, sub) in subs.iter().enumerate() {
+                            let sg = &fg.subs[s];
+                            let mine_at_fine = &mut face_b[..npf];
+                            sub.to_fine.matvec_into(cm, mine_at_fine);
+                            nbr_trace(sub.nbr, sub.nbr_face, nbr_buf);
+                            let their = &*nbr_buf;
+                            for j in 0..npf {
+                                let u = self.mortar_vel[moff + s * npf + j];
+                                let n = sg.normal[j];
+                                let un = u[0] * n[0] + u[1] * n[1] + u[2] * n[2];
+                                let fstar = if un >= 0.0 {
+                                    un * mine_at_fine[j]
+                                } else {
+                                    un * their[j]
+                                };
+                                let diff = un * mine_at_fine[j] - fstar;
+                                // Lift back through the mortar transpose.
+                                let w = self.wf[j] * sg.sj[j] * diff;
+                                if w != 0.0 {
+                                    for i in 0..npf {
+                                        let v = fidx[i];
+                                        out[e * npe + v] += sub.to_fine.data[j * npf + i] * w
+                                            / (self.wv[v] * det[v]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
-    /// RHS of a single element. `traces` carries the received ghost face
-    /// traces; `None` is only valid for interior elements.
-    fn rhs_element(
+    /// **Test oracle.** One RK step through the pre-kernel-engine RHS
+    /// path: per-element `gradient`/`matvec` allocations and fn-pointer
+    /// velocity evaluation per node per stage. Retained verbatim
+    /// (precedent: `morton_reference`, `balance_ripple`) so regression
+    /// tests can assert that [`step`](Self::step) through the specialized
+    /// engine stays bitwise identical across adapt cycles.
+    pub fn step_reference(&mut self, comm: &impl Communicator) {
+        let _span = forust_obs::span!("advect.step");
+        let t0 = Instant::now();
+        let mut k = vec![0.0; self.c.len()];
+        self.resid.fill(0.0);
+        for s in 0..5 {
+            let _stage = forust_obs::span!("rk.stage");
+            self.compute_rhs_reference(comm, &mut k);
+            let _update = forust_obs::span!("rk.update");
+            for i in 0..self.c.len() {
+                self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
+                self.c[i] += LSERK_B[s] * self.resid[i];
+            }
+        }
+        self.time += self.dt;
+        self.timers.integrate += t0.elapsed();
+        self.timers.steps += 1;
+        if self.timers.steps % self.config.adapt_every == 0 {
+            self.adapt(comm);
+        }
+    }
+
+    /// Oracle RHS driver behind [`step_reference`](Self::step_reference).
+    fn compute_rhs_reference(&self, comm: &impl Communicator, out: &mut [f64]) {
+        let pending = self.halo.begin(comm, &self.c, 1);
+        let mut nbr_buf = Vec::with_capacity(self.mesh.re.nodes_per_face(3));
+        {
+            let _span = forust_obs::span!("rhs.interior");
+            for &e in self.halo.interior() {
+                self.rhs_element_reference(e as usize, None, &mut nbr_buf, out);
+            }
+        }
+        let traces = {
+            let _span = forust_obs::span!("rhs.exchange_wait");
+            pending.finish()
+        };
+        let _span = forust_obs::span!("rhs.boundary");
+        for &e in self.halo.boundary() {
+            self.rhs_element_reference(e as usize, Some(&traces), &mut nbr_buf, out);
+        }
+    }
+
+    /// Oracle per-element RHS: the pre-kernel-engine implementation,
+    /// verbatim (allocating `gradient`, `matvec`, per-face `collect`, and
+    /// fn-pointer velocity evaluation at every node).
+    fn rhs_element_reference(
         &self,
         e: usize,
         traces: Option<&HaloData<'_, D3>>,
@@ -426,6 +640,13 @@ impl AdvectSolver {
         self.wv = wv;
         self.wf = wf;
         self.face_idx = face_idx;
+        let caches = velocity_caches(&self.mesh, &self.geo, self.velocity);
+        self.vel = caches.vel;
+        self.mortar_vel = caches.mortar_vel;
+        self.mortar_off = caches.mortar_off;
+        self.metr_soa = caches.metr_soa;
+        self.vel_soa = caches.vel_soa;
+        self.ws.configure(npe, self.mesh.re.nodes_per_face(3), 1);
         self.dt = self.stable_dt(comm);
         self.timers.amr += t0.elapsed();
         self.timers.adapts += 1;
@@ -554,6 +775,10 @@ impl AdvectSolver {
         }
         let resid = vec![0.0; c.len()];
         let (wv, wf, face_idx) = cache_constants(&mesh.re);
+        let npf = mesh.re.nodes_per_face(3);
+        let caches = velocity_caches(&mesh, &geo, velocity);
+        let mut ws = KernelWorkspace::new();
+        ws.configure(npe, npf, 1);
         let mut solver = AdvectSolver {
             config,
             forest,
@@ -573,6 +798,13 @@ impl AdvectSolver {
             wv,
             wf,
             face_idx,
+            ws,
+            stage_k: Vec::new(),
+            vel: caches.vel,
+            mortar_vel: caches.mortar_vel,
+            mortar_off: caches.mortar_off,
+            metr_soa: caches.metr_soa,
+            vel_soa: caches.vel_soa,
         };
         solver.dt = solver.stable_dt(comm);
         Ok(solver)
@@ -602,6 +834,63 @@ fn cache_constants(re: &RefElement) -> (Vec<f64>, Vec<f64>, Vec<Vec<usize>>) {
     }
     let face_idx: Vec<Vec<usize>> = (0..6).map(|f| re.face_nodes(3, f)).collect();
     (wv, wf, face_idx)
+}
+
+/// Per-mesh caches for the kernel-engine RHS: nodal and mortar
+/// velocities, plus the volume metric/velocity repacked as SoA planes for
+/// the fused volume kernel.
+struct VolumeCaches {
+    vel: Vec<[f64; 3]>,
+    mortar_vel: Vec<[f64; 3]>,
+    mortar_off: Vec<u32>,
+    metr_soa: Vec<f64>,
+    vel_soa: Vec<f64>,
+}
+
+/// Evaluate the velocity field once per mesh (re)build: at every volume
+/// node and at every mortar point of 2:1 faces. The nodes are exactly the
+/// positions the old per-stage fn-pointer path evaluated (`geo.pos` and
+/// `FaceGeo::subs[s].pos`), so the cached values are bitwise identical.
+/// The volume metric and velocity are additionally repacked into the SoA
+/// plane layout of [`kernels::pack_volume_soa`] (same values, unit-stride
+/// loads in the fused volume contraction).
+fn velocity_caches(
+    mesh: &DgMesh<D3>,
+    geo: &MeshGeometry,
+    velocity: fn([f64; 3]) -> [f64; 3],
+) -> VolumeCaches {
+    let vel: Vec<[f64; 3]> = geo.pos.iter().map(|&x| velocity(x)).collect();
+    let mut mortar_vel = Vec::new();
+    let mut mortar_off = vec![u32::MAX; mesh.num_elements() * mesh.nfaces];
+    for e in 0..mesh.num_elements() {
+        for f in 0..mesh.nfaces {
+            if matches!(mesh.face(e, f), FaceConn::FineNbrs { .. }) {
+                mortar_off[e * mesh.nfaces + f] = mortar_vel.len() as u32;
+                for sg in &geo.face(e, f, mesh.nfaces).subs {
+                    mortar_vel.extend(sg.pos.iter().map(|&x| velocity(x)));
+                }
+            }
+        }
+    }
+    let npe = mesh.re.nodes_per_elem(3);
+    let nel = mesh.num_elements();
+    let mut metr_soa = vec![0.0; nel * 9 * npe];
+    let mut vel_soa = vec![0.0; nel * 3 * npe];
+    for e in 0..nel {
+        kernels::pack_volume_soa(
+            geo.elem_inv(e),
+            &vel[e * npe..(e + 1) * npe],
+            &mut metr_soa[e * 9 * npe..(e + 1) * 9 * npe],
+            &mut vel_soa[e * 3 * npe..(e + 1) * 3 * npe],
+        );
+    }
+    VolumeCaches {
+        vel,
+        mortar_vel,
+        mortar_off,
+        metr_soa,
+        vel_soa,
+    }
 }
 
 /// Nodal range of a function over one element (pre-adaptation indicator).

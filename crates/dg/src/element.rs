@@ -75,6 +75,12 @@ impl RefElement {
     ///
     /// Sum factorization: cost `O(np^(d+1))` per element instead of
     /// `O(np^(2d))`.
+    ///
+    /// **Test oracle.** This straightforward strided implementation is
+    /// retained as the bitwise reference for the allocation-free,
+    /// degree-specialized engine in [`crate::kernels`] (precedent:
+    /// `morton_reference`, `balance_ripple`). Hot loops should call
+    /// [`crate::kernels::apply_axis_into`] instead.
     pub fn apply_axis(&self, op: &Matrix, input: &[f64], dim: usize, axis: usize) -> Vec<f64> {
         let np = self.np;
         assert_eq!(op.cols, np);
@@ -116,10 +122,20 @@ impl RefElement {
 
     /// Reference-space gradient of a nodal field: `dim` vectors of nodal
     /// derivatives along each reference axis.
+    ///
+    /// Allocating oracle form; hot loops use
+    /// [`gradient_into`](Self::gradient_into).
     pub fn gradient(&self, input: &[f64], dim: usize) -> Vec<Vec<f64>> {
         (0..dim)
             .map(|a| self.apply_axis(&self.diff, input, dim, a))
             .collect()
+    }
+
+    /// Reference-space gradient into a caller-owned `dim * npe` panel
+    /// (layout `[axis][node]`), via the specialized kernel engine.
+    /// Bitwise identical to [`gradient`](Self::gradient).
+    pub fn gradient_into(&self, input: &[f64], dim: usize, grad: &mut [f64]) {
+        crate::kernels::batched_gradient_into(&self.diff, self.np, dim, input, 1, grad);
     }
 
     /// Volume node index of lattice point `(i, j, k)` (x-fastest).

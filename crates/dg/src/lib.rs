@@ -19,6 +19,12 @@
 //! - [`halo`]: the split-phase, face-trace-only ghost exchange — restricts
 //!   mirror payloads to the dofs actually read across the partition
 //!   boundary and overlaps the messages with interior element work;
+//! - [`kernels`]: the allocation-free, degree-specialized sum-factorization
+//!   engine behind the solvers' RHS hot loops — axis-specialized operator
+//!   sweeps, const-generic instances for the paper's production degrees,
+//!   multi-field batching and the reusable [`KernelWorkspace`] scratch
+//!   arena (with `element::RefElement::apply_axis` kept as the bitwise
+//!   test oracle);
 //! - [`cg`]: continuous-Galerkin hanging-node interpolation built on
 //!   `forust`'s `Nodes`.
 
@@ -26,6 +32,7 @@ pub mod cg;
 pub mod element;
 pub mod geometry;
 pub mod halo;
+pub mod kernels;
 pub mod legendre;
 pub mod lserk;
 pub mod matrix;
@@ -34,4 +41,5 @@ pub mod transfer;
 
 pub use element::RefElement;
 pub use halo::{HaloData, HaloExchange, HaloPending, TAG_HALO_EXCHANGE};
+pub use kernels::KernelWorkspace;
 pub use matrix::Matrix;

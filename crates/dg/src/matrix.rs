@@ -43,13 +43,22 @@ impl Matrix {
 
     /// Matrix-vector product.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product into a caller-owned buffer (the hot-loop
+    /// form: every mortar interpolation reuses a workspace slice instead
+    /// of allocating per face). `out.len()` must equal `rows`; results
+    /// are bitwise identical to [`matvec`](Self::matvec).
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(out.len(), self.rows);
         for i in 0..self.rows {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
-        y
     }
 
     /// Matrix product `self * other`.

@@ -94,6 +94,9 @@ pub struct DgMesh<D: Dim> {
     pub mirror_elem: Vec<u32>,
     /// `elements.len() * FACES` face connections.
     pub faces: Vec<FaceConn>,
+    /// Faces per element (`D::FACES`), cached so the hot
+    /// [`face`](Self::face) accessor does pure index arithmetic.
+    pub nfaces: usize,
 }
 
 impl<D: Dim> DgMesh<D> {
@@ -155,12 +158,14 @@ impl<D: Dim> DgMesh<D> {
             ghost,
             mirror_elem,
             faces,
+            nfaces: D::FACES,
         }
     }
 
     /// Face connection of local element `e`, face `f`.
+    #[inline]
     pub fn face(&self, e: usize, f: usize) -> &FaceConn {
-        &self.faces[e * (self.faces.len() / self.elements.len()) + f]
+        &self.faces[e * self.nfaces + f]
     }
 
     /// Number of local elements.

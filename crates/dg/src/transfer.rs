@@ -49,14 +49,31 @@ pub fn interpolate_to_descendant<D: Dim>(
     fine: &Octant<D>,
     values: &[f64],
 ) -> Vec<f64> {
+    let mut out = values.to_vec();
+    let mut tmp = vec![0.0; values.len()];
+    interpolate_to_descendant_into(re, coarse, fine, &mut out, &mut tmp);
+    out
+}
+
+/// In-place form of [`interpolate_to_descendant`]: `values` is
+/// transformed to the descendant's nodal values using `tmp` (same length)
+/// as the ping-pong buffer, with zero allocations. Each axis sweep goes
+/// through the specialized kernel engine — bitwise identical to the
+/// `apply_axis` oracle path.
+pub fn interpolate_to_descendant_into<D: Dim>(
+    re: &RefElement,
+    coarse: &Octant<D>,
+    fine: &Octant<D>,
+    values: &mut [f64],
+    tmp: &mut [f64],
+) {
     debug_assert!(coarse.contains(fine));
     let dim = D::DIM as usize;
-    let mut out = values.to_vec();
     for axis in 0..dim {
         let e = eval_1d(re, coarse, fine, axis);
-        out = re.apply_axis(&e, &out, dim, axis);
+        crate::kernels::apply_axis_into(&e, re.np, dim, axis, values, tmp);
+        values.copy_from_slice(tmp);
     }
-    out
 }
 
 /// Accumulate the L2-projection contribution of one descendant's values
@@ -73,6 +90,7 @@ pub fn project_descendant_add<D: Dim>(
     let dim = D::DIM as usize;
     let ratio = fine.len() as f64 / coarse.len() as f64;
     let mut tmp = fine_values.to_vec();
+    let mut pong = vec![0.0; fine_values.len()];
     for axis in 0..dim {
         // P = W^{-1} E^T W * ratio along this axis.
         let e = eval_1d(re, coarse, fine, axis);
@@ -83,7 +101,8 @@ pub fn project_descendant_add<D: Dim>(
                 p.data[i * np + j] = ratio * e.data[j * np + i] * re.weights[j] / re.weights[i];
             }
         }
-        tmp = re.apply_axis(&p, &tmp, dim, axis);
+        crate::kernels::apply_axis_into(&p, np, dim, axis, &tmp, &mut pong);
+        std::mem::swap(&mut tmp, &mut pong);
     }
     for (o, v) in out.iter_mut().zip(&tmp) {
         *o += v;
@@ -109,6 +128,9 @@ pub fn transfer_fields<D: Dim>(
     let chunk = npe * ncomp;
     assert_eq!(old_data.len(), old.num_local() * chunk);
     let mut out = Vec::with_capacity(new.num_local() * chunk);
+    // Ping-pong scratch shared by every refined element's interpolation.
+    let mut scratch = vec![0.0; npe];
+    let mut pong = vec![0.0; npe];
 
     // Per-tree element offsets into the flat data arrays.
     let ntrees = old.conn.num_trees();
@@ -140,8 +162,9 @@ pub fn transfer_fields<D: Dim>(
                 // Refined: interpolate; keep `i` (more descendants follow).
                 let src = a_data(i);
                 for c in 0..ncomp {
-                    let vals = interpolate_to_descendant(re, &a, b, &src[c * npe..(c + 1) * npe]);
-                    out.extend_from_slice(&vals);
+                    scratch.copy_from_slice(&src[c * npe..(c + 1) * npe]);
+                    interpolate_to_descendant_into(re, &a, b, &mut scratch, &mut pong);
+                    out.extend_from_slice(&scratch);
                 }
                 if a.last_descendant(D::MAX_LEVEL) <= b.last_descendant(D::MAX_LEVEL) {
                     i += 1;
@@ -347,7 +370,7 @@ mod tests {
             let mut data = Vec::new();
             for _ in 0..old.num_local() {
                 for c in 0..3 {
-                    data.extend(std::iter::repeat((c + 1) as f64).take(npe));
+                    data.extend(std::iter::repeat_n((c + 1) as f64, npe));
                 }
             }
             let mut new = old.clone();

@@ -19,6 +19,7 @@ use forust::forest::{BalanceType, Forest};
 use forust_comm::Communicator;
 use forust_dg::geometry::MeshGeometry;
 use forust_dg::halo::{HaloData, HaloExchange};
+use forust_dg::kernels::{self, KernelWorkspace};
 use forust_dg::lserk::{LSERK_A, LSERK_B, LSERK_C};
 use forust_dg::mesh::{DgMesh, ElemRef, FaceConn};
 use forust_geom::Mapping;
@@ -101,6 +102,12 @@ pub struct SeismicSolver {
     wv: Vec<f64>,
     wf: Vec<f64>,
     face_idx: Vec<Vec<usize>>,
+    /// Kernel-engine scratch arena (gradient panels for all 9 fields,
+    /// nodal stress, flat face traces), sized once at mesh build.
+    pub ws: KernelWorkspace,
+    /// RK stage buffer, hoisted out of [`step`](Self::step) so
+    /// steady-state stepping allocates nothing.
+    stage_k: Vec<f64>,
 }
 
 impl SeismicSolver {
@@ -182,6 +189,8 @@ impl SeismicSolver {
             })
             .collect();
         let (wv, wf, face_idx) = cache_constants(&mesh.re);
+        let mut ws = KernelWorkspace::new();
+        ws.configure(npe, mesh.re.nodes_per_face(3), NCOMP);
         let mut s = SeismicSolver {
             config,
             forest,
@@ -200,6 +209,8 @@ impl SeismicSolver {
             wv,
             wf,
             face_idx,
+            ws,
+            stage_k: Vec::new(),
         };
         s.dt = s.stable_dt(comm);
         s
@@ -233,7 +244,40 @@ impl SeismicSolver {
     }
 
     /// Advance one RK step.
+    ///
+    /// Steady-state allocation-free: the stage vector and the kernel
+    /// workspace are solver-owned and reused every stage.
     pub fn step(&mut self, comm: &impl Communicator) {
+        let _span = forust_obs::span!("seismic.step");
+        let t0 = Instant::now();
+        let mut k = std::mem::take(&mut self.stage_k);
+        k.resize(self.q.len(), 0.0);
+        let mut ws = std::mem::take(&mut self.ws);
+        self.resid.fill(0.0);
+        for s in 0..5 {
+            let _stage = forust_obs::span!("rk.stage");
+            let ts = self.time + LSERK_C[s] * self.dt;
+            self.compute_rhs(comm, ts, &mut ws, &mut k);
+            let _update = forust_obs::span!("rk.update");
+            for i in 0..self.q.len() {
+                self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
+                self.q[i] += LSERK_B[s] * self.resid[i];
+            }
+        }
+        ws.check_steady();
+        self.ws = ws;
+        self.stage_k = k;
+        self.time += self.dt;
+        self.timers.wave_prop += t0.elapsed();
+        self.timers.steps += 1;
+    }
+
+    /// **Test oracle.** One RK step through the pre-kernel-engine RHS
+    /// path (per-element gradient/`matvec`/trace allocations). Retained
+    /// verbatim (precedent: `morton_reference`, `balance_ripple`) so
+    /// regression tests can assert that [`step`](Self::step) through the
+    /// specialized engine stays bitwise identical.
+    pub fn step_reference(&mut self, comm: &impl Communicator) {
         let _span = forust_obs::span!("seismic.step");
         let t0 = Instant::now();
         let mut k = vec![0.0; self.q.len()];
@@ -241,7 +285,7 @@ impl SeismicSolver {
         for s in 0..5 {
             let _stage = forust_obs::span!("rk.stage");
             let ts = self.time + LSERK_C[s] * self.dt;
-            self.compute_rhs(comm, ts, &mut k);
+            self.compute_rhs_reference(comm, ts, &mut k);
             let _update = forust_obs::span!("rk.update");
             for i in 0..self.q.len() {
                 self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
@@ -315,15 +359,19 @@ impl SeismicSolver {
     /// messages fly, then the boundary elements finish after the traces
     /// arrive. Element results are independent, so the reordering is
     /// bitwise identical to the old exchange-then-sweep loop.
-    fn compute_rhs(&self, comm: &impl Communicator, t: f64, out: &mut [f64]) {
+    fn compute_rhs(
+        &self,
+        comm: &impl Communicator,
+        t: f64,
+        ws: &mut KernelWorkspace,
+        out: &mut [f64],
+    ) {
         let pending = self.halo.begin(comm, &self.q, NCOMP);
         out.fill(0.0);
-        let mut sig_nodal = vec![0.0; 6 * self.mesh.re.nodes_per_elem(3)];
-        let mut nbr_buf: Vec<f64> = Vec::new();
         {
             let _span = forust_obs::span!("rhs.interior");
             for &e in self.halo.interior() {
-                self.rhs_element(e as usize, t, None, &mut sig_nodal, &mut nbr_buf, out);
+                self.rhs_element(e as usize, t, None, ws, out);
             }
         }
         let traces = {
@@ -332,7 +380,319 @@ impl SeismicSolver {
         };
         let _span = forust_obs::span!("rhs.boundary");
         for &e in self.halo.boundary() {
-            self.rhs_element(
+            self.rhs_element(e as usize, t, Some(&traces), ws, out);
+        }
+        forust_obs::counter_add("kernels.rhs_elements", self.mesh.num_elements() as u64);
+    }
+
+    /// RHS of a single element via the kernel engine: nodal stress in the
+    /// workspace, batched 9-field reference gradients (two sweeps share
+    /// each operator row), flat component-major face traces, and
+    /// `matvec_into` mortar interpolation — zero heap allocations.
+    /// `traces` carries the received ghost face traces; `None` is only
+    /// valid for interior elements.
+    fn rhs_element(
+        &self,
+        e: usize,
+        t: f64,
+        traces: Option<&HaloData<'_, D3>>,
+        ws: &mut KernelWorkspace,
+        out: &mut [f64],
+    ) {
+        let re = &self.mesh.re;
+        let npe = re.nodes_per_elem(3);
+        let npf = re.nodes_per_face(3);
+        let chunk = npe * NCOMP;
+        // Split-borrow the workspace: nodal stress in `nodal`, batched
+        // gradients in `grad`, my face trace in `face_a`, the neighbor's
+        // in `face_b`, mortar staging in `face_c`.
+        let KernelWorkspace {
+            grad,
+            nodal,
+            face_a,
+            face_b,
+            face_c,
+            nbr: nbr_buf,
+            ..
+        } = ws;
+
+        // Stress of a state given material.
+        let stress = |s: &[f64; NCOMP], lam: f64, mu: f64| -> [f64; 6] {
+            let tr = s[3] + s[4] + s[5];
+            [
+                2.0 * mu * s[3] + lam * tr,
+                2.0 * mu * s[4] + lam * tr,
+                2.0 * mu * s[5] + lam * tr,
+                2.0 * mu * s[6], // yz
+                2.0 * mu * s[7], // xz
+                2.0 * mu * s[8], // xy
+            ]
+        };
+        // sigma . n for Voigt-stored sigma.
+        let sig_n = |sg: &[f64; 6], n: [f64; 3]| -> [f64; 3] {
+            [
+                sg[0] * n[0] + sg[5] * n[1] + sg[4] * n[2],
+                sg[5] * n[0] + sg[1] * n[1] + sg[3] * n[2],
+                sg[4] * n[0] + sg[3] * n[1] + sg[2] * n[2],
+            ]
+        };
+
+        let cfg = &self.config;
+        // Face trace of one component of a neighbor (its `nbr_face`,
+        // face-lattice order).
+        let nbr_trace = |r: ElemRef, nbr_face: usize, c: usize, buf: &mut Vec<f64>| match r {
+            ElemRef::Local(i) => {
+                let off = i as usize * chunk;
+                buf.clear();
+                buf.extend(
+                    self.face_idx[nbr_face]
+                        .iter()
+                        .map(|&n| self.q[off + c * npe + n]),
+                );
+            }
+            ElemRef::Ghost(g) => {
+                traces
+                    .expect("interior element classified with a ghost face")
+                    .face_values(g as usize, nbr_face, c, buf);
+            }
+        };
+        {
+            let base = e * chunk;
+            let inv = self.geo.elem_inv(e);
+            let det = self.geo.elem_det(e);
+            let pos = self.geo.elem_pos(e);
+
+            // Nodal stress into the workspace.
+            let sig_nodal = &mut nodal[..6 * npe];
+            for v in 0..npe {
+                let s = self.state(e, v);
+                let m = self.mat[e * npe + v];
+                let sg = stress(&s, m[1], m[2]);
+                for c in 0..6 {
+                    sig_nodal[c * npe + v] = sg[c];
+                }
+            }
+            // Reference gradients of velocity (3) and stress (6): two
+            // batched sweeps into disjoint panels of the workspace,
+            // layout `[field][axis][node]`.
+            let (gv, gs) = grad[..NCOMP * 3 * npe].split_at_mut(3 * 3 * npe);
+            kernels::batched_gradient_into(
+                &re.diff,
+                re.np,
+                3,
+                &self.q[base..base + 3 * npe],
+                3,
+                gv,
+            );
+            kernels::batched_gradient_into(&re.diff, re.np, 3, sig_nodal, 6, gs);
+            // Volume terms.
+            for v in 0..npe {
+                let m = self.mat[e * npe + v];
+                let rho = m[0];
+                // Physical derivative d(field)/dx_i = sum_r inv[r][i] dref_r
+                // of field `fld` of a batched gradient panel.
+                let dphys = |g: &[f64], fld: usize, i: usize| -> f64 {
+                    (0..3)
+                        .map(|r| inv[v][r][i] * g[(fld * 3 + r) * npe + v])
+                        .sum()
+                };
+                // Momentum: rho v_i' = sum_j d sigma_ij / dx_j.
+                // Voigt: row x = (sxx, sxy, sxz) = (0, 5, 4), etc.
+                let dv = [
+                    (dphys(gs, 0, 0) + dphys(gs, 5, 1) + dphys(gs, 4, 2)) / rho,
+                    (dphys(gs, 5, 0) + dphys(gs, 1, 1) + dphys(gs, 3, 2)) / rho,
+                    (dphys(gs, 4, 0) + dphys(gs, 3, 1) + dphys(gs, 2, 2)) / rho,
+                ];
+                // Strain: E' = sym grad v.
+                let gvx = [dphys(gv, 0, 0), dphys(gv, 0, 1), dphys(gv, 0, 2)];
+                let gvy = [dphys(gv, 1, 0), dphys(gv, 1, 1), dphys(gv, 1, 2)];
+                let gvz = [dphys(gv, 2, 0), dphys(gv, 2, 1), dphys(gv, 2, 2)];
+                let de = [
+                    gvx[0],
+                    gvy[1],
+                    gvz[2],
+                    0.5 * (gvy[2] + gvz[1]),
+                    0.5 * (gvx[2] + gvz[0]),
+                    0.5 * (gvx[1] + gvy[0]),
+                ];
+                // Source: Gaussian-in-space Ricker-in-time body force.
+                let dx = [
+                    pos[v][0] - cfg.src[0],
+                    pos[v][1] - cfg.src[1],
+                    pos[v][2] - cfg.src[2],
+                ];
+                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+                let sw = 0.02;
+                let amp = ricker(t, cfg.f0, 1.2 / cfg.f0) * (-r2 / (2.0 * sw * sw)).exp();
+                for c in 0..3 {
+                    out[base + c * npe + v] = dv[c] + amp * cfg.src_dir[c] / rho;
+                }
+                for c in 0..6 {
+                    out[base + (3 + c) * npe + v] = de[c];
+                }
+            }
+
+            // Surface terms. Face traces live in flat component-major
+            // workspace slabs (`[component][face node]`, `npf` stride):
+            // `face_a` is my trace, `face_b` the neighbor's.
+            for f in 0..6 {
+                let fg = self.geo.face(e, f, self.mesh.nfaces);
+                let fidx = &self.face_idx[f];
+                // My face trace of all components.
+                for c in 0..NCOMP {
+                    for (j, &i) in fidx.iter().enumerate() {
+                        face_a[c * npf + j] = self.q[base + c * npe + i];
+                    }
+                }
+
+                let apply_flux =
+                    |qm: &[f64],
+                     qp: &[f64],
+                     normals: &[[f64; 3]],
+                     sjs: &[f64],
+                     lift: &mut dyn FnMut(usize, [f64; NCOMP], f64)| {
+                        for j in 0..npf {
+                            let v = fidx[j]; // volume node for material
+                            let m = self.mat[e * npe + v];
+                            let (rho, lam, mu) = (m[0], m[1], m[2]);
+                            let cp = ((lam + 2.0 * mu) / rho).sqrt();
+                            let z = rho * cp;
+                            let n = normals[j];
+                            // Assemble the nodal states from the flat slabs.
+                            let mut qmj = [0.0; NCOMP];
+                            let mut qpj = [0.0; NCOMP];
+                            for c in 0..NCOMP {
+                                qmj[c] = qm[c * npf + j];
+                                qpj[c] = qp[c * npf + j];
+                            }
+                            let sgm = stress(&qmj, lam, mu);
+                            let sgp = stress(&qpj, lam, mu);
+                            let tm = sig_n(&sgm, n);
+                            let tp = sig_n(&sgp, n);
+                            // Numerical traces.
+                            let tstar = [
+                                0.5 * (tm[0] + tp[0]) + 0.5 * z * (qpj[0] - qmj[0]),
+                                0.5 * (tm[1] + tp[1]) + 0.5 * z * (qpj[1] - qmj[1]),
+                                0.5 * (tm[2] + tp[2]) + 0.5 * z * (qpj[2] - qmj[2]),
+                            ];
+                            let vstar = [
+                                0.5 * (qmj[0] + qpj[0]) + 0.5 / z * (tp[0] - tm[0]),
+                                0.5 * (qmj[1] + qpj[1]) + 0.5 / z * (tp[1] - tm[1]),
+                                0.5 * (qmj[2] + qpj[2]) + 0.5 / z * (tp[2] - tm[2]),
+                            ];
+                            let mut d = [0.0; NCOMP];
+                            for i in 0..3 {
+                                d[i] = (tstar[i] - tm[i]) / rho;
+                            }
+                            let dvs = [vstar[0] - qmj[0], vstar[1] - qmj[1], vstar[2] - qmj[2]];
+                            d[3] = n[0] * dvs[0];
+                            d[4] = n[1] * dvs[1];
+                            d[5] = n[2] * dvs[2];
+                            d[6] = 0.5 * (n[1] * dvs[2] + n[2] * dvs[1]);
+                            d[7] = 0.5 * (n[0] * dvs[2] + n[2] * dvs[0]);
+                            d[8] = 0.5 * (n[0] * dvs[1] + n[1] * dvs[0]);
+                            lift(j, d, sjs[j]);
+                        }
+                    };
+
+                match self.mesh.face(e, f) {
+                    FaceConn::Boundary => {
+                        // Traction-free: mirror with opposite traction.
+                        // qp = qm with strain negated gives tp = -tm and
+                        // vp = vm.
+                        for c in 0..NCOMP {
+                            for j in 0..npf {
+                                let s = face_a[c * npf + j];
+                                face_b[c * npf + j] = if c >= 3 { -s } else { s };
+                            }
+                        }
+                        apply_flux(face_a, face_b, &fg.normal, &fg.sj, &mut |j, d, s| {
+                            let v = fidx[j];
+                            let coef = self.wf[j] * s / (self.wv[v] * det[v]);
+                            for (c, dc) in d.iter().enumerate() {
+                                out[base + c * npe + v] += coef * dc;
+                            }
+                        });
+                    }
+                    FaceConn::Conforming {
+                        nbr,
+                        nbr_face,
+                        from_nbr,
+                    }
+                    | FaceConn::CoarseNbr {
+                        nbr,
+                        nbr_face,
+                        from_nbr,
+                    } => {
+                        // Interpolate each component's neighbor trace.
+                        for c in 0..NCOMP {
+                            nbr_trace(*nbr, *nbr_face, c, nbr_buf);
+                            from_nbr.matvec_into(nbr_buf, &mut face_b[c * npf..(c + 1) * npf]);
+                        }
+                        apply_flux(face_a, face_b, &fg.normal, &fg.sj, &mut |j, d, s| {
+                            let v = fidx[j];
+                            let coef = self.wf[j] * s / (self.wv[v] * det[v]);
+                            for (c, dc) in d.iter().enumerate() {
+                                out[base + c * npe + v] += coef * dc;
+                            }
+                        });
+                    }
+                    FaceConn::FineNbrs { subs } => {
+                        for (si, sub) in subs.iter().enumerate() {
+                            let sg = &fg.subs[si];
+                            // My trace at the fine mortar points: stage the
+                            // raw face values in face_c, interpolate into
+                            // face_a (the raw trace is not read again).
+                            for c in 0..NCOMP {
+                                for (j, &i) in fidx.iter().enumerate() {
+                                    face_c[j] = self.q[base + c * npe + i];
+                                }
+                                sub.to_fine
+                                    .matvec_into(face_c, &mut face_a[c * npf..(c + 1) * npf]);
+                            }
+                            for c in 0..NCOMP {
+                                nbr_trace(sub.nbr, sub.nbr_face, c, nbr_buf);
+                                face_b[c * npf..(c + 1) * npf].copy_from_slice(nbr_buf);
+                            }
+                            apply_flux(face_a, face_b, &sg.normal, &sg.sj, &mut |j, d, s| {
+                                // Lift through the mortar transpose.
+                                let w = self.wf[j] * s;
+                                for i in 0..npf {
+                                    let v = fidx[i];
+                                    let coef =
+                                        sub.to_fine.data[j * npf + i] * w / (self.wv[v] * det[v]);
+                                    for (c, dc) in d.iter().enumerate() {
+                                        out[base + c * npe + v] += coef * dc;
+                                    }
+                                }
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Oracle RHS driver behind [`step_reference`](Self::step_reference):
+    /// the pre-kernel-engine implementation, verbatim.
+    fn compute_rhs_reference(&self, comm: &impl Communicator, t: f64, out: &mut [f64]) {
+        let pending = self.halo.begin(comm, &self.q, NCOMP);
+        out.fill(0.0);
+        let mut sig_nodal = vec![0.0; 6 * self.mesh.re.nodes_per_elem(3)];
+        let mut nbr_buf: Vec<f64> = Vec::new();
+        {
+            let _span = forust_obs::span!("rhs.interior");
+            for &e in self.halo.interior() {
+                self.rhs_element_reference(e as usize, t, None, &mut sig_nodal, &mut nbr_buf, out);
+            }
+        }
+        let traces = {
+            let _span = forust_obs::span!("rhs.exchange_wait");
+            pending.finish()
+        };
+        let _span = forust_obs::span!("rhs.boundary");
+        for &e in self.halo.boundary() {
+            self.rhs_element_reference(
                 e as usize,
                 t,
                 Some(&traces),
@@ -343,9 +703,9 @@ impl SeismicSolver {
         }
     }
 
-    /// RHS of a single element. `traces` carries the received ghost face
-    /// traces; `None` is only valid for interior elements.
-    fn rhs_element(
+    /// Oracle per-element RHS: the pre-kernel-engine implementation,
+    /// verbatim (allocating per-component `gradient`/`matvec`/`collect`).
+    fn rhs_element_reference(
         &self,
         e: usize,
         t: f64,
