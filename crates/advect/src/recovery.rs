@@ -2,12 +2,12 @@
 //! checkpointing plus a restart driver that survives injected rank
 //! crashes.
 //!
-//! [`run_with_recovery`] runs the solver under an optional
-//! [`FaultPlan`]; when the injected fault kills the SPMD run, the driver
-//! restarts — possibly on fewer ranks — from the newest checkpoint that
-//! validates, and re-runs to completion without fault injection. Because
-//! every quantity the time loop evolves is either carried bitwise in the
-//! checkpoint (solution, `time`, step count) or recomputed by an exact
+//! The supervisor logic lives in `forust-resilience`; this module
+//! implements its [`Recoverable`] contract for the advection dG solver
+//! and keeps the original thin driver API ([`run_with_recovery`],
+//! [`attempt`]) used by tests and harnesses. Because every quantity the
+//! time loop evolves is either carried bitwise in the checkpoint
+//! (solution, `time`, step count) or recomputed by an exact
 //! deterministic reduction (`dt`), the recovered result is bitwise
 //! identical to a fault-free run.
 //!
@@ -16,16 +16,15 @@
 //! directory invalid (missing manifest, missing segments, or a CRC
 //! failure); the restart scan simply falls back to the previous epoch.
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
 
 use forust::connectivity::Connectivity;
 use forust::dim::D3;
-use forust::forest::Forest;
-use forust_comm::{run_spmd_with, ChaosComm, CommConfig, Communicator, FaultPlan, RankCrashed};
+use forust::forest::{CheckpointError, Forest};
+use forust_comm::{Communicator, FaultPlan, RankCrashed};
 use forust_geom::Mapping;
+use forust_resilience::{Recoverable, RecoveryOptions};
 
 use crate::{AdvectConfig, AdvectSolver};
 
@@ -72,22 +71,91 @@ pub struct RecoveryOutcome {
     pub injected_crash: Option<RankCrashed>,
 }
 
-/// Epoch subdirectories of the checkpoint root, newest first.
-fn epochs_newest_first(root: &Path) -> Vec<(u64, PathBuf)> {
-    let mut found: Vec<(u64, PathBuf)> = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(root) {
-        for e in entries.flatten() {
-            let name = e.file_name();
-            let name = name.to_string_lossy().into_owned();
-            if let Some(num) = name.strip_prefix("epoch_") {
-                if let Ok(n) = num.parse::<u64>() {
-                    found.push((n, e.path()));
-                }
-            }
+impl Recoverable for RecoverySetup {
+    type Solver = AdvectSolver;
+    type Final = AttemptResult;
+
+    fn build<C: Communicator>(&self, comm: &C) -> AdvectSolver {
+        let conn = Arc::new((self.conn)());
+        let map = (self.map)(Arc::clone(&conn));
+        let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, self.config.initial_level);
+        AdvectSolver::new(
+            comm,
+            forest,
+            map,
+            self.config.clone(),
+            self.init,
+            self.velocity,
+        )
+    }
+
+    fn restore<C: Communicator>(
+        &self,
+        comm: &C,
+        dir: &Path,
+    ) -> Result<AdvectSolver, CheckpointError> {
+        let conn = Arc::new((self.conn)());
+        let map = (self.map)(Arc::clone(&conn));
+        AdvectSolver::restore(comm, conn, map, self.config.clone(), self.velocity, dir)
+    }
+
+    fn restore_from_segments<C: Communicator>(
+        &self,
+        comm: &C,
+        segments: &[Vec<u8>],
+    ) -> Result<AdvectSolver, CheckpointError> {
+        let conn = Arc::new((self.conn)());
+        let map = (self.map)(Arc::clone(&conn));
+        AdvectSolver::restore_from_segments(
+            comm,
+            conn,
+            map,
+            self.config.clone(),
+            self.velocity,
+            segments,
+        )
+    }
+
+    fn save_checkpoint<C: Communicator>(
+        &self,
+        solver: &AdvectSolver,
+        comm: &C,
+        dir: &Path,
+    ) -> Result<(), CheckpointError> {
+        solver.save_checkpoint(comm, dir)
+    }
+
+    fn checkpoint_segment(&self, solver: &AdvectSolver, saved_ranks: usize) -> Vec<u8> {
+        solver.checkpoint_segment(saved_ranks)
+    }
+
+    fn units_done(&self, solver: &AdvectSolver) -> usize {
+        solver.timers.steps
+    }
+
+    fn total_units(&self) -> usize {
+        self.steps
+    }
+
+    fn checkpoint_every(&self) -> usize {
+        self.checkpoint_every
+    }
+
+    fn advance<C: Communicator>(&self, solver: &mut AdvectSolver, comm: &C) {
+        solver.step(comm);
+    }
+
+    fn finish<C: Communicator>(&self, solver: &AdvectSolver, comm: &C) -> AttemptResult {
+        // Ranks own contiguous SFC intervals, so concatenating the
+        // gathered per-rank fields yields the global solution in SFC
+        // element order.
+        let gathered = comm.allgatherv(&solver.c);
+        AttemptResult {
+            solution: gathered.into_iter().flatten().collect(),
+            time: solver.time,
+            steps: solver.timers.steps,
         }
     }
-    found.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
-    found
 }
 
 /// One SPMD attempt: restore from the newest valid checkpoint under
@@ -95,77 +163,25 @@ fn epochs_newest_first(root: &Path) -> Vec<(u64, PathBuf)> {
 /// steps with periodic checkpoints, and gather the global solution.
 ///
 /// Public so harnesses can run calibration passes (e.g. count a
-/// fault-free [`ChaosComm`] run's communication calls to place a crash).
+/// fault-free `ChaosComm` run's communication calls to place a crash).
 pub fn attempt<C: Communicator>(
     comm: &C,
     setup: &RecoverySetup,
     ckpt_root: &Path,
 ) -> AttemptResult {
-    let conn = Arc::new((setup.conn)());
-    let map = (setup.map)(Arc::clone(&conn));
-
-    // Newest checkpoint that validates wins. Validation reads the same
-    // files with the same logic on every rank, so all ranks agree on the
-    // pick without communicating.
-    let mut solver = None;
-    for (_, dir) in epochs_newest_first(ckpt_root) {
-        match AdvectSolver::restore(
-            comm,
-            Arc::clone(&conn),
-            Arc::clone(&map),
-            setup.config.clone(),
-            setup.velocity,
-            &dir,
-        ) {
-            Ok(s) => {
-                solver = Some(s);
-                break;
-            }
-            Err(_) => continue,
-        }
-    }
-    let mut solver = solver.unwrap_or_else(|| {
-        let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, setup.config.initial_level);
-        AdvectSolver::new(
-            comm,
-            forest,
-            Arc::clone(&map),
-            setup.config.clone(),
-            setup.init,
-            setup.velocity,
-        )
-    });
-
-    while solver.timers.steps < setup.steps {
-        solver.step(comm);
-        if solver.timers.steps % setup.checkpoint_every == 0 && solver.timers.steps < setup.steps {
-            let dir = ckpt_root.join(format!("epoch_{}", solver.timers.steps));
-            solver
-                .save_checkpoint(comm, &dir)
-                .unwrap_or_else(|e| panic!("rank {}: checkpoint failed: {e}", comm.rank()));
-        }
-    }
-
-    // Ranks own contiguous SFC intervals, so concatenating the gathered
-    // per-rank fields yields the global solution in SFC element order.
-    let gathered = comm.allgatherv(&solver.c);
-    AttemptResult {
-        solution: gathered.into_iter().flatten().collect(),
-        time: solver.time,
-        steps: solver.timers.steps,
-    }
+    forust_resilience::attempt(comm, setup, ckpt_root, &RecoveryOptions::default()).0
 }
 
 /// Run the experiment under fault injection with checkpoint/restart
 /// recovery.
 ///
 /// The first attempt launches `ranks` ranks, each wrapped in a
-/// [`ChaosComm`] when a `plan` is given. If the run dies (e.g. the
-/// plan's injected crash fires), subsequent attempts launch
-/// `restart_ranks` ranks *without* fault injection and resume from the
-/// newest valid checkpoint under `ckpt_root`. Panics other than an
-/// injected [`RankCrashed`] after `max_attempts` launches are resumed to
-/// the caller.
+/// `ChaosComm` (when a `plan` is given) underneath the self-healing
+/// `ReliableComm` layer. If the run dies (e.g. the plan's injected crash
+/// fires), subsequent attempts launch `restart_ranks` ranks *without*
+/// fault injection and resume from the newest valid checkpoint under
+/// `ckpt_root`. Panics other than an injected [`RankCrashed`] after
+/// `max_attempts` launches are resumed to the caller.
 pub fn run_with_recovery(
     ranks: usize,
     restart_ranks: usize,
@@ -174,48 +190,17 @@ pub fn run_with_recovery(
     setup: &RecoverySetup,
     max_attempts: usize,
 ) -> RecoveryOutcome {
-    // Generous deadline: an injected fault that wedges a rank becomes a
-    // diagnostic panic (and thus a restart) instead of a hang.
-    let config = CommConfig::with_deadline(Duration::from_secs(60));
-    let mut attempts = 0;
-    let mut injected_crash = None;
-    loop {
-        attempts += 1;
-        let first = attempts == 1;
-        let p = if first { ranks } else { restart_ranks };
-        let run = catch_unwind(AssertUnwindSafe(|| match (first, &plan) {
-            (true, Some(plan)) => {
-                let plan = plan.clone();
-                run_spmd_with(
-                    p,
-                    config.clone(),
-                    move |tc| ChaosComm::new(tc, plan.clone()),
-                    |comm| attempt(comm, setup, ckpt_root),
-                )
-            }
-            _ => run_spmd_with(
-                p,
-                config.clone(),
-                |tc| tc,
-                |comm| attempt(comm, setup, ckpt_root),
-            ),
-        }));
-        match run {
-            Ok(mut results) => {
-                return RecoveryOutcome {
-                    result: results.swap_remove(0),
-                    attempts,
-                    injected_crash,
-                }
-            }
-            Err(payload) => {
-                if let Some(rc) = payload.downcast_ref::<RankCrashed>() {
-                    injected_crash = Some(*rc);
-                }
-                if attempts >= max_attempts {
-                    resume_unwind(payload);
-                }
-            }
-        }
+    let outcome = forust_resilience::run_with_recovery(
+        ranks,
+        restart_ranks,
+        plan,
+        ckpt_root,
+        setup,
+        max_attempts,
+    );
+    RecoveryOutcome {
+        result: outcome.result,
+        attempts: outcome.attempts,
+        injected_crash: outcome.injected_crash,
     }
 }

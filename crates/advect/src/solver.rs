@@ -708,17 +708,65 @@ impl AdvectSolver {
         self.forest
             .save_with_payload(comm, dir, self.timers.steps as u64, Some(&chunks))?;
         if comm.rank() == 0 {
-            let mut buf = Vec::new();
-            SOLVER_MAGIC.encode(&mut buf);
-            self.time.to_bits().encode(&mut buf);
-            (self.timers.steps as u64).encode(&mut buf);
-            buf.extend_from_slice(&forust_comm::crc32(&buf).to_le_bytes());
+            let buf = self.scalar_state_bytes();
             let tmp = dir.join("solver.fst.tmp");
             std::fs::write(&tmp, &buf)?;
             std::fs::rename(tmp, dir.join("solver.fst"))?;
         }
         comm.barrier();
         Ok(())
+    }
+
+    /// The CRC-trailed scalar-state blob (`solver.fst` body): simulated
+    /// time bits and step count. Replicated on every rank.
+    fn scalar_state_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        SOLVER_MAGIC.encode(&mut buf);
+        self.time.to_bits().encode(&mut buf);
+        (self.timers.steps as u64).encode(&mut buf);
+        buf.extend_from_slice(&forust_comm::crc32(&buf).to_le_bytes());
+        buf
+    }
+
+    /// This rank's checkpoint as one in-memory byte blob for diskless
+    /// buddy mirroring: `[u64 segment length] ++ forest segment ++ scalar
+    /// state`, where the forest segment is byte-identical to what
+    /// [`AdvectSolver::save_checkpoint`] would write to disk. Purely
+    /// local.
+    pub fn checkpoint_segment(&self, saved_ranks: usize) -> Vec<u8> {
+        let npe = self.mesh.re.nodes_per_elem(3);
+        let chunks: Vec<Vec<f64>> = self.c.chunks(npe).map(|c| c.to_vec()).collect();
+        let seg = self
+            .forest
+            .segment_bytes(saved_ranks, self.timers.steps as u64, Some(&chunks));
+        let mut blob = Vec::with_capacity(8 + seg.len() + 28);
+        (seg.len() as u64).encode(&mut blob);
+        blob.extend_from_slice(&seg);
+        blob.extend_from_slice(&self.scalar_state_bytes());
+        blob
+    }
+
+    /// [`AdvectSolver::restore`] from in-memory blobs produced by
+    /// [`AdvectSolver::checkpoint_segment`] — the diskless (buddy) path.
+    pub fn restore_from_segments(
+        comm: &impl Communicator,
+        conn: Arc<Connectivity<D3>>,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: AdvectConfig,
+        velocity: fn([f64; 3]) -> [f64; 3],
+        segments: &[Vec<u8>],
+    ) -> Result<Self, CheckpointError> {
+        let (segs, scalar) = split_segment_blobs(segments)?;
+        let (forest, chunks, meta) = Forest::load_from_segment_bytes::<f64>(conn, comm, &segs)?;
+        let origin = std::path::PathBuf::from("<memory solver state>");
+        let (time, steps) = parse_scalar_state(&scalar, &origin)?;
+        if steps as u64 != meta.epoch {
+            return Err(CheckpointError::Format {
+                file: origin,
+                detail: "solver step count disagrees with checkpoint epoch".to_string(),
+            });
+        }
+        Self::from_restored(comm, forest, chunks, time, steps, map, config, velocity)
     }
 
     /// Restore a solver from a checkpoint written by
@@ -737,34 +785,32 @@ impl AdvectSolver {
     ) -> Result<Self, CheckpointError> {
         let (forest, chunks, meta) = Forest::load_with_payload::<f64>(conn, comm, dir)?;
         let spath = dir.join("solver.fst");
-        let bad = |detail: &str| CheckpointError::Format {
-            file: spath.clone(),
-            detail: detail.to_string(),
-        };
         let bytes = std::fs::read(&spath)?;
-        if bytes.len() < 4 {
-            return Err(bad("too short to carry a CRC trailer"));
-        }
-        let (body, trailer) = bytes.split_at(bytes.len() - 4);
-        let expected = u32::from_le_bytes(trailer.try_into().unwrap());
-        let actual = forust_comm::crc32(body);
-        if expected != actual {
-            return Err(CheckpointError::Crc {
+        let (time, steps) = parse_scalar_state(&bytes, &spath)?;
+        if steps as u64 != meta.epoch {
+            return Err(CheckpointError::Format {
                 file: spath,
-                expected,
-                actual,
+                detail: "solver step count disagrees with checkpoint epoch".to_string(),
             });
         }
-        let mut s = body;
-        if u64::decode(&mut s) != Some(SOLVER_MAGIC) {
-            return Err(bad("not a solver state file"));
-        }
-        let time = f64::from_bits(u64::decode(&mut s).ok_or_else(|| bad("truncated time"))?);
-        let steps = u64::decode(&mut s).ok_or_else(|| bad("truncated step count"))? as usize;
-        if steps as u64 != meta.epoch {
-            return Err(bad("solver step count disagrees with checkpoint epoch"));
-        }
+        Self::from_restored(comm, forest, chunks, time, steps, map, config, velocity)
+    }
 
+    #[allow(clippy::too_many_arguments)]
+    fn from_restored(
+        comm: &impl Communicator,
+        forest: Forest<D3>,
+        chunks: Vec<Vec<f64>>,
+        time: f64,
+        steps: usize,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: AdvectConfig,
+        velocity: fn([f64; 3]) -> [f64; 3],
+    ) -> Result<Self, CheckpointError> {
+        let bad = |detail: &str| CheckpointError::Format {
+            file: std::path::PathBuf::from("<payload>"),
+            detail: detail.to_string(),
+        };
         let mesh = DgMesh::build(&forest, comm, config.degree);
         let geo = MeshGeometry::build(&mesh, &*map);
         let halo = HaloExchange::build(&mesh);
@@ -813,6 +859,67 @@ impl AdvectSolver {
 
 /// Magic header of the solver scalar-state checkpoint file.
 const SOLVER_MAGIC: u64 = 0x464f_5255_4144_5653; // "FORU ADVS"
+
+/// Validate the CRC trailer of a scalar-state blob and decode
+/// `(time, steps)`.
+fn parse_scalar_state(
+    bytes: &[u8],
+    origin: &std::path::Path,
+) -> Result<(f64, usize), CheckpointError> {
+    let bad = |detail: &str| CheckpointError::Format {
+        file: origin.to_path_buf(),
+        detail: detail.to_string(),
+    };
+    if bytes.len() < 4 {
+        return Err(bad("too short to carry a CRC trailer"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes(trailer.try_into().unwrap());
+    let actual = forust_comm::crc32(body);
+    if expected != actual {
+        return Err(CheckpointError::Crc {
+            file: origin.to_path_buf(),
+            expected,
+            actual,
+        });
+    }
+    let mut s = body;
+    if u64::decode(&mut s) != Some(SOLVER_MAGIC) {
+        return Err(bad("not a solver state blob"));
+    }
+    let time = f64::from_bits(u64::decode(&mut s).ok_or_else(|| bad("truncated time"))?);
+    let steps = u64::decode(&mut s).ok_or_else(|| bad("truncated step count"))? as usize;
+    Ok((time, steps))
+}
+
+/// Split buddy blobs (`[u64 len] ++ forest segment ++ scalar state`) into
+/// the per-rank forest segments and one scalar-state blob (replicated in
+/// every blob; the first is used).
+fn split_segment_blobs(blobs: &[Vec<u8>]) -> Result<(Vec<Vec<u8>>, Vec<u8>), CheckpointError> {
+    let origin = std::path::PathBuf::from("<memory solver state>");
+    let mut segs = Vec::with_capacity(blobs.len());
+    let mut scalar: Option<Vec<u8>> = None;
+    for blob in blobs {
+        let mut s = blob.as_slice();
+        let len = u64::decode(&mut s).ok_or_else(|| CheckpointError::Format {
+            file: origin.clone(),
+            detail: "truncated segment length".to_string(),
+        })? as usize;
+        if s.len() < len {
+            return Err(CheckpointError::Format {
+                file: origin.clone(),
+                detail: "segment blob shorter than its declared length".to_string(),
+            });
+        }
+        let (seg, rest) = s.split_at(len);
+        segs.push(seg.to_vec());
+        scalar.get_or_insert_with(|| rest.to_vec());
+    }
+    let scalar = scalar.ok_or(CheckpointError::NoCheckpoint {
+        dir: std::path::PathBuf::from("<memory>"),
+    })?;
+    Ok((segs, scalar))
+}
 
 /// Volume quadrature weights, face quadrature weights, and face node
 /// indices, cached per degree.

@@ -10,6 +10,9 @@ use forust::dim::D3;
 use forust_advect::{attempt, rotation_velocity, run_with_recovery, AdvectConfig, RecoverySetup};
 use forust_comm::{run_spmd, run_spmd_with, ChaosComm, CommConfig, FaultPlan, RankCrashed};
 use forust_geom::{Mapping, ShellMap};
+use forust_resilience::{
+    run_with_recovery_opts, BuddyStore, CheckpointMode, RecoveryOptions, RestoreSource,
+};
 
 fn build_conn() -> Connectivity<D3> {
     builders::cubed_sphere()
@@ -141,5 +144,112 @@ fn crash_before_first_checkpoint_recovers_from_scratch() {
         outcome.injected_crash,
         Some(RankCrashed { rank: 0, call: 5 })
     );
+    assert_bitwise_equal(&reference[0], &outcome.result);
+}
+
+#[test]
+fn buddy_checkpoints_restore_disklessly_after_single_rank_crash() {
+    // In-memory buddy checkpointing: every rank mirrors its checkpoint
+    // segment to (rank+1)%p. A single-rank crash loses that rank's
+    // primary copy and the mirror it held for its predecessor, but every
+    // segment survives somewhere — the restart restores from buddy
+    // memory on fewer ranks without the checkpoint root ever being
+    // written.
+    const STEPS: usize = 10;
+    const CKPT_EVERY: usize = 3;
+    const RANKS: usize = 3;
+
+    let ref_dir = tmpdir("buddy_ref");
+    let s_nockpt = setup(STEPS, usize::MAX);
+    let reference = run_spmd(RANKS, move |comm| attempt(comm, &s_nockpt, &ref_dir));
+
+    // Calibration under the buddy checkpoint schedule (mirroring adds
+    // point-to-point traffic, so call counts differ from disk mode).
+    let s_ckpt = setup(STEPS, CKPT_EVERY);
+    let calib_dir = tmpdir("buddy_calib");
+    let calib_opts = RecoveryOptions {
+        mode: CheckpointMode::Buddy,
+        buddy: Some(BuddyStore::new()),
+        ..RecoveryOptions::default()
+    };
+    let s_calib = s_ckpt.clone();
+    let calib = run_spmd_with(
+        RANKS,
+        CommConfig::default(),
+        |tc| ChaosComm::new(tc, FaultPlan::new(1)),
+        move |comm| {
+            let (result, _) = forust_resilience::attempt(comm, &s_calib, &calib_dir, &calib_opts);
+            (result, comm.calls())
+        },
+    );
+    assert_bitwise_equal(&reference[0], &calib[0].0);
+
+    // Crash rank 1 at ~60% of its fault-free call count: past the first
+    // buddy epoch, before the run completes.
+    let at_call = calib[1].1 * 3 / 5;
+    assert!(at_call > 0);
+    let store = BuddyStore::new();
+    let opts = RecoveryOptions {
+        mode: CheckpointMode::Buddy,
+        buddy: Some(Arc::clone(&store)),
+        ..RecoveryOptions::default()
+    };
+    let chaos_dir = tmpdir("buddy_chaos");
+    let plan = FaultPlan::new(13).with_crash(1, at_call);
+    let outcome = run_with_recovery_opts(RANKS, RANKS - 1, Some(plan), &chaos_dir, &s_ckpt, &opts);
+
+    assert_eq!(outcome.attempts, 2, "expected exactly one restart");
+    assert_eq!(
+        outcome.injected_crash,
+        Some(RankCrashed {
+            rank: 1,
+            call: at_call
+        })
+    );
+    assert!(
+        matches!(outcome.restored_from, RestoreSource::Buddy(_)),
+        "restart must restore from buddy memory, got {:?}",
+        outcome.restored_from
+    );
+    assert_eq!(
+        std::fs::read_dir(&chaos_dir).unwrap().count(),
+        0,
+        "buddy mode must never touch the checkpoint root on disk"
+    );
+    assert!(store.bytes() > 0, "buddy store ended up empty");
+    assert_bitwise_equal(&reference[0], &outcome.result);
+}
+
+#[test]
+fn corruption_heals_in_band_without_restart() {
+    // Payload corruption is detected by the CRC framing and healed by
+    // NACK/retransmit inside ReliableComm: the run completes on the
+    // first attempt, bitwise identical, with nonzero healing counters.
+    const STEPS: usize = 6;
+    const RANKS: usize = 3;
+
+    let ref_dir = tmpdir("heal_ref");
+    let s = setup(STEPS, usize::MAX);
+    let s_ref = s.clone();
+    let reference = run_spmd(RANKS, move |comm| attempt(comm, &s_ref, &ref_dir));
+
+    let chaos_dir = tmpdir("heal_chaos");
+    let plan = FaultPlan::new(23).with_corruption(0.05).with_delay(0.05);
+    let outcome = forust_resilience::run_with_recovery(RANKS, RANKS, Some(plan), &chaos_dir, &s, 3);
+
+    assert_eq!(outcome.attempts, 1, "healing must not need a restart");
+    assert!(outcome.injected_crash.is_none());
+    let healed = outcome
+        .retry_counts
+        .iter()
+        .find(|(k, _)| *k == "comm.retry.healed")
+        .map_or(0, |&(_, v)| v);
+    let corrupted = outcome
+        .fault_counts
+        .iter()
+        .find(|(k, _)| *k == "chaos.corrupt.send")
+        .map_or(0, |&(_, v)| v);
+    assert!(corrupted > 0, "fault plan never corrupted a frame");
+    assert!(healed > 0, "no frame was healed by retransmit");
     assert_bitwise_equal(&reference[0], &outcome.result);
 }

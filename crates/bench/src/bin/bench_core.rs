@@ -19,7 +19,7 @@ use std::time::Instant;
 use forust::connectivity::builders;
 use forust::dim::D3;
 use forust::forest::{BalanceType, Forest};
-use forust_comm::{run_spmd, Communicator, SerialComm};
+use forust_comm::{run_spmd_with, CommConfig, Communicator, ReliableComm, RetryPolicy, SerialComm};
 use forust_dg::halo::HaloExchange;
 use forust_dg::mesh::DgMesh;
 use forust_obs::metrics::{MetricsReport, Registry};
@@ -262,64 +262,79 @@ fn main() {
     // and the non-overlappable send-side cost of the split begin.
     drop(sec);
     let sec = forust_obs::span!("bench.halo_spmd");
-    let halo = run_spmd(4, |comm| {
-        let conn = Arc::new(builders::rotcubes6());
-        let mut f = Forest::<D3>::new_uniform(conn, comm, 3);
-        let maxl = 5;
-        f.refine(comm, true, |_, o| {
-            o.level < maxl && matches!(o.child_id(), 0 | 3 | 5 | 6)
-        });
-        f.balance(comm, BalanceType::Full);
-        f.partition(comm);
-        let mesh = DgMesh::build(&f, comm, 3);
-        let halo = HaloExchange::build(&mesh);
-        let npe = mesh.re.nodes_per_elem(3);
-        let nghost = mesh.ghost.ghosts.len();
-        let u: Vec<f64> = (0..mesh.num_elements() * npe)
-            .map(|i| (i % 97) as f64)
-            .collect();
+    // The ranks run behind the self-healing ReliableComm so the same mesh
+    // measures both the bare transport (via `inner()`) and the reliable
+    // path — the steady-state, fault-free cost of resilience framing on
+    // the dG hot loop.
+    let halo = run_spmd_with(
+        4,
+        CommConfig::default(),
+        |tc| ReliableComm::new(tc, RetryPolicy::default()),
+        |rcomm| {
+            let comm = rcomm.inner();
+            let conn = Arc::new(builders::rotcubes6());
+            let mut f = Forest::<D3>::new_uniform(conn, comm, 3);
+            let maxl = 5;
+            f.refine(comm, true, |_, o| {
+                o.level < maxl && matches!(o.child_id(), 0 | 3 | 5 | 6)
+            });
+            f.balance(comm, BalanceType::Full);
+            f.partition(comm);
+            let mesh = DgMesh::build(&f, comm, 3);
+            let halo = HaloExchange::build(&mesh);
+            let npe = mesh.re.nodes_per_elem(3);
+            let nghost = mesh.ghost.ghosts.len();
+            let u: Vec<f64> = (0..mesh.num_elements() * npe)
+                .map(|i| (i % 97) as f64)
+                .collect();
 
-        let octants = comm.allreduce_sum_u64(mesh.num_elements() as u64) as usize;
-        let full_local: u64 = mesh
-            .ghost
-            .mirror_idx_by_rank
-            .iter()
-            .map(|v| (v.len() * npe * 8) as u64)
-            .sum();
-        let full_bytes = comm.allreduce_sum_u64(full_local);
-        let trace_bytes = comm.allreduce_sum_u64(halo.send_bytes_per_exchange(1));
+            let octants = comm.allreduce_sum_u64(mesh.num_elements() as u64) as usize;
+            let full_local: u64 = mesh
+                .ghost
+                .mirror_idx_by_rank
+                .iter()
+                .map(|v| (v.len() * npe * 8) as u64)
+                .sum();
+            let full_bytes = comm.allreduce_sum_u64(full_local);
+            let trace_bytes = comm.allreduce_sum_u64(halo.send_bytes_per_exchange(1));
 
-        const REPS: usize = 9;
-        let full_us = median_us_sync(comm, REPS, || {
-            let g = mesh.exchange_element_data(comm, &u, npe);
-            assert_eq!(g.len(), nghost * npe);
-        });
-        let trace_us = median_us_sync(comm, REPS, || {
-            drop(halo.exchange(comm, &u, 1));
-        });
-        let mut begin_acc = Vec::new();
-        let begin_us = median_us_sync(comm, REPS, || {
-            let t0 = Instant::now();
-            let pending = halo.begin(comm, &u, 1);
-            begin_acc.push(t0.elapsed().as_secs_f64() * 1e6);
-            drop(pending.finish());
-        });
-        let _ = begin_us; // outer timer includes the finish; use inner one
-        begin_acc.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let begin_us = begin_acc[begin_acc.len() / 2];
-        (
-            octants,
-            full_bytes,
-            trace_bytes,
-            full_us,
-            trace_us,
-            begin_us,
-        )
-    });
-    let (octs, full_bytes, trace_bytes, full_us, trace_us, begin_us) = halo[0];
+            const REPS: usize = 9;
+            let full_us = median_us_sync(comm, REPS, || {
+                let g = mesh.exchange_element_data(comm, &u, npe);
+                assert_eq!(g.len(), nghost * npe);
+            });
+            let trace_us = median_us_sync(comm, REPS, || {
+                drop(halo.exchange(comm, &u, 1));
+            });
+            let trace_rel_us = median_us_sync(rcomm, REPS, || {
+                drop(halo.exchange(rcomm, &u, 1));
+            });
+            let mut begin_acc = Vec::new();
+            let begin_us = median_us_sync(comm, REPS, || {
+                let t0 = Instant::now();
+                let pending = halo.begin(comm, &u, 1);
+                begin_acc.push(t0.elapsed().as_secs_f64() * 1e6);
+                drop(pending.finish());
+            });
+            let _ = begin_us; // outer timer includes the finish; use inner one
+            begin_acc.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let begin_us = begin_acc[begin_acc.len() / 2];
+            (
+                octants,
+                full_bytes,
+                trace_bytes,
+                full_us,
+                trace_us,
+                trace_rel_us,
+                begin_us,
+            )
+        },
+    );
+    let (octs, full_bytes, trace_bytes, full_us, trace_us, trace_rel_us, begin_us) = halo[0];
     for (name, us, bytes) in [
         ("halo_full_exchange", full_us, Some(full_bytes)),
         ("halo_trace_exchange", trace_us, Some(trace_bytes)),
+        ("halo_trace_reliable", trace_rel_us, Some(trace_bytes)),
         ("halo_begin", begin_us, None),
     ] {
         let b = bytes.map(|b| format!("{b:>10} B")).unwrap_or_default();

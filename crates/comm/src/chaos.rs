@@ -43,6 +43,14 @@ pub struct FaultPlan {
     pub delay_prob: f64,
     /// Probability that a single bit of an outgoing envelope is flipped.
     pub corrupt_prob: f64,
+    /// Probability that a *retransmitted* frame is corrupted again on its
+    /// way back — the retransmit path is just as fault-exposed as the
+    /// original send, so the reliable layer's bounded retry cap is a real
+    /// bound, not a formality. [`FaultPlan::with_corruption`] sets this to
+    /// the same probability; [`FaultPlan::with_retransmit_corruption`]
+    /// overrides it independently (e.g. 1.0 to exhaust the cap, 0.0 to
+    /// guarantee the first retry heals).
+    pub retransmit_corrupt_prob: f64,
     /// If set, the given rank panics at its Nth communication call.
     pub crash: Option<CrashPoint>,
 }
@@ -74,9 +82,17 @@ impl FaultPlan {
     }
 
     /// Enable single-bit corruption with the given per-message
-    /// probability.
+    /// probability (applied to first sends *and* retransmissions).
     pub fn with_corruption(mut self, prob: f64) -> Self {
         self.corrupt_prob = prob;
+        self.retransmit_corrupt_prob = prob;
+        self
+    }
+
+    /// Set the retransmit-path corruption probability independently of
+    /// the first-send probability.
+    pub fn with_retransmit_corruption(mut self, prob: f64) -> Self {
+        self.retransmit_corrupt_prob = prob;
         self
     }
 
@@ -101,10 +117,10 @@ pub struct RankCrashed {
 
 /// SplitMix64: tiny deterministic PRNG (no external crates).
 #[derive(Debug)]
-struct SplitMix64(u64);
+pub(crate) struct SplitMix64(pub(crate) u64);
 
 impl SplitMix64 {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -128,6 +144,7 @@ enum Site {
     Recv,
     TryRecv,
     Poll,
+    Retransmit,
     Barrier,
 }
 
@@ -140,10 +157,12 @@ enum Site {
 struct FaultCounters {
     delay_send: AtomicU64,
     corrupt_send: AtomicU64,
+    corrupt_retransmit: AtomicU64,
     crash_send: AtomicU64,
     crash_recv: AtomicU64,
     crash_try_recv: AtomicU64,
     crash_poll: AtomicU64,
+    crash_retransmit: AtomicU64,
     crash_barrier: AtomicU64,
 }
 
@@ -154,6 +173,7 @@ impl FaultCounters {
             Site::Recv => &self.crash_recv,
             Site::TryRecv => &self.crash_try_recv,
             Site::Poll => &self.crash_poll,
+            Site::Retransmit => &self.crash_retransmit,
             Site::Barrier => &self.crash_barrier,
         }
     }
@@ -209,10 +229,12 @@ impl<C: Communicator> ChaosComm<C> {
         [
             ("chaos.delay.send", load(&f.delay_send)),
             ("chaos.corrupt.send", load(&f.corrupt_send)),
+            ("chaos.corrupt.retransmit", load(&f.corrupt_retransmit)),
             ("chaos.crash.send", load(&f.crash_send)),
             ("chaos.crash.recv", load(&f.crash_recv)),
             ("chaos.crash.try_recv", load(&f.crash_try_recv)),
             ("chaos.crash.poll", load(&f.crash_poll)),
+            ("chaos.crash.retransmit", load(&f.crash_retransmit)),
             ("chaos.crash.barrier", load(&f.crash_barrier)),
         ]
         .into_iter()
@@ -324,6 +346,44 @@ impl<C: Communicator> Communicator for ChaosComm<C> {
 
     fn stats(&self) -> &TrafficStats {
         self.inner.stats()
+    }
+
+    fn record_frame(&self, dest: usize, tag: u32, seq: u64, framed: &[u8]) -> bool {
+        // The retained copy is the sender's durable outbox: it is what a
+        // retransmission replays, so it must stay pristine. Faults hit
+        // the wire copies (send_bytes above, fetch_retransmit below),
+        // never the log.
+        self.inner.record_frame(dest, tag, seq, framed)
+    }
+
+    fn fetch_retransmit(&self, src: usize, tag: u32, seq: u64) -> Option<Vec<u8>> {
+        // A retransmission is a communication call like any other: the
+        // crash clock ticks, held messages flush, and the replayed frame
+        // is corruptible again — so the reliable layer's bounded retry
+        // cap can genuinely be exhausted.
+        self.on_call(Site::Retransmit);
+        self.flush_held();
+        let mut bytes = self.inner.fetch_retransmit(src, tag, seq)?;
+        let bitpos = {
+            let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+            let corrupt = rng.chance(self.plan.retransmit_corrupt_prob);
+            if corrupt && !bytes.is_empty() {
+                Some((rng.next() as usize % bytes.len(), (rng.next() % 8) as u8))
+            } else {
+                None
+            }
+        };
+        if let Some((byte, bit)) = bitpos {
+            bytes[byte] ^= 1 << bit;
+            self.faults
+                .corrupt_retransmit
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Some(bytes)
+    }
+
+    fn recv_deadline(&self) -> Option<std::time::Duration> {
+        self.inner.recv_deadline()
     }
 }
 

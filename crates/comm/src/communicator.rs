@@ -64,6 +64,38 @@ pub trait Communicator {
     fn stats(&self) -> &TrafficStats;
 
     // ------------------------------------------------------------------
+    // Retransmission support (the reliable layer's NACK protocol)
+    // ------------------------------------------------------------------
+
+    /// Retain a copy of a sequenced frame this rank just sent, so a
+    /// receiver detecting corruption can re-request it. Returns `true` if
+    /// the transport supports replay. The default (no retention) returns
+    /// `false`; the reliable layer then treats corruption as fatal, as
+    /// before.
+    fn record_frame(&self, dest: usize, tag: u32, seq: u64, framed: &[u8]) -> bool {
+        let _ = (dest, tag, seq, framed);
+        false
+    }
+
+    /// Pull a retransmission of the frame `(src → this rank, tag, seq)`
+    /// from the sender's retained outbox. In a networked transport this
+    /// would be a NACK control message plus a reply; the thread-backed
+    /// transport models it as a pull from the shared replay log. Fault
+    /// decorators override this so the *retransmitted* copy is just as
+    /// exposed to corruption (and the crash clock) as the original send.
+    fn fetch_retransmit(&self, src: usize, tag: u32, seq: u64) -> Option<Vec<u8>> {
+        let _ = (src, tag, seq);
+        None
+    }
+
+    /// The reliable layer's per-receive deadline, if one is configured.
+    /// Split-phase handles surface it as [`CommError::Timeout`] on the
+    /// poll path.
+    fn recv_deadline(&self) -> Option<std::time::Duration> {
+        None
+    }
+
+    // ------------------------------------------------------------------
     // Integrity-framed point-to-point (CRC32 envelope)
     // ------------------------------------------------------------------
     //
@@ -100,6 +132,27 @@ pub trait Communicator {
     fn recv_framed(&self, src: usize, tag: u32) -> Vec<u8> {
         self.try_recv_framed(src, tag)
             .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank()))
+    }
+
+    /// Nonblocking framed receive with integrity validation: `Ok(None)`
+    /// when nothing has arrived, a typed error on a frame that arrived
+    /// broken. This is the single wire path of the split-phase `poll()`
+    /// side, so a reliable decorator overriding it heals the poll path
+    /// too.
+    fn try_poll_recv_framed(&self, src: usize, tag: u32) -> Result<Option<Vec<u8>>, CommError> {
+        match self.poll_recv_bytes(src, tag) {
+            None => Ok(None),
+            Some(raw) => match unframe(&raw) {
+                Ok(payload) => Ok(Some(payload.to_vec())),
+                Err(FrameError::TooShort(len)) => Err(CommError::Truncated { src, tag, len }),
+                Err(FrameError::Crc { expected, actual }) => Err(CommError::Corrupt {
+                    src,
+                    tag,
+                    expected,
+                    actual,
+                }),
+            },
+        }
     }
 
     // ------------------------------------------------------------------
@@ -177,6 +230,7 @@ pub trait Communicator {
             comm: self,
             tag,
             slots,
+            started: std::time::Instant::now(),
         }
     }
 
@@ -194,12 +248,12 @@ pub trait Communicator {
         let (p, me) = (self.size(), self.rank());
         self.stats().record_collective(mine.len());
         let mut slots: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
-        if p > 1 {
-            let framed = frame(&mine);
-            for dest in 0..p {
-                if dest != me {
-                    self.send_bytes(dest, tag, framed.clone());
-                }
+        // Framing goes through `send_framed` per destination (not one
+        // pre-framed buffer cloned to all) so a reliable decorator can
+        // stamp each link's own sequence number on its copy.
+        for dest in 0..p {
+            if dest != me {
+                self.send_framed(dest, tag, &mine);
             }
         }
         slots[me] = Some(mine);
@@ -207,6 +261,7 @@ pub trait Communicator {
             comm: self,
             tag,
             slots,
+            started: std::time::Instant::now(),
         }
     }
 
@@ -307,10 +362,9 @@ pub trait Communicator {
             let v = mine.expect("broadcast: root must supply a value");
             let buf = write_vec(std::slice::from_ref(&v));
             self.stats().record_collective(buf.len());
-            let framed = frame(&buf);
             for dest in 0..p {
                 if dest != root {
-                    self.send_bytes(dest, TAG_COLLECTIVE + 2, framed.clone());
+                    self.send_framed(dest, TAG_COLLECTIVE + 2, &buf);
                 }
             }
             v
@@ -319,27 +373,6 @@ pub trait Communicator {
             let buf = self.recv_framed(root, TAG_COLLECTIVE + 2);
             let mut s = buf.as_slice();
             T::decode(&mut s).expect("broadcast: malformed payload")
-        }
-    }
-}
-
-/// Unframe a raw transport buffer, panicking with the same typed
-/// diagnostic as [`Communicator::recv_framed`] on integrity failure.
-fn unframe_or_panic(rank: usize, src: usize, tag: u32, raw: &[u8]) -> Vec<u8> {
-    match unframe(raw) {
-        Ok(payload) => payload.to_vec(),
-        Err(FrameError::TooShort(len)) => {
-            let e = CommError::Truncated { src, tag, len };
-            panic!("rank {rank}: {e}")
-        }
-        Err(FrameError::Crc { expected, actual }) => {
-            let e = CommError::Corrupt {
-                src,
-                tag,
-                expected,
-                actual,
-            };
-            panic!("rank {rank}: {e}")
         }
     }
 }
@@ -358,6 +391,9 @@ pub struct PendingExchange<'a, C: Communicator + ?Sized> {
     /// `slots[s]` is the payload received from rank `s` (the own-rank slot
     /// is filled at start time).
     pub(crate) slots: Vec<Option<Vec<u8>>>,
+    /// When the exchange was started — the reference point of the
+    /// reliable layer's poll-path receive deadline.
+    pub(crate) started: std::time::Instant,
 }
 
 impl<C: Communicator + ?Sized> PendingExchange<'_, C> {
@@ -378,11 +414,38 @@ impl<C: Communicator + ?Sized> PendingExchange<'_, C> {
     /// On transports without nonblocking progress this is a no-op that
     /// returns the current completion state; [`wait`](Self::wait) then
     /// does the receiving.
+    ///
+    /// A corrupt frame panics with the typed diagnostic unless the
+    /// communicator heals it (the reliable layer retries transparently
+    /// inside [`Communicator::try_poll_recv_framed`]); an exchange still
+    /// incomplete when the communicator's receive deadline expires panics
+    /// with [`CommError::Timeout`] naming the first missing source.
     pub fn poll(&mut self) -> bool {
         for (src, slot) in self.slots.iter_mut().enumerate() {
             if slot.is_none() {
-                if let Some(raw) = self.comm.poll_recv_bytes(src, self.tag) {
-                    *slot = Some(unframe_or_panic(self.comm.rank(), src, self.tag, &raw));
+                match self.comm.try_poll_recv_framed(src, self.tag) {
+                    Ok(Some(payload)) => *slot = Some(payload),
+                    Ok(None) => {}
+                    Err(e) => panic!("rank {}: {e}", self.comm.rank()),
+                }
+            }
+        }
+        if !self.is_complete() {
+            if let Some(deadline) = self.comm.recv_deadline() {
+                let waited = self.started.elapsed();
+                if waited >= deadline {
+                    let src = self
+                        .slots
+                        .iter()
+                        .position(Option::is_none)
+                        .expect("incomplete exchange has a missing slot");
+                    self.comm.stats().record_timeout(self.tag);
+                    let e = CommError::Timeout {
+                        src,
+                        tag: self.tag,
+                        waited_ms: waited.as_millis() as u64,
+                    };
+                    panic!("rank {}: {e}", self.comm.rank());
                 }
             }
         }
@@ -420,8 +483,9 @@ impl<C: Communicator + ?Sized> PendingRecv<'_, C> {
     /// Check for the message without blocking; `true` once it has arrived.
     pub fn poll(&mut self) -> bool {
         if self.got.is_none() {
-            if let Some(raw) = self.comm.poll_recv_bytes(self.src, self.tag) {
-                self.got = Some(unframe_or_panic(self.comm.rank(), self.src, self.tag, &raw));
+            match self.comm.try_poll_recv_framed(self.src, self.tag) {
+                Ok(got) => self.got = got,
+                Err(e) => panic!("rank {}: {e}", self.comm.rank()),
             }
         }
         self.got.is_some()

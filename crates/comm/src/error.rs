@@ -63,6 +63,30 @@ pub enum CommError {
         /// Tag of the receive in flight when the crash was seen.
         tag: u32,
     },
+    /// A peer rank panicked and the failure detector identified *which*
+    /// one — the stronger sibling of [`CommError::PeerCrashed`], produced
+    /// when the poison machinery knows the dead rank's index. Recovery
+    /// drivers print `peer` in their restart log line.
+    PeerDead {
+        /// The rank that died.
+        peer: usize,
+        /// Source rank of the receive in flight when the crash was seen.
+        src: usize,
+        /// Tag of the receive in flight when the crash was seen.
+        tag: u32,
+    },
+    /// The reliable layer's receive deadline expired with no frame (and no
+    /// retransmittable copy) available. Unlike [`CommError::Deadline`]
+    /// (the transport-level deadlock diagnostic with a mailbox snapshot),
+    /// this is the retry protocol's bounded-wait verdict on one receive.
+    Timeout {
+        /// Source rank the receive was blocked on.
+        src: usize,
+        /// Tag the receive was blocked on.
+        tag: u32,
+        /// How long the rank waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl CommError {
@@ -73,7 +97,18 @@ impl CommError {
             | CommError::Truncated { src, tag, .. }
             | CommError::Decode { src, tag }
             | CommError::Deadline { src, tag, .. }
-            | CommError::PeerCrashed { src, tag } => (src, tag),
+            | CommError::PeerCrashed { src, tag }
+            | CommError::PeerDead { src, tag, .. }
+            | CommError::Timeout { src, tag, .. } => (src, tag),
+        }
+    }
+
+    /// The index of the rank known to have died, if this failure
+    /// identifies one.
+    pub fn dead_peer(&self) -> Option<usize> {
+        match *self {
+            CommError::PeerDead { peer, .. } => Some(peer),
+            _ => None,
         }
     }
 }
@@ -127,6 +162,20 @@ impl fmt::Display for CommError {
             CommError::PeerCrashed { src, tag } => write!(
                 f,
                 "a peer rank panicked while blocked on (src {src}, tag {tag})"
+            ),
+            CommError::PeerDead { peer, src, tag } => write!(
+                f,
+                "peer rank {peer} died while this rank was blocked on \
+                 (src {src}, tag {tag})"
+            ),
+            CommError::Timeout {
+                src,
+                tag,
+                waited_ms,
+            } => write!(
+                f,
+                "reliable receive timed out after {waited_ms} ms blocked \
+                 on (src {src}, tag {tag})"
             ),
         }
     }

@@ -36,7 +36,15 @@
 //!   reproducible faults from a [`FaultPlan`]: delivery delay/reordering,
 //!   payload bit-corruption, and rank-crash at the Nth communication
 //!   call ([`run_spmd_with`] surfaces the injected [`RankCrashed`]
-//!   payload as the root cause).
+//!   payload as the root cause);
+//! - [`ReliableComm`] stacks *above* the fault layer and heals what the
+//!   CRC detects: every framed message carries a per-link sequence
+//!   number, a broken receive triggers a bounded NACK/retransmit round
+//!   from the sender's retained outbox ([`RetryPolicy`]), and a
+//!   configured receive deadline surfaces as [`CommError::Timeout`]
+//!   instead of a hang. Healing activity is counted per tag in
+//!   [`TrafficStats`] and exported as `comm.retry.*` pairs for the
+//!   observability layer.
 //!
 //! ```
 //! use forust_comm::{run_spmd, Communicator};
@@ -51,6 +59,8 @@
 mod chaos;
 mod communicator;
 mod error;
+mod reliable;
+pub mod repro;
 mod serial;
 mod stats;
 mod thread;
@@ -59,6 +69,8 @@ mod wire;
 pub use chaos::{ChaosComm, CrashPoint, FaultPlan, RankCrashed};
 pub use communicator::{Communicator, PendingExchange, PendingRecv, TAG_COLLECTIVE};
 pub use error::CommError;
+pub use reliable::{ReliableComm, RetryPolicy};
+pub use repro::{allreduce_sum_f64_exact, FixedPoint};
 pub use serial::SerialComm;
 pub use stats::{StatsSnapshot, TagTraffic, TrafficStats};
 pub use thread::{run_spmd, run_spmd_with, CommConfig, ThreadComm};

@@ -1,0 +1,673 @@
+//! Self-healing transport: [`ReliableComm`] wraps any [`Communicator`]
+//! and turns *detected* integrity failures into transparent, bounded
+//! NACK/retransmit rounds.
+//!
+//! ## Protocol
+//!
+//! Every framed message is stamped with a per-`(sender, receiver, tag)`
+//! sequence number before the CRC32 envelope is applied:
+//!
+//! ```text
+//! [ crc32 | seq: u64 LE | payload ]
+//! ```
+//!
+//! The sender retains a pristine copy of each sequenced frame in the
+//! transport's replay log ([`Communicator::record_frame`]) before the
+//! wire copy is exposed to faults. A receiver that unframes a broken or
+//! out-of-sequence message enters the heal loop:
+//!
+//! ```text
+//!          ┌────────────────────────────────────────────────┐
+//!          ▼                                                │
+//!   receive frame ──CRC ok, seq == expected──▶ deliver      │
+//!          │                                                │
+//!    CRC bad / seq mismatch                                 │
+//!          │                                                │
+//!          ▼                                                │
+//!   attempt < max_attempts? ──no──▶ return original error   │
+//!          │ yes                    (comm.retry.exhausted)  │
+//!          ▼                                                │
+//!   seeded backoff, fetch_retransmit(src, tag, expected) ───┘
+//!   (comm.retry.requested; the replayed copy is itself
+//!    fault-exposed — see ChaosComm::fetch_retransmit)
+//! ```
+//!
+//! In a networked transport the re-request would be a NACK control
+//! message; the thread-backed transport models it as a pull from the
+//! shared replay log, which has identical failure semantics because the
+//! fault decorator interposes on the pull.
+//!
+//! ## Deadlines
+//!
+//! With [`RetryPolicy::recv_deadline`] set, every blocking receive polls
+//! instead of parking and surfaces [`CommError::Timeout`] naming the
+//! blocked `(src, tag)` when the deadline expires; split-phase handles
+//! ([`PendingExchange::poll`](crate::PendingExchange::poll)) apply the
+//! same deadline through [`Communicator::recv_deadline`]. Without a
+//! deadline, blocking receives delegate to the transport in a *single*
+//! call — important under [`ChaosComm`](crate::ChaosComm), whose crash
+//! clock must tick deterministically for crash-point calibration.
+//!
+//! ## Counters
+//!
+//! Healing activity is exported two ways: per-tag retransmit/timeout
+//! counts land in the transport's [`TrafficStats`], and protocol-level
+//! counts are exposed by [`ReliableComm::retry_counts`] under the
+//! observability names `comm.retry.*` (this crate sits below the obs
+//! layer and cannot call it directly — drivers forward the pairs
+//! verbatim, exactly like `ChaosComm::fault_counts`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::chaos::SplitMix64;
+use crate::communicator::Communicator;
+use crate::error::CommError;
+use crate::stats::TrafficStats;
+use crate::wire::{frame, unframe, FrameError};
+
+/// Knobs of the retransmit protocol.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum retransmission requests per broken receive before the
+    /// original error is surfaced.
+    pub max_attempts: u32,
+    /// Base backoff between retransmission requests; attempt `n` waits
+    /// `n * backoff` plus a seeded jitter in `[0, backoff)`. Zero
+    /// disables the wait (the thread-backed pull is immediate anyway).
+    pub backoff: Duration,
+    /// If set, blocking receives poll and give up with
+    /// [`CommError::Timeout`] after this long; split-phase polls apply
+    /// the same budget from their start time.
+    pub recv_deadline: Option<Duration>,
+    /// Seed of the backoff-jitter stream (per-rank streams are derived
+    /// from it, so runs are reproducible).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            backoff: Duration::from_micros(20),
+            recv_deadline: None,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with the given receive deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        RetryPolicy {
+            recv_deadline: Some(deadline),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Replace the retry cap.
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n;
+        self
+    }
+
+    /// Replace the jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Protocol-level healing counters, named for the observability layer.
+#[derive(Debug, Default)]
+struct RetryCounters {
+    /// Broken receives (CRC failure or sequence mismatch) detected.
+    detected: AtomicU64,
+    /// Retransmission requests issued.
+    requested: AtomicU64,
+    /// Broken receives healed by a valid retransmission.
+    healed: AtomicU64,
+    /// Broken receives abandoned after `max_attempts` requests.
+    exhausted: AtomicU64,
+    /// Blocking receives that hit the configured deadline.
+    timeout: AtomicU64,
+}
+
+/// How often the deadline path re-polls the transport.
+const DEADLINE_POLL: Duration = Duration::from_micros(200);
+
+/// A self-healing decorator around any [`Communicator`].
+///
+/// Stacks *above* a fault decorator: `ReliableComm<ChaosComm<ThreadComm>>`
+/// heals the faults the chaos layer injects below it.
+pub struct ReliableComm<C: Communicator> {
+    inner: C,
+    policy: RetryPolicy,
+    /// Next sequence number per outgoing `(dest, tag)` link.
+    tx_seq: Mutex<HashMap<(usize, u32), u64>>,
+    /// Next expected sequence number per incoming `(src, tag)` link.
+    rx_seq: Mutex<HashMap<(usize, u32), u64>>,
+    rng: Mutex<SplitMix64>,
+    retries: RetryCounters,
+}
+
+impl<C: Communicator> ReliableComm<C> {
+    /// Wrap `inner` with the retransmit protocol described by `policy`.
+    pub fn new(inner: C, policy: RetryPolicy) -> Self {
+        let stream = policy
+            .seed
+            .wrapping_add((inner.rank() as u64 + 1).wrapping_mul(0x9E6C_63D0_876A_3F35));
+        ReliableComm {
+            inner,
+            policy,
+            tx_seq: Mutex::new(HashMap::new()),
+            rx_seq: Mutex::new(HashMap::new()),
+            rng: Mutex::new(SplitMix64(stream)),
+            retries: RetryCounters::default(),
+        }
+    }
+
+    /// The wrapped communicator.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Healing activity so far on this rank, as `(name, count)` pairs
+    /// named `comm.retry.<event>`. Only nonzero counters are returned;
+    /// the order is fixed. Names match the observability counter
+    /// convention so callers can forward them verbatim:
+    /// `for (name, n) in comm.retry_counts() { obs::counter_add(name, n); }`
+    pub fn retry_counts(&self) -> Vec<(&'static str, u64)> {
+        let r = &self.retries;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        [
+            ("comm.retry.detected", load(&r.detected)),
+            ("comm.retry.requested", load(&r.requested)),
+            ("comm.retry.healed", load(&r.healed)),
+            ("comm.retry.exhausted", load(&r.exhausted)),
+            ("comm.retry.timeout", load(&r.timeout)),
+        ]
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .collect()
+    }
+
+    fn bump(a: &AtomicU64) {
+        a.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allocate the next sequence number of the `(dest, tag)` link.
+    fn next_tx_seq(&self, dest: usize, tag: u32) -> u64 {
+        let mut tx = self.tx_seq.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = tx.entry((dest, tag)).or_insert(0);
+        let seq = *slot;
+        *slot += 1;
+        seq
+    }
+
+    /// The sequence number the next frame from `(src, tag)` must carry.
+    fn expected_rx_seq(&self, src: usize, tag: u32) -> u64 {
+        *self
+            .rx_seq
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry((src, tag))
+            .or_insert(0)
+    }
+
+    fn advance_rx_seq(&self, src: usize, tag: u32) {
+        *self
+            .rx_seq
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry((src, tag))
+            .or_insert(0) += 1;
+    }
+
+    /// Unframe a raw wire message and split off its sequence stamp.
+    fn validate(&self, src: usize, tag: u32, raw: &[u8]) -> Result<(u64, Vec<u8>), CommError> {
+        let body = match unframe(raw) {
+            Ok(body) => body,
+            Err(FrameError::TooShort(len)) => return Err(CommError::Truncated { src, tag, len }),
+            Err(FrameError::Crc { expected, actual }) => {
+                return Err(CommError::Corrupt {
+                    src,
+                    tag,
+                    expected,
+                    actual,
+                })
+            }
+        };
+        if body.len() < 8 {
+            // CRC-valid but too short to carry a sequence stamp: a peer
+            // is not speaking the sequenced protocol.
+            return Err(CommError::Decode { src, tag });
+        }
+        let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+        Ok((seq, body[8..].to_vec()))
+    }
+
+    /// Sleep `attempt * backoff` plus seeded jitter, modelling the NACK
+    /// round trip.
+    fn backoff(&self, attempt: u32) {
+        let base = self.policy.backoff;
+        if base.is_zero() {
+            return;
+        }
+        let jitter_ns = {
+            let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+            rng.next() % (base.as_nanos().max(1) as u64)
+        };
+        std::thread::sleep(base * attempt + Duration::from_nanos(jitter_ns));
+    }
+
+    /// The heal loop: bounded retransmission requests for the frame
+    /// `(src, tag, expected)`, returning its payload or the original
+    /// receive error once the cap is exhausted (or the transport has no
+    /// replay support).
+    fn heal(
+        &self,
+        src: usize,
+        tag: u32,
+        expected: u64,
+        original: CommError,
+    ) -> Result<Vec<u8>, CommError> {
+        Self::bump(&self.retries.detected);
+        for attempt in 1..=self.policy.max_attempts {
+            Self::bump(&self.retries.requested);
+            self.backoff(attempt);
+            let Some(raw) = self.inner.fetch_retransmit(src, tag, expected) else {
+                // No retained copy: corruption is fatal, as it was before
+                // the reliable layer existed.
+                Self::bump(&self.retries.exhausted);
+                return Err(original);
+            };
+            self.inner.stats().record_retransmit(tag, raw.len());
+            if let Ok((seq, payload)) = self.validate(src, tag, &raw) {
+                if seq == expected {
+                    Self::bump(&self.retries.healed);
+                    return Ok(payload);
+                }
+            }
+        }
+        Self::bump(&self.retries.exhausted);
+        Err(original)
+    }
+
+    /// Validate a received wire message against the expected sequence
+    /// number, healing through the retransmit protocol on failure.
+    fn sequenced_receive(&self, src: usize, tag: u32, raw: Vec<u8>) -> Result<Vec<u8>, CommError> {
+        let expected = self.expected_rx_seq(src, tag);
+        let outcome = match self.validate(src, tag, &raw) {
+            Ok((seq, payload)) if seq == expected => Ok(payload),
+            // CRC-valid but out of sequence: the link lost FIFO order (a
+            // protocol violation on this transport) — re-request the
+            // frame we actually need.
+            Ok(_) => self.heal(src, tag, expected, CommError::Decode { src, tag }),
+            Err(e) => self.heal(src, tag, expected, e),
+        };
+        if outcome.is_ok() {
+            self.advance_rx_seq(src, tag);
+        }
+        outcome
+    }
+}
+
+impl<C: Communicator> Communicator for ReliableComm<C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send_bytes(&self, dest: usize, tag: u32, data: Vec<u8>) {
+        // Raw (unframed) traffic bypasses the sequenced protocol — only
+        // framed messages carry stamps, and both ends of a link wear the
+        // decorator symmetrically.
+        self.inner.send_bytes(dest, tag, data);
+    }
+
+    fn recv_bytes(&self, src: usize, tag: u32) -> Vec<u8> {
+        self.inner.recv_bytes(src, tag)
+    }
+
+    fn try_recv_bytes(&self, src: usize, tag: u32) -> Result<Vec<u8>, CommError> {
+        self.inner.try_recv_bytes(src, tag)
+    }
+
+    fn poll_recv_bytes(&self, src: usize, tag: u32) -> Option<Vec<u8>> {
+        self.inner.poll_recv_bytes(src, tag)
+    }
+
+    fn barrier(&self) {
+        self.inner.barrier();
+    }
+
+    fn stats(&self) -> &TrafficStats {
+        self.inner.stats()
+    }
+
+    fn record_frame(&self, dest: usize, tag: u32, seq: u64, framed: &[u8]) -> bool {
+        self.inner.record_frame(dest, tag, seq, framed)
+    }
+
+    fn fetch_retransmit(&self, src: usize, tag: u32, seq: u64) -> Option<Vec<u8>> {
+        self.inner.fetch_retransmit(src, tag, seq)
+    }
+
+    fn recv_deadline(&self) -> Option<Duration> {
+        self.policy
+            .recv_deadline
+            .or_else(|| self.inner.recv_deadline())
+    }
+
+    fn send_framed(&self, dest: usize, tag: u32, payload: &[u8]) {
+        let seq = self.next_tx_seq(dest, tag);
+        let mut body = Vec::with_capacity(8 + payload.len());
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.extend_from_slice(payload);
+        let framed = frame(&body);
+        // Retain the pristine copy *before* the wire copy is exposed to
+        // faults: the replay log is the sender's durable outbox.
+        self.inner.record_frame(dest, tag, seq, &framed);
+        self.inner.send_bytes(dest, tag, framed);
+    }
+
+    fn try_recv_framed(&self, src: usize, tag: u32) -> Result<Vec<u8>, CommError> {
+        let raw = match self.policy.recv_deadline {
+            // No deadline: a single transport call, so a chaos crash
+            // clock underneath ticks deterministically.
+            None => self.inner.try_recv_bytes(src, tag)?,
+            Some(deadline) => {
+                let start = Instant::now();
+                loop {
+                    if let Some(raw) = self.inner.poll_recv_bytes(src, tag) {
+                        break raw;
+                    }
+                    let waited = start.elapsed();
+                    if waited >= deadline {
+                        Self::bump(&self.retries.timeout);
+                        self.inner.stats().record_timeout(tag);
+                        return Err(CommError::Timeout {
+                            src,
+                            tag,
+                            waited_ms: waited.as_millis() as u64,
+                        });
+                    }
+                    std::thread::sleep(DEADLINE_POLL.min(deadline - waited));
+                }
+            }
+        };
+        self.sequenced_receive(src, tag, raw)
+    }
+
+    fn try_poll_recv_framed(&self, src: usize, tag: u32) -> Result<Option<Vec<u8>>, CommError> {
+        match self.inner.poll_recv_bytes(src, tag) {
+            None => Ok(None),
+            Some(raw) => self.sequenced_receive(src, tag, raw).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosComm, FaultPlan};
+    use crate::thread::{run_spmd_with, CommConfig, ThreadComm};
+    use crate::SerialComm;
+
+    type Stack = ReliableComm<ChaosComm<ThreadComm>>;
+
+    fn reliable_run<R: Send>(
+        p: usize,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        f: impl Fn(&Stack) -> R + Sync,
+    ) -> Vec<R> {
+        let cfg = CommConfig::with_deadline(Duration::from_secs(5));
+        run_spmd_with(
+            p,
+            cfg,
+            move |c| ReliableComm::new(ChaosComm::new(c, plan.clone()), policy.clone()),
+            f,
+        )
+    }
+
+    #[test]
+    fn fault_free_traffic_is_transparent() {
+        let results = reliable_run(3, FaultPlan::new(0), RetryPolicy::default(), |c| {
+            let next = (c.rank() + 1) % 3;
+            let prev = (c.rank() + 2) % 3;
+            c.send(next, 2, &[c.rank() as u64]);
+            let from_prev = c.recv::<u64>(prev, 2)[0];
+            let sum = c.allreduce_sum_u64(c.rank() as u64 + 1);
+            let gathered = c.allgather(c.rank() as u32);
+            (from_prev, sum, gathered, c.retry_counts())
+        });
+        for (i, (from_prev, sum, gathered, retries)) in results.into_iter().enumerate() {
+            assert_eq!(from_prev, ((i + 2) % 3) as u64);
+            assert_eq!(sum, 6);
+            assert_eq!(gathered, vec![0, 1, 2]);
+            assert!(retries.is_empty(), "rank {i}: {retries:?}");
+        }
+    }
+
+    #[test]
+    fn corruption_heals_via_retransmit() {
+        // Every first send is corrupted; retransmissions are clean, so a
+        // single NACK round must heal every message.
+        for seed in 0..8 {
+            let plan = FaultPlan::new(seed)
+                .with_corruption(1.0)
+                .with_retransmit_corruption(0.0);
+            let results = reliable_run(2, plan, RetryPolicy::default(), |c| {
+                if c.rank() == 0 {
+                    c.send(1, 7, &[seed, 2, 3]);
+                    c.barrier();
+                    (None, Vec::new(), 0)
+                } else {
+                    let got = c.try_recv::<u64>(0, 7);
+                    c.barrier();
+                    let retrans = c.stats().snapshot().retrans_msgs;
+                    (Some(got), c.retry_counts(), retrans)
+                }
+            });
+            let (got, retries, retrans) = results[1].clone();
+            assert_eq!(got.unwrap().unwrap(), vec![seed, 2, 3], "seed {seed}");
+            assert_eq!(
+                retries,
+                vec![
+                    ("comm.retry.detected", 1),
+                    ("comm.retry.requested", 1),
+                    ("comm.retry.healed", 1),
+                ],
+                "seed {seed}"
+            );
+            assert_eq!(retrans, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn retry_cap_exhaustion_surfaces_original_error() {
+        // Retransmissions are corrupted too: the bounded cap must be
+        // exhausted and the original typed error surfaced, with the
+        // chaos layer counting every corrupted replay.
+        let plan = FaultPlan::new(11).with_corruption(1.0);
+        let policy = RetryPolicy::default().max_attempts(3);
+        let results = reliable_run(2, plan, policy, |c| {
+            if c.rank() == 0 {
+                c.send(1, 4, &[5u64]);
+                c.barrier();
+                (None, Vec::new(), Vec::new())
+            } else {
+                let got = c.try_recv::<u64>(0, 4);
+                c.barrier();
+                (Some(got), c.retry_counts(), c.inner().fault_counts())
+            }
+        });
+        let (got, retries, faults) = results[1].clone();
+        let err = got.unwrap().unwrap_err();
+        assert!(
+            matches!(err, CommError::Corrupt { .. } | CommError::Truncated { .. }),
+            "{err:?}"
+        );
+        assert_eq!(err.key(), (0, 4));
+        assert_eq!(
+            retries,
+            vec![
+                ("comm.retry.detected", 1),
+                ("comm.retry.requested", 3),
+                ("comm.retry.exhausted", 1),
+            ]
+        );
+        assert!(
+            faults.contains(&("chaos.corrupt.retransmit", 3)),
+            "every replay must pass through the fault layer: {faults:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_receive_times_out_with_typed_error() {
+        let policy = RetryPolicy::with_deadline(Duration::from_millis(50));
+        let results = reliable_run(2, FaultPlan::new(0), policy, |c| {
+            if c.rank() == 0 {
+                // Never send on tag 9; just keep the rank alive through
+                // the peer's timeout window.
+                c.barrier();
+                (None, Vec::new(), 0)
+            } else {
+                let err = c.try_recv::<u64>(0, 9).unwrap_err();
+                c.barrier();
+                (Some(err), c.retry_counts(), c.stats().snapshot().timeouts)
+            }
+        });
+        let (err, retries, timeouts) = results[1].clone();
+        match err.unwrap() {
+            CommError::Timeout {
+                src,
+                tag,
+                waited_ms,
+            } => {
+                assert_eq!((src, tag), (0, 9));
+                assert!(waited_ms >= 50);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(retries, vec![("comm.retry.timeout", 1)]);
+        assert_eq!(timeouts, 1);
+    }
+
+    #[test]
+    fn exchange_poll_panics_with_timeout_when_peer_is_silent() {
+        let policy = RetryPolicy::with_deadline(Duration::from_millis(50));
+        let results = reliable_run(2, FaultPlan::new(0), policy, |c| {
+            if c.rank() == 0 {
+                // Contribute nothing until well past the peer's deadline.
+                std::thread::sleep(Duration::from_millis(300));
+                None
+            } else {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut pending = c.start_allgather_bytes(vec![1u8], 5);
+                    while !pending.poll() {
+                        std::thread::yield_now();
+                    }
+                    pending.wait()
+                }));
+                let payload = caught.unwrap_err();
+                payload.downcast_ref::<String>().cloned()
+            }
+        });
+        let msg = results[1].clone().expect("timeout panic message");
+        assert!(
+            msg.contains("timed out") && msg.contains("src 0, tag 5"),
+            "unexpected panic: {msg}"
+        );
+    }
+
+    #[test]
+    fn collectives_survive_heavy_corruption() {
+        // Half of all first sends corrupted across 20 back-to-back
+        // allreduces on 3 ranks: every result must still be correct, and
+        // at least one heal must have fired (deterministic per seed).
+        let plan = FaultPlan::new(42)
+            .with_corruption(0.5)
+            .with_retransmit_corruption(0.0);
+        let results = reliable_run(3, plan, RetryPolicy::default(), |c| {
+            let mut acc = 0u64;
+            for i in 0..20 {
+                acc += c.allreduce_sum_u64(i + c.rank() as u64);
+            }
+            let healed: u64 = c
+                .retry_counts()
+                .iter()
+                .find(|(n, _)| *n == "comm.retry.healed")
+                .map_or(0, |&(_, n)| n);
+            (acc, healed)
+        });
+        let expect: u64 = (0..20u64).map(|i| 3 * i + 3).sum();
+        let total_healed: u64 = results.iter().map(|&(_, h)| h).sum();
+        for (acc, _) in &results {
+            assert_eq!(*acc, expect);
+        }
+        assert!(total_healed > 0, "corruption at 0.5 must trigger heals");
+    }
+
+    #[test]
+    fn serial_self_send_heals() {
+        let plan = FaultPlan::new(1)
+            .with_corruption(1.0)
+            .with_retransmit_corruption(0.0);
+        let c = ReliableComm::new(
+            ChaosComm::new(SerialComm::new(), plan),
+            RetryPolicy::default(),
+        );
+        c.send(0, 3, &[9u64, 8]);
+        assert_eq!(c.try_recv::<u64>(0, 3).unwrap(), vec![9, 8]);
+        assert_eq!(
+            c.retry_counts(),
+            vec![
+                ("comm.retry.detected", 1),
+                ("comm.retry.requested", 1),
+                ("comm.retry.healed", 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_link() {
+        // Interleaved tags and destinations each carry their own stream;
+        // a receiver validates them independently.
+        let results = reliable_run(3, FaultPlan::new(0), RetryPolicy::default(), |c| {
+            if c.rank() == 0 {
+                for i in 0..5u64 {
+                    c.send(1, 1, &[i]);
+                    c.send(2, 1, &[10 + i]);
+                    c.send(1, 2, &[20 + i]);
+                }
+                Vec::new()
+            } else {
+                let mut got = Vec::new();
+                for _ in 0..5 {
+                    got.push(c.recv::<u64>(0, 1)[0]);
+                }
+                if c.rank() == 1 {
+                    for _ in 0..5 {
+                        got.push(c.recv::<u64>(0, 2)[0]);
+                    }
+                }
+                got
+            }
+        });
+        assert_eq!(results[1], vec![0, 1, 2, 3, 4, 20, 21, 22, 23, 24]);
+        assert_eq!(results[2], vec![10, 11, 12, 13, 14]);
+    }
+}

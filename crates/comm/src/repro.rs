@@ -1,0 +1,264 @@
+//! Bitwise-reproducible floating-point reductions.
+//!
+//! The recovery supervisor restarts a crashed job on *fewer* ranks and
+//! asserts that the recomputed solution is bitwise identical to the
+//! fault-free run. Plain `allreduce_sum_f64` folds contributions in rank
+//! order, so the same physical sum evaluated on 3 ranks and on 2 ranks
+//! rounds differently — a single ULP that then amplifies through a Krylov
+//! recurrence. This module provides a sum whose result depends only on the
+//! *multiset* of terms, never on how they are partitioned across ranks:
+//!
+//! 1. a max-allreduce establishes a shared power-of-two grid strictly
+//!    above every |term| (max is grouping-invariant, so every rank derives
+//!    the same grid);
+//! 2. each term is scaled by an exact power of two and rounded once onto
+//!    that grid as an `i128` ([`FixedPoint::encode`]);
+//! 3. integers are summed locally and allreduced — integer addition is
+//!    associative and commutative, so any partitioning yields the same
+//!    total;
+//! 4. the total is converted back to `f64` with a single final rounding.
+//!
+//! With [`HEADROOM`] = 96 bits above the grid spacing, the quantization
+//! error per term is below `2^-96 · max|term|` — far beneath the `f64`
+//! roundoff the naive fold already commits — and an `i128` accumulator
+//! tolerates ~`2^30` terms before overflow, orders of magnitude beyond any
+//! nodal valence or rank count in the workspace.
+
+use crate::communicator::Communicator;
+
+/// Encoded magnitudes stay below `2^HEADROOM`; the gap to `i128::MAX`
+/// (`2^127`) is the summation capacity (~`2^30` terms).
+pub const HEADROOM: i32 = 96;
+
+/// `2^e` as an exact `f64`, valid for `e` in `[-1074, 1023]`.
+///
+/// Subnormal results (`e < -1022`) are still exact powers of two.
+fn pow2(e: i32) -> f64 {
+    debug_assert!(
+        (-1074..=1023).contains(&e),
+        "pow2 exponent {e} out of range"
+    );
+    if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (e + 1074))
+    }
+}
+
+/// Smallest convenient `e` with `|v| < 2^e`, read off the bit pattern.
+///
+/// Normals: `|v| = 1.m × 2^(biased-1023) < 2^(biased-1022)`.
+/// Subnormals (and zero): `|v| < 2^-1022`.
+fn exponent_above(v: f64) -> i32 {
+    debug_assert!(v.is_finite());
+    let biased = (v.to_bits() >> 52) & 0x7ff;
+    if biased == 0 {
+        -1022
+    } else {
+        biased as i32 - 1022
+    }
+}
+
+/// A shared fixed-point grid for one reduction epoch.
+///
+/// Built from the *global* maximum absolute term, so every rank quantizes
+/// onto the identical grid. `shift` reserves low bits below the grid for
+/// exact dyadic-weight arithmetic (e.g. hanging-node weights `{1/2, 1/4}`
+/// become integer shifts when `shift = 2`).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPoint {
+    /// Scale split into two exactly-representable power-of-two factors
+    /// (a single `2^s` can overflow/underflow `f64` when the data is
+    /// extreme; the two-step product never does, and each step is exact
+    /// wherever the rounding decision matters).
+    m1: f64,
+    m2: f64,
+    d1: f64,
+    d2: f64,
+    shift: u32,
+}
+
+impl FixedPoint {
+    /// Grid for terms bounded by `max_abs` (globally reduced beforehand).
+    ///
+    /// Returns `None` when `max_abs` is zero or non-finite — the caller
+    /// must handle those uniformly across ranks (all ranks see the same
+    /// reduced `max_abs`, so all take the same branch).
+    pub fn for_global_max(max_abs: f64, shift: u32) -> Option<Self> {
+        if !max_abs.is_finite() || max_abs == 0.0 {
+            return None;
+        }
+        debug_assert!(shift <= 8, "shift {shift} leaves too little headroom");
+        let s = HEADROOM - exponent_above(max_abs);
+        let s1 = s / 2;
+        let t = -(s + shift as i32);
+        let t1 = t / 2;
+        Some(Self {
+            m1: pow2(s1),
+            m2: pow2(s - s1),
+            d1: pow2(t1),
+            d2: pow2(t - t1),
+            shift,
+        })
+    }
+
+    /// Quantize one term onto the grid. A deterministic function of the
+    /// value alone — identical on every rank regardless of partitioning.
+    #[inline]
+    pub fn encode(&self, v: f64) -> i128 {
+        debug_assert!(v.is_finite());
+        (((v * self.m1 * self.m2).round()) as i128) << self.shift
+    }
+
+    /// Convert an accumulated integer back to `f64` (one final rounding).
+    #[inline]
+    pub fn decode(&self, q: i128) -> f64 {
+        (q as f64) * self.d1 * self.d2
+    }
+
+    /// Multiply an encoded value by an exact quarter-integer weight
+    /// (`num / 4`), staying on the integer grid. Requires the grid to have
+    /// been built with `shift >= 2`.
+    #[inline]
+    pub fn mul_quarters(&self, q: i128, num: i128) -> i128 {
+        debug_assert!(self.shift >= 2, "quarter weights need shift >= 2");
+        (q * num) >> 2
+    }
+}
+
+/// Sum-allreduce of `f64` terms whose result is bitwise independent of how
+/// the terms are distributed across ranks.
+///
+/// Collective: every rank must call it, each contributing its local slice
+/// of the global term multiset. Costs one max-allreduce plus one `i128`
+/// sum-allreduce. Falls back to the naive fold if the data contains
+/// non-finite values (reproducibility is moot then, and the global max
+/// keeps all ranks on the same branch).
+pub fn allreduce_sum_f64_exact(comm: &impl Communicator, terms: &[f64]) -> f64 {
+    let local_max = terms.iter().fold(0.0f64, |m, &t| m.max(t.abs()));
+    let gmax = comm.allreduce_max_f64(local_max);
+    match FixedPoint::for_global_max(gmax, 0) {
+        Some(fx) => {
+            let local: i128 = terms.iter().map(|&t| fx.encode(t)).sum();
+            fx.decode(comm.allreduce(local, |a, b| a + b))
+        }
+        None if gmax == 0.0 => 0.0,
+        None => comm.allreduce_sum_f64(terms.iter().sum()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::run_spmd;
+
+    #[test]
+    fn pow2_matches_powi_in_normal_range() {
+        for e in [-1022, -700, -52, -1, 0, 1, 53, 700, 1023] {
+            assert_eq!(pow2(e), 2.0f64.powi(e), "e = {e}");
+        }
+        // Subnormal range: compare against repeated halving.
+        assert_eq!(pow2(-1074), f64::from_bits(1));
+        assert_eq!(pow2(-1023), pow2(-1022) / 2.0);
+    }
+
+    #[test]
+    fn exponent_above_bounds_the_value() {
+        for v in [
+            1.0,
+            0.5,
+            1.5,
+            1e-300,
+            1e300,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),
+            3.7e9,
+        ] {
+            let e = exponent_above(v);
+            assert!(v < pow2(e), "v = {v:e}, e = {e}");
+            if v >= f64::MIN_POSITIVE {
+                assert!(v >= pow2(e - 1), "v = {v:e} not tight for e = {e}");
+            }
+        }
+    }
+
+    /// Deterministic value stream spanning many magnitudes and signs.
+    fn stream(n: usize) -> Vec<f64> {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let mag = ((state >> 32) % 40) as i32 - 20;
+                let frac = 1.0 + (state & 0xFFFF) as f64 / 65536.0;
+                let sign = if state & 0x10000 == 0 { 1.0 } else { -1.0 };
+                sign * frac * 2.0f64.powi(mag)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_sum_is_partition_invariant() {
+        let terms = stream(257);
+        let mut per_p = Vec::new();
+        for p in [1usize, 2, 3, 4] {
+            let terms = terms.clone();
+            let results = run_spmd(p, move |c| {
+                // Deal terms round-robin so every rank count induces a
+                // different partition of the same multiset.
+                let mine: Vec<f64> = terms
+                    .iter()
+                    .copied()
+                    .skip(c.rank())
+                    .step_by(c.size())
+                    .collect();
+                allreduce_sum_f64_exact(c, &mine)
+            });
+            assert!(results.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+            per_p.push(results[0]);
+        }
+        assert!(
+            per_p.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+            "rank-count dependent: {per_p:?}"
+        );
+    }
+
+    #[test]
+    fn exact_sum_beats_naive_fold_on_cancellation() {
+        // Catastrophic cancellation: the naive rank-ordered fold loses the
+        // small term depending on grouping; the fixed-point sum keeps it.
+        let terms = [1e16, 1.0, -1e16, 1.0];
+        let exact = run_spmd(2, move |c| {
+            let mine: Vec<f64> = terms.iter().copied().skip(c.rank()).step_by(2).collect();
+            allreduce_sum_f64_exact(c, &mine)
+        });
+        assert_eq!(exact[0], 2.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let zeros = run_spmd(2, |c| allreduce_sum_f64_exact(c, &[0.0, -0.0]));
+        assert_eq!(zeros, vec![0.0, 0.0]);
+        let empty = run_spmd(2, |c| allreduce_sum_f64_exact(c, &[]));
+        assert_eq!(empty, vec![0.0, 0.0]);
+        // Subnormal-only data still reduces without over/underflowing the
+        // scale factors.
+        let tiny = f64::from_bits(3);
+        let got = run_spmd(2, move |c| allreduce_sum_f64_exact(c, &[tiny]));
+        assert_eq!(got[0], tiny + tiny);
+        // Huge data near the top of the f64 range.
+        let huge = f64::MAX / 4.0;
+        let got = run_spmd(2, move |c| allreduce_sum_f64_exact(c, &[huge]));
+        assert_eq!(got[0], huge + huge);
+    }
+
+    #[test]
+    fn quarter_weights_are_exact_on_the_grid() {
+        let fx = FixedPoint::for_global_max(8.0, 2).unwrap();
+        let q = fx.encode(3.5);
+        // 3.5 * 1/2 and 3.5 * 1/4 via integer grid arithmetic.
+        assert_eq!(fx.decode(fx.mul_quarters(q, 2)), 1.75);
+        assert_eq!(fx.decode(fx.mul_quarters(q, 1)), 0.875);
+    }
+}

@@ -15,6 +15,9 @@ use crate::stats::TrafficStats;
 pub struct SerialComm {
     mailbox: RefCell<HashMap<u32, VecDeque<Vec<u8>>>>,
     stats: TrafficStats,
+    /// Retained sent frames per tag for the reliable layer's retransmit
+    /// pulls (self-sends are legal, so the protocol must work serially).
+    replay: RefCell<HashMap<u32, VecDeque<(u64, Vec<u8>)>>>,
 }
 
 impl SerialComm {
@@ -64,6 +67,26 @@ impl Communicator for SerialComm {
 
     fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    fn record_frame(&self, dest: usize, tag: u32, seq: u64, framed: &[u8]) -> bool {
+        assert_eq!(dest, 0, "SerialComm: destination rank out of range");
+        let mut replay = self.replay.borrow_mut();
+        let q = replay.entry(tag).or_default();
+        q.push_back((seq, framed.to_vec()));
+        while q.len() > 32 {
+            q.pop_front();
+        }
+        true
+    }
+
+    fn fetch_retransmit(&self, src: usize, tag: u32, seq: u64) -> Option<Vec<u8>> {
+        assert_eq!(src, 0, "SerialComm: source rank out of range");
+        self.replay
+            .borrow()
+            .get(&tag)
+            .and_then(|q| q.iter().find(|&&(s, _)| s == seq))
+            .map(|(_, frame)| frame.clone())
     }
 }
 

@@ -24,6 +24,9 @@ pub struct TrafficStats {
     p2p_bytes: AtomicU64,
     coll_calls: AtomicU64,
     coll_bytes: AtomicU64,
+    retrans_msgs: AtomicU64,
+    retrans_bytes: AtomicU64,
+    timeouts: AtomicU64,
     by_tag: Mutex<BTreeMap<u32, TagTraffic>>,
 }
 
@@ -35,6 +38,13 @@ pub struct TagTraffic {
     /// Payload bytes sent on this tag (including any framing the sender
     /// put on the wire).
     pub bytes: u64,
+    /// Retransmissions requested on this tag by the reliable layer (each
+    /// one models a NACK to the sender plus a replayed frame).
+    pub retransmits: u64,
+    /// Retransmitted bytes replayed on this tag.
+    pub retransmit_bytes: u64,
+    /// Reliable-layer receive timeouts observed on this tag.
+    pub timeouts: u64,
 }
 
 /// A plain-data copy of [`TrafficStats`] at one instant.
@@ -48,6 +58,12 @@ pub struct StatsSnapshot {
     pub coll_calls: u64,
     /// Payload bytes this rank contributed to collectives.
     pub coll_bytes: u64,
+    /// Retransmissions this rank requested from peers (reliable layer).
+    pub retrans_msgs: u64,
+    /// Bytes replayed to this rank by retransmissions.
+    pub retrans_bytes: u64,
+    /// Reliable-layer receive timeouts observed by this rank.
+    pub timeouts: u64,
 }
 
 impl TrafficStats {
@@ -87,6 +103,27 @@ impl TrafficStats {
         self.coll_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Record one retransmission of `bytes` replayed bytes requested on
+    /// `tag` (reliable layer: a NACK went out, a frame copy came back).
+    #[inline]
+    pub fn record_retransmit(&self, tag: u32, bytes: usize) {
+        self.retrans_msgs.fetch_add(1, Ordering::Relaxed);
+        self.retrans_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut map = self.by_tag.lock().unwrap_or_else(|e| e.into_inner());
+        let t = map.entry(tag).or_default();
+        t.retransmits += 1;
+        t.retransmit_bytes += bytes as u64;
+    }
+
+    /// Record one reliable-layer receive timeout on `tag`.
+    #[inline]
+    pub fn record_timeout(&self, tag: u32) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.by_tag.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(tag).or_default().timeouts += 1;
+    }
+
     /// Read the current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -94,6 +131,9 @@ impl TrafficStats {
             p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
             coll_calls: self.coll_calls.load(Ordering::Relaxed),
             coll_bytes: self.coll_bytes.load(Ordering::Relaxed),
+            retrans_msgs: self.retrans_msgs.load(Ordering::Relaxed),
+            retrans_bytes: self.retrans_bytes.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -103,6 +143,9 @@ impl TrafficStats {
         self.p2p_bytes.store(0, Ordering::Relaxed);
         self.coll_calls.store(0, Ordering::Relaxed);
         self.coll_bytes.store(0, Ordering::Relaxed);
+        self.retrans_msgs.store(0, Ordering::Relaxed);
+        self.retrans_bytes.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
         self.by_tag
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -118,6 +161,9 @@ impl StatsSnapshot {
             p2p_bytes: self.p2p_bytes - earlier.p2p_bytes,
             coll_calls: self.coll_calls - earlier.coll_calls,
             coll_bytes: self.coll_bytes - earlier.coll_bytes,
+            retrans_msgs: self.retrans_msgs - earlier.retrans_msgs,
+            retrans_bytes: self.retrans_bytes - earlier.retrans_bytes,
+            timeouts: self.timeouts - earlier.timeouts,
         }
     }
 
@@ -178,8 +224,22 @@ mod tests {
         assert_eq!(
             tags,
             vec![
-                (7, TagTraffic { msgs: 2, bytes: 30 }),
-                (9, TagTraffic { msgs: 1, bytes: 5 }),
+                (
+                    7,
+                    TagTraffic {
+                        msgs: 2,
+                        bytes: 30,
+                        ..TagTraffic::default()
+                    }
+                ),
+                (
+                    9,
+                    TagTraffic {
+                        msgs: 1,
+                        bytes: 5,
+                        ..TagTraffic::default()
+                    }
+                ),
             ]
         );
         assert_eq!(s.tag_traffic(7).bytes, 30);
@@ -214,16 +274,47 @@ mod tests {
             s.tag_traffic(halo),
             TagTraffic {
                 msgs: 2,
-                bytes: 100
+                bytes: 100,
+                ..TagTraffic::default()
             }
         );
         assert_eq!(
             s.tag_traffic(ghost),
             TagTraffic {
                 msgs: 1,
-                bytes: 100
+                bytes: 100,
+                ..TagTraffic::default()
             }
         );
-        assert_eq!(s.tag_traffic(assemble), TagTraffic { msgs: 1, bytes: 24 });
+        assert_eq!(
+            s.tag_traffic(assemble),
+            TagTraffic {
+                msgs: 1,
+                bytes: 24,
+                ..TagTraffic::default()
+            }
+        );
+    }
+
+    #[test]
+    fn retransmit_and_timeout_counters_attribute_per_tag() {
+        let s = TrafficStats::default();
+        s.record_p2p(5, 10);
+        s.record_retransmit(5, 14);
+        s.record_retransmit(5, 14);
+        s.record_timeout(9);
+        let snap = s.snapshot();
+        assert_eq!(snap.retrans_msgs, 2);
+        assert_eq!(snap.retrans_bytes, 28);
+        assert_eq!(snap.timeouts, 1);
+        let t5 = s.tag_traffic(5);
+        assert_eq!((t5.retransmits, t5.retransmit_bytes), (2, 28));
+        assert_eq!(t5.timeouts, 0);
+        let t9 = s.tag_traffic(9);
+        assert_eq!((t9.msgs, t9.timeouts), (0, 1));
+        // Retransmits are accounted separately from first-shot traffic.
+        assert_eq!((snap.p2p_msgs, snap.p2p_bytes), (1, 10));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 }

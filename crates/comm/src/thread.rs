@@ -1,7 +1,7 @@
 //! Thread-backed SPMD execution: `P` ranks as OS threads.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -44,6 +44,57 @@ impl CommConfig {
     }
 }
 
+/// Shared failure-detection state of one communicator: whether any rank
+/// has died, and — when the detector could identify it — *which* rank.
+/// The first identified victim wins; later poisonings keep the original
+/// culprit so every survivor reports the same dead peer.
+#[derive(Debug)]
+pub(crate) struct PoisonFlag {
+    poisoned: AtomicBool,
+    /// Index of the first identified dead rank, or `usize::MAX` if the
+    /// communicator is healthy (or the victim is unknown).
+    dead: AtomicUsize,
+}
+
+impl PoisonFlag {
+    fn new() -> Self {
+        PoisonFlag {
+            poisoned: AtomicBool::new(false),
+            dead: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Mark the communicator poisoned, recording the dead rank if known.
+    pub(crate) fn poison(&self, dead_rank: Option<usize>) {
+        if let Some(r) = dead_rank {
+            let _ = self
+                .dead
+                .compare_exchange(usize::MAX, r, Ordering::Relaxed, Ordering::Relaxed);
+        }
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// The identified dead rank, if any.
+    pub(crate) fn dead_rank(&self) -> Option<usize> {
+        match self.dead.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            r => Some(r),
+        }
+    }
+
+    /// Human-readable culprit for panic messages.
+    fn culprit(&self) -> String {
+        match self.dead_rank() {
+            Some(r) => format!("peer rank {r} died"),
+            None => "a peer rank panicked".to_string(),
+        }
+    }
+}
+
 /// A barrier that can be abandoned: waiters poll the communicator's
 /// poison flag so a crashed rank turns a permanent hang into a loud
 /// panic on every surviving rank.
@@ -60,7 +111,7 @@ impl PoisonBarrier {
         }
     }
 
-    fn wait(&self, size: usize, poisoned: &AtomicBool) {
+    fn wait(&self, size: usize, poisoned: &PoisonFlag) {
         let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let gen = guard.1;
         guard.0 += 1;
@@ -80,14 +131,14 @@ impl PoisonBarrier {
                 .wait_timeout(guard, Duration::from_millis(10))
                 .unwrap_or_else(|e| e.into_inner());
             guard = g;
-            if guard.1 == gen && poisoned.load(Ordering::Relaxed) {
+            if guard.1 == gen && poisoned.is_poisoned() {
                 abort = true;
             }
         }
         let released = guard.1 != gen;
         drop(guard);
         if !released {
-            panic!("ThreadComm: a peer rank panicked; aborting barrier");
+            panic!("ThreadComm: {}; aborting barrier", poisoned.culprit());
         }
     }
 }
@@ -101,6 +152,18 @@ impl PoisonBarrier {
 /// Per-(source, tag) FIFO queues of received-but-unmatched messages.
 type Mailbox = HashMap<(usize, u32), VecDeque<Vec<u8>>>;
 
+/// Per-link replay log of recently sent frames, shared by all endpoints
+/// of one communicator: `(src, dest, tag)` → the last
+/// [`REPLAY_WINDOW`] frames with their sequence numbers. This is the
+/// sender-side retained "outbox" the reliable layer's NACK protocol pulls
+/// retransmissions from.
+type ReplayMap = HashMap<(usize, usize, u32), VecDeque<(u64, Vec<u8>)>>;
+
+/// How many recent frames each `(src, dest, tag)` link retains for
+/// retransmission. The reliable protocol re-requests only the frame it is
+/// currently blocked on, so a small window is ample.
+const REPLAY_WINDOW: usize = 32;
+
 pub struct ThreadComm {
     rank: usize,
     size: usize,
@@ -113,7 +176,9 @@ pub struct ThreadComm {
     /// Set when any rank of this communicator panics, so blocked peers
     /// fail fast instead of deadlocking on a receive that will never
     /// complete.
-    poisoned: Arc<AtomicBool>,
+    poisoned: Arc<PoisonFlag>,
+    /// Retained sent frames for the reliable layer's retransmit pulls.
+    replay: Arc<Mutex<ReplayMap>>,
 }
 
 impl ThreadComm {
@@ -136,7 +201,8 @@ impl ThreadComm {
             receivers.push(rx);
         }
         let barrier = Arc::new(PoisonBarrier::new());
-        let poisoned = Arc::new(AtomicBool::new(false));
+        let poisoned = Arc::new(PoisonFlag::new());
+        let replay = Arc::new(Mutex::new(ReplayMap::new()));
         receivers
             .into_iter()
             .enumerate()
@@ -150,13 +216,14 @@ impl ThreadComm {
                 stats: TrafficStats::default(),
                 config: config.clone(),
                 poisoned: poisoned.clone(),
+                replay: replay.clone(),
             })
             .collect()
     }
 
     /// The shared poison flag (set when any rank of this communicator
     /// panics).
-    pub(crate) fn poison_handle(&self) -> Arc<AtomicBool> {
+    pub(crate) fn poison_handle(&self) -> Arc<PoisonFlag> {
         self.poisoned.clone()
     }
 
@@ -192,15 +259,19 @@ impl Communicator for ThreadComm {
         self.stats.record_p2p(tag, data.len());
         if self.peers[dest].send((self.rank, tag, data)).is_err() {
             // The destination endpoint was dropped: that rank crashed or
-            // exited early. Poison the communicator and fail with the same
+            // exited early — and we know exactly which one. Poison the
+            // communicator naming the victim and fail with the same
             // diagnostic a poisoned receive produces, so every surviving
             // rank reports the crash consistently instead of one of them
             // dying on an opaque channel error.
-            self.poisoned.store(true, Ordering::Relaxed);
-            panic!("ThreadComm: a peer rank panicked; aborting send to rank {dest} (tag {tag})");
+            self.poisoned.poison(Some(dest));
+            panic!("ThreadComm: peer rank {dest} died; aborting send to rank {dest} (tag {tag})");
         }
-        if self.poisoned.load(Ordering::Relaxed) {
-            panic!("ThreadComm: a peer rank panicked; aborting send to rank {dest} (tag {tag})");
+        if self.poisoned.is_poisoned() {
+            panic!(
+                "ThreadComm: {}; aborting send to rank {dest} (tag {tag})",
+                self.poisoned.culprit()
+            );
         }
     }
 
@@ -232,8 +303,11 @@ impl Communicator for ThreadComm {
                         .push_back(data);
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    if self.poisoned.load(Ordering::Relaxed) {
-                        return Err(CommError::PeerCrashed { src, tag });
+                    if self.poisoned.is_poisoned() {
+                        return Err(match self.poisoned.dead_rank() {
+                            Some(peer) => CommError::PeerDead { peer, src, tag },
+                            None => CommError::PeerCrashed { src, tag },
+                        });
                     }
                     if let Some(deadline) = self.config.recv_deadline {
                         let waited = start.elapsed();
@@ -248,7 +322,10 @@ impl Communicator for ThreadComm {
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::PeerCrashed { src, tag });
+                    return Err(match self.poisoned.dead_rank() {
+                        Some(peer) => CommError::PeerDead { peer, src, tag },
+                        None => CommError::PeerCrashed { src, tag },
+                    });
                 }
             }
         }
@@ -283,6 +360,24 @@ impl Communicator for ThreadComm {
 
     fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    fn record_frame(&self, dest: usize, tag: u32, seq: u64, framed: &[u8]) -> bool {
+        let mut replay = self.replay.lock().unwrap_or_else(|e| e.into_inner());
+        let q = replay.entry((self.rank, dest, tag)).or_default();
+        q.push_back((seq, framed.to_vec()));
+        while q.len() > REPLAY_WINDOW {
+            q.pop_front();
+        }
+        true
+    }
+
+    fn fetch_retransmit(&self, src: usize, tag: u32, seq: u64) -> Option<Vec<u8>> {
+        let replay = self.replay.lock().unwrap_or_else(|e| e.into_inner());
+        replay
+            .get(&(src, self.rank, tag))
+            .and_then(|q| q.iter().find(|&&(s, _)| s == seq))
+            .map(|(_, frame)| frame.clone())
     }
 }
 
@@ -326,12 +421,15 @@ where
                     .name(format!("rank-{}", comm.rank()))
                     .stack_size(16 << 20)
                     .spawn_scoped(scope, move || {
+                        let rank = comm.rank();
                         let poisoned = comm.poison_handle();
                         let wrapped = wrap(comm);
                         let r =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&wrapped)));
                         if r.is_err() {
-                            poisoned.store(true, Ordering::Relaxed);
+                            // Name the panicking rank so survivors'
+                            // PeerDead diagnostics identify the victim.
+                            poisoned.poison(Some(rank));
                         }
                         r
                     })

@@ -43,7 +43,7 @@ macro_rules! impl_wire_prim {
     )*};
 }
 
-impl_wire_prim!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64, usize, isize);
+impl_wire_prim!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64, usize, isize);
 
 impl Wire for bool {
     #[inline]

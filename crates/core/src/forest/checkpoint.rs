@@ -223,7 +223,33 @@ struct Segment<D: Dim> {
 
 fn parse_segment<D: Dim>(path: &Path) -> Result<Segment<D>, CheckpointError> {
     let bytes = read_checked(path)?;
-    let mut s = bytes.as_slice();
+    parse_segment_body(&bytes, path)
+}
+
+/// Validate the CRC trailer of an in-memory segment blob (as produced by
+/// [`Forest::segment_bytes`]) and decode it. `origin` labels errors.
+fn parse_segment_mem<D: Dim>(bytes: &[u8], origin: &Path) -> Result<Segment<D>, CheckpointError> {
+    if bytes.len() < 4 {
+        return Err(format_err(
+            origin,
+            format!("{} bytes is too short to carry a CRC trailer", bytes.len()),
+        ));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes(trailer.try_into().unwrap());
+    let actual = crc32(body);
+    if expected != actual {
+        return Err(CheckpointError::Crc {
+            file: origin.to_path_buf(),
+            expected,
+            actual,
+        });
+    }
+    parse_segment_body(body, origin)
+}
+
+fn parse_segment_body<D: Dim>(bytes: &[u8], path: &Path) -> Result<Segment<D>, CheckpointError> {
+    let mut s = bytes;
     let mut field = |name: &str| -> Result<u64, CheckpointError> {
         u64::decode(&mut s).ok_or_else(|| format_err(path, format!("truncated {name}")))
     };
@@ -274,6 +300,93 @@ impl<D: Dim> Forest<D> {
         self.save_with_payload::<u8>(comm, dir, 0, None)
     }
 
+    /// Segment body without the CRC trailer (the trailer is appended by
+    /// [`write_atomic`] for files and by [`Forest::segment_bytes`] for
+    /// in-memory copies, so both carry identical bytes).
+    fn encode_segment_body<T: Wire>(
+        &self,
+        saved_ranks: usize,
+        epoch: u64,
+        payload: Option<&[Vec<T>]>,
+    ) -> Vec<u8> {
+        let octs: Vec<(u32, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
+        if let Some(p) = payload {
+            assert_eq!(
+                p.len(),
+                octs.len(),
+                "checkpoint: one payload entry per local octant"
+            );
+        }
+        let mut buf = Vec::new();
+        MAGIC.encode(&mut buf);
+        (D::DIM as u64).encode(&mut buf);
+        (self.conn.num_trees() as u64).encode(&mut buf);
+        (saved_ranks as u64).encode(&mut buf);
+        epoch.encode(&mut buf);
+        (octs.len() as u64).encode(&mut buf);
+        buf.extend_from_slice(&write_vec(&octs));
+        let payloads: Vec<Vec<u8>> = match payload {
+            Some(p) => p.iter().map(|chunk| write_vec(chunk)).collect(),
+            None => Vec::new(),
+        };
+        payloads.encode(&mut buf);
+        buf
+    }
+
+    /// This rank's checkpoint segment as a self-contained byte blob —
+    /// byte-identical to the `forest_<rank>.fst` file
+    /// [`Forest::save_with_payload`] would write (CRC32 trailer included),
+    /// but never touching disk. The in-memory buddy-checkpoint scheme
+    /// mirrors these blobs to a partner rank so a crashed rank's state can
+    /// be restored disklessly via [`Forest::load_from_segment_bytes`].
+    ///
+    /// Purely local (no communication): callers coordinate `saved_ranks`
+    /// and `epoch` themselves.
+    pub fn segment_bytes<T: Wire>(
+        &self,
+        saved_ranks: usize,
+        epoch: u64,
+        payload: Option<&[Vec<T>]>,
+    ) -> Vec<u8> {
+        let mut buf = self.encode_segment_body(saved_ranks, epoch, payload);
+        buf.extend_from_slice(&crc32(&buf).to_le_bytes());
+        buf
+    }
+
+    /// Restore a forest and payloads from in-memory segment blobs
+    /// (produced by [`Forest::segment_bytes`]), one per saved rank in
+    /// saved-rank order. The same re-partitioning rules as
+    /// [`Forest::load_with_payload`] apply: the current rank count may
+    /// differ from the saved one. Every rank must pass the complete,
+    /// identical segment list.
+    pub fn load_from_segment_bytes<T: Wire>(
+        conn: std::sync::Arc<crate::connectivity::Connectivity<D>>,
+        comm: &impl Communicator,
+        segments: &[Vec<u8>],
+    ) -> Result<(Self, Vec<Vec<T>>, CheckpointMeta), CheckpointError> {
+        let parsed = segments
+            .iter()
+            .enumerate()
+            .map(|(r, bytes)| {
+                let origin = PathBuf::from(format!("<memory segment {r}>"));
+                parse_segment_mem::<D>(bytes, &origin).map(|s| (origin, s))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if parsed.is_empty() {
+            return Err(CheckpointError::NoCheckpoint {
+                dir: PathBuf::from("<memory>"),
+            });
+        }
+        let saved_ranks = parsed[0].1.saved_ranks as usize;
+        if parsed.len() != saved_ranks {
+            return Err(CheckpointError::MissingSegment {
+                rank: parsed.len(),
+                saved_ranks,
+            });
+        }
+        Self::assemble_segments(conn, comm, parsed, None)
+    }
+
     /// Write a checkpoint of this forest, optionally attaching one
     /// `Wire`-encoded payload per local octant (in local SFC order).
     ///
@@ -295,27 +408,7 @@ impl<D: Dim> Forest<D> {
         payload: Option<&[Vec<T>]>,
     ) -> Result<(), CheckpointError> {
         std::fs::create_dir_all(dir)?;
-        let octs: Vec<(u32, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
-        if let Some(p) = payload {
-            assert_eq!(
-                p.len(),
-                octs.len(),
-                "save_with_payload: one payload entry per local octant"
-            );
-        }
-        let mut buf = Vec::new();
-        MAGIC.encode(&mut buf);
-        (D::DIM as u64).encode(&mut buf);
-        (self.conn.num_trees() as u64).encode(&mut buf);
-        (comm.size() as u64).encode(&mut buf);
-        epoch.encode(&mut buf);
-        (octs.len() as u64).encode(&mut buf);
-        buf.extend_from_slice(&write_vec(&octs));
-        let payloads: Vec<Vec<u8>> = match payload {
-            Some(p) => p.iter().map(|chunk| write_vec(chunk)).collect(),
-            None => Vec::new(),
-        };
-        payloads.encode(&mut buf);
+        let buf = self.encode_segment_body(comm.size(), epoch, payload);
         write_atomic(&segment_path(dir, comm.rank()), buf)?;
 
         // All segments durable before the manifest names them.
@@ -413,9 +506,8 @@ impl<D: Dim> Forest<D> {
             return Err(format_err(&mpath, "manifest records zero saved ranks"));
         }
 
-        // Read every segment, validating against the manifest.
+        // Read every segment.
         let mut segments = Vec::with_capacity(saved_ranks);
-        let mut total = 0u64;
         for r in 0..saved_ranks {
             let path = segment_path(dir, r);
             if !path.exists() {
@@ -425,9 +517,27 @@ impl<D: Dim> Forest<D> {
                 });
             }
             let seg = parse_segment::<D>(&path)?;
+            segments.push((path, seg));
+        }
+        Self::assemble_segments(conn, comm, segments, manifest)
+    }
+
+    /// Shared tail of the file and in-memory restore paths: validate the
+    /// parsed segments against each other (and the manifest, if any),
+    /// then build this rank's contiguous SFC interval of the global
+    /// octant list.
+    fn assemble_segments<T: Wire>(
+        conn: std::sync::Arc<crate::connectivity::Connectivity<D>>,
+        comm: &impl Communicator,
+        segments: Vec<(PathBuf, Segment<D>)>,
+        manifest: Option<CheckpointMeta>,
+    ) -> Result<(Self, Vec<Vec<T>>, CheckpointMeta), CheckpointError> {
+        let saved_ranks = segments.len();
+        let mut total = 0u64;
+        for (path, seg) in &segments {
             if seg.saved_ranks as usize != saved_ranks {
                 return Err(format_err(
-                    &path,
+                    path,
                     format!(
                         "segment records {} saved ranks, expected {saved_ranks}",
                         seg.saved_ranks
@@ -437,13 +547,12 @@ impl<D: Dim> Forest<D> {
             if let Some(m) = &manifest {
                 if seg.epoch != m.epoch {
                     return Err(format_err(
-                        &path,
+                        path,
                         format!("segment epoch {} != manifest epoch {}", seg.epoch, m.epoch),
                     ));
                 }
             }
             total += seg.octs.len() as u64;
-            segments.push(seg);
         }
         if let Some(m) = &manifest {
             if total != m.global_octants {
@@ -454,7 +563,7 @@ impl<D: Dim> Forest<D> {
             }
         }
         let meta = CheckpointMeta {
-            epoch: segments[0].epoch,
+            epoch: segments[0].1.epoch,
             saved_ranks,
             global_octants: total,
         };
@@ -466,13 +575,13 @@ impl<D: Dim> Forest<D> {
         let mut trees: Vec<Vec<Octant<D>>> = vec![Vec::new(); conn.num_trees()];
         let mut payloads: Vec<Vec<T>> = Vec::with_capacity((hi - lo) as usize);
         let mut off = 0u64;
-        for seg in segments {
+        for (path, seg) in segments {
             let has_payload = !seg.payloads.is_empty();
             for (i, (t, o)) in seg.octs.into_iter().enumerate() {
                 if off >= lo && off < hi {
                     if (t as usize) >= trees.len() {
                         return Err(format_err(
-                            &segment_path(dir, 0),
+                            &path,
                             format!("octant references tree {t} outside the connectivity"),
                         ));
                     }
@@ -480,10 +589,7 @@ impl<D: Dim> Forest<D> {
                     if has_payload {
                         let chunk =
                             forust_comm::try_read_vec::<T>(&seg.payloads[i]).ok_or_else(|| {
-                                format_err(
-                                    &segment_path(dir, 0),
-                                    format!("payload of octant {i} does not decode"),
-                                )
+                                format_err(&path, format!("payload of octant {i} does not decode"))
                             })?;
                         payloads.push(chunk);
                     }
@@ -715,6 +821,48 @@ mod tests {
             for (i, chunk) in payload.iter().enumerate() {
                 let g = start + i as u64;
                 assert_eq!(chunk, &vec![g, 2 * g]);
+            }
+        });
+    }
+
+    #[test]
+    fn in_memory_segments_roundtrip_onto_fewer_ranks() {
+        // segment_bytes -> load_from_segment_bytes must behave exactly
+        // like the file path, including payload repartitioning — this is
+        // the diskless buddy-restore building block.
+        let blobs = run_spmd(3, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            let mut f = Forest::<D2>::new_uniform(Arc::clone(&conn), comm, 1);
+            f.refine(comm, true, |t, o| t == 0 && o.level < 3);
+            let start: u64 = f.counts()[..comm.rank()].iter().sum();
+            let payload: Vec<Vec<u64>> =
+                (0..f.num_local()).map(|i| vec![start + i as u64]).collect();
+            f.segment_bytes(comm.size(), 7, Some(&payload))
+        });
+        // Corruption in a blob is rejected, same as for files.
+        {
+            let mut bad = blobs.clone();
+            let mid = bad[1].len() / 2;
+            bad[1][mid] ^= 0x40;
+            run_spmd(1, move |comm| {
+                let conn = Arc::new(builders::moebius());
+                let err = Forest::<D2>::load_from_segment_bytes::<u64>(conn, comm, &bad)
+                    .map(|_| ())
+                    .unwrap_err();
+                assert!(matches!(err, CheckpointError::Crc { .. }), "{err:?}");
+            });
+        }
+        run_spmd(2, move |comm| {
+            let conn = Arc::new(builders::moebius());
+            let (f, payload, meta) =
+                Forest::<D2>::load_from_segment_bytes::<u64>(conn, comm, &blobs).unwrap();
+            f.check_valid(comm);
+            assert_eq!(meta.epoch, 7);
+            assert_eq!(meta.saved_ranks, 3);
+            assert_eq!(payload.len(), f.num_local());
+            let start: u64 = f.counts()[..comm.rank()].iter().sum();
+            for (i, chunk) in payload.iter().enumerate() {
+                assert_eq!(chunk, &vec![start + i as u64]);
             }
         });
     }

@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use forust_comm::{read_vec, write_vec, Communicator, PendingExchange, TAG_COLLECTIVE};
+use forust_comm::{read_vec, write_vec, Communicator, PendingExchange, Wire, TAG_COLLECTIVE};
 
 use crate::connectivity::{Route, TreeId};
 use crate::dim::Dim;
@@ -676,7 +676,15 @@ impl<D: Dim> Nodes<D> {
     /// is added at the owner, and the total is broadcast back, so all
     /// copies of each dof agree afterwards. (The cG scatter-gather of
     /// paper §II-E.) Hanging-node entries are ignored.
-    pub fn assemble_add(&self, comm: &impl Communicator, values: &mut [f64]) {
+    ///
+    /// Generic over the scalar so the same plan assembles `f64` fields and
+    /// the fixed-point `i128` fields of the bitwise-reproducible path
+    /// (`forust_comm::repro`) — integer partials make the cross-rank sum
+    /// associative, hence independent of the rank count.
+    pub fn assemble_add<T>(&self, comm: &impl Communicator, values: &mut [T])
+    where
+        T: Wire + Copy + std::ops::AddAssign,
+    {
         let pending = self.assemble_add_begin(comm, values, 0);
         self.assemble_add_end(comm, pending, values);
     }
@@ -687,10 +695,10 @@ impl<D: Dim> Nodes<D> {
     /// next field's element integrals) proceeds while the messages fly;
     /// [`Nodes::assemble_add_end`] completes the reduction. Up to 16
     /// assemblies may be in flight at once, each on its own `lane`.
-    pub fn assemble_add_begin<'a, C: Communicator>(
+    pub fn assemble_add_begin<'a, C: Communicator, T: Wire + Copy>(
         &self,
         comm: &'a C,
-        values: &[f64],
+        values: &[T],
         lane: u32,
     ) -> AssemblePending<'a, C> {
         let _span = forust_obs::span!("nodes.assemble_begin");
@@ -703,7 +711,7 @@ impl<D: Dim> Nodes<D> {
         // Borrower -> owner partials.
         let outgoing: Vec<Vec<u8>> = (0..p)
             .map(|r| {
-                let partials: Vec<f64> = self.borrowed_by_rank[r]
+                let partials: Vec<T> = self.borrowed_by_rank[r]
                     .iter()
                     .map(|&i| values[i as usize])
                     .collect();
@@ -719,16 +727,18 @@ impl<D: Dim> Nodes<D> {
     /// the received partials at the owned dofs and broadcast the totals
     /// back to every borrower. `values` must be the same field the begin
     /// call packed (mutations at *shared* dofs in between would be lost).
-    pub fn assemble_add_end<C: Communicator>(
+    pub fn assemble_add_end<C: Communicator, T>(
         &self,
         comm: &C,
         pending: AssemblePending<'_, C>,
-        values: &mut [f64],
-    ) {
+        values: &mut [T],
+    ) where
+        T: Wire + Copy + std::ops::AddAssign,
+    {
         let _span = forust_obs::span!("nodes.assemble_end");
         assert_eq!(values.len(), self.keys.len());
         for (r, buf) in pending.pending.wait().into_iter().enumerate() {
-            let partials: Vec<f64> = read_vec(&buf);
+            let partials: Vec<T> = read_vec(&buf);
             for (&i, v) in self.lent_to_rank[r].iter().zip(partials) {
                 values[i as usize] += v;
             }
@@ -737,10 +747,10 @@ impl<D: Dim> Nodes<D> {
     }
 
     /// Overwrite every borrowed dof with the owner's value.
-    pub fn broadcast_owned(&self, comm: &impl Communicator, values: &mut [f64]) {
+    pub fn broadcast_owned<T: Wire + Copy>(&self, comm: &impl Communicator, values: &mut [T]) {
         assert_eq!(values.len(), self.keys.len());
         let p = comm.size();
-        let out: Vec<Vec<f64>> = (0..p)
+        let out: Vec<Vec<T>> = (0..p)
             .map(|r| {
                 self.lent_to_rank[r]
                     .iter()

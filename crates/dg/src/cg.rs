@@ -110,6 +110,43 @@ impl HangingInterp {
             values[*i as usize] = 0.0;
         }
     }
+
+    /// `true` when every constraint weight is an exact quarter-integer
+    /// (`k/4`) — the degree-1 case, where edge hangs weigh `1/2` and face
+    /// hangs `1/4`. Only then is [`HangingInterp::collect_add_i128`]
+    /// available.
+    pub fn is_dyadic_quarters(&self) -> bool {
+        self.constraints
+            .iter()
+            .flat_map(|(_, pw)| pw.iter())
+            .all(|&(_, w)| (w * 4.0).round() / 4.0 == w)
+    }
+
+    /// [`HangingInterp::collect_add`] over a fixed-point field
+    /// (`forust_comm::repro`): weights are applied as exact integer
+    /// operations `(v * round(4w)) >> 2`, so the hanging collect commits
+    /// no rounding at all and stays bitwise independent of the partition.
+    /// The field must have been encoded with `shift >= 2` so the low two
+    /// bits are free for the quarter division.
+    ///
+    /// Panics if any weight is not a quarter-integer (degree > 1): callers
+    /// gate on [`HangingInterp::is_dyadic_quarters`].
+    pub fn collect_add_i128(&self, values: &mut [i128]) {
+        for (i, pw) in &self.constraints {
+            let v = values[*i as usize];
+            if v != 0 {
+                for &(p, w) in pw {
+                    let num = (w * 4.0).round() as i128;
+                    debug_assert!(
+                        num as f64 * 0.25 == w,
+                        "collect_add_i128 needs quarter-integer weights, got {w}"
+                    );
+                    values[p as usize] += (v * num) >> 2;
+                }
+            }
+            values[*i as usize] = 0;
+        }
+    }
 }
 
 /// Full cG field synchronization: collect hanging contributions into
@@ -187,6 +224,36 @@ mod tests {
             for (i, (v, e)) in values.iter().zip(&expect).enumerate() {
                 let tol = 1e-12 * e.abs().max(1.0);
                 assert!((v - e).abs() < tol, "node {i}: {v} vs {e}");
+            }
+        });
+    }
+
+    #[test]
+    fn integer_collect_matches_f64_collect_at_degree_1() {
+        run_spmd(1, |comm| {
+            let mut f = Forest::<D2>::new_uniform(Arc::new(builders::unit2d()), comm, 1);
+            f.refine(comm, true, |_, o| o.level < 2 && o.x == 0 && o.y == 0);
+            f.balance(comm, BalanceType::Full);
+            let ghost = f.ghost(comm);
+            let nodes = f.nodes(comm, &ghost, 1);
+            let interp = HangingInterp::build(&nodes);
+            assert!(interp.is_dyadic_quarters());
+            assert!(interp.num_hanging() > 0);
+            let nn = nodes.num_local();
+            let vals: Vec<f64> = (0..nn).map(|i| (i as f64 - 3.0) * 0.8125).collect();
+            let fx = forust_comm::FixedPoint::for_global_max(
+                vals.iter().fold(0.0f64, |m, &v| m.max(v.abs())),
+                2,
+            )
+            .unwrap();
+            let mut as_f64 = vals.clone();
+            interp.collect_add(&mut as_f64);
+            let mut as_q: Vec<i128> = vals.iter().map(|&v| fx.encode(v)).collect();
+            interp.collect_add_i128(&mut as_q);
+            for (q, v) in as_q.iter().zip(&as_f64) {
+                // The inputs are dyadic, so both paths are exact and agree
+                // bitwise after decoding.
+                assert_eq!(fx.decode(*q).to_bits(), v.to_bits());
             }
         });
     }

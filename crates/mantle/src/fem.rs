@@ -14,7 +14,7 @@ use std::sync::Arc;
 use forust::dim::{Dim, D3};
 use forust::forest::Forest;
 use forust::nodes::{NodeStatus, Nodes};
-use forust_comm::Communicator;
+use forust_comm::{allreduce_sum_f64_exact, Communicator, FixedPoint};
 use forust_dg::cg::HangingInterp;
 use forust_geom::{octant_ref_coords, Mapping};
 
@@ -208,16 +208,21 @@ impl StokesFem {
     }
 
     /// Globally consistent inner product (owned dofs only).
+    ///
+    /// Reduced with the fixed-point exact sum, so the result is bitwise
+    /// independent of the rank count: the recovery supervisor restarts
+    /// mantle runs on fewer ranks and asserts bitwise-identical state, and
+    /// every MINRES recurrence scalar derives from these dots.
     pub fn dot(&self, comm: &impl Communicator, a: &[f64], b: &[f64]) -> f64 {
-        let mut s = 0.0;
+        let mut terms = Vec::with_capacity(4 * self.nn);
         for i in 0..self.nn {
             if self.owned[i] {
                 for c in 0..4 {
-                    s += a[c * self.nn + i] * b[c * self.nn + i];
+                    terms.push(a[c * self.nn + i] * b[c * self.nn + i]);
                 }
             }
         }
-        comm.allreduce_sum_f64(s)
+        allreduce_sum_f64_exact(comm, &terms)
     }
 
     /// Picard viscosity update from the current velocity.
@@ -273,26 +278,68 @@ impl StokesFem {
         z
     }
 
-    /// Post-state: collect hanging transposes, assemble across ranks,
-    /// enforce identity rows for Dirichlet and hanging slots.
+    /// Assemble per-element nodal contributions into globally consistent
+    /// component fields, bitwise independently of the partition.
     ///
-    /// The four per-field reductions are split-phase: field `c`'s
-    /// borrower partials fly while field `c + 1`'s hanging transposes are
-    /// still being collected locally, each on its own assembly lane.
-    fn post(&self, comm: &impl Communicator, x: &[f64], y: &mut [f64]) {
+    /// `contribs[c][e * 8 + j]` is component `c`'s contribution of local
+    /// element `e` at its corner `j`. Each element's contributions depend
+    /// only on that element's own geometry and nodal state — never on
+    /// which rank integrates it — so the global multiset of contributions
+    /// is rank-count invariant. They are quantized onto a shared
+    /// fixed-point grid (`forust_comm::repro`, `shift = 2` so the dyadic
+    /// hanging weights `{1/2, 1/4}` stay exact), and the hanging collect,
+    /// cross-rank reduction, and owner broadcast all run in `i128`:
+    /// associative, hence identical bits on any rank count.
+    ///
+    /// The per-component reductions are split-phase: component `c`'s
+    /// borrower partials fly while component `c + 1` is still being
+    /// quantized locally, each on its own assembly lane.
+    fn assemble_contributions(
+        &self,
+        comm: &impl Communicator,
+        contribs: &[Vec<f64>],
+    ) -> Vec<Vec<f64>> {
         let nn = self.nn;
-        let mut pending = Vec::with_capacity(4);
-        for c in 0..4 {
-            self.interp.collect_add(&mut y[c * nn..(c + 1) * nn]);
-            pending.push(
-                self.nodes
-                    .assemble_add_begin(comm, &y[c * nn..(c + 1) * nn], c as u32),
+        let local_max = contribs
+            .iter()
+            .flat_map(|c| c.iter())
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        let gmax = comm.allreduce_max_f64(local_max);
+        // All ranks see the same reduced max, so all take the same branch.
+        let Some(fx) = FixedPoint::for_global_max(gmax, 2) else {
+            assert!(
+                gmax == 0.0,
+                "non-finite element contribution (global max {gmax})"
             );
+            return contribs.iter().map(|_| vec![0.0; nn]).collect();
+        };
+        let mut encoded: Vec<Vec<i128>> = Vec::with_capacity(contribs.len());
+        let mut pending = Vec::with_capacity(contribs.len());
+        for (lane, comp) in contribs.iter().enumerate() {
+            let mut acc = vec![0i128; nn];
+            for e in 0..self.num_elements() {
+                for (j, &ni) in self.nodes.element(e).iter().enumerate() {
+                    acc[ni as usize] += fx.encode(comp[e * 8 + j]);
+                }
+            }
+            self.interp.collect_add_i128(&mut acc);
+            pending.push(self.nodes.assemble_add_begin(comm, &acc, lane as u32));
+            encoded.push(acc);
         }
-        for (c, p) in pending.into_iter().enumerate() {
-            self.nodes
-                .assemble_add_end(comm, p, &mut y[c * nn..(c + 1) * nn]);
-        }
+        pending
+            .into_iter()
+            .zip(encoded)
+            .map(|(p, mut acc)| {
+                self.nodes.assemble_add_end(comm, p, &mut acc);
+                acc.iter().map(|&q| fx.decode(q)).collect()
+            })
+            .collect()
+    }
+
+    /// Enforce identity rows for Dirichlet and hanging slots after an
+    /// operator application: `y = x` there (those slots are not unknowns).
+    fn identity_rows(&self, x: &[f64], y: &mut [f64]) {
+        let nn = self.nn;
         for i in 0..nn {
             if self.bc[i] {
                 for c in 0..3 {
@@ -316,7 +363,11 @@ impl StokesFem {
     pub fn apply(&self, comm: &impl Communicator, x: &[f64], y: &mut [f64]) {
         let nn = self.nn;
         let z = self.pre(x);
-        y.fill(0.0);
+        // Element contributions go into per-element buffers (not straight
+        // into `y`) so `assemble_contributions` can reduce them on the
+        // rank-count-invariant fixed-point path.
+        let mut contribs: Vec<Vec<f64>> =
+            (0..4).map(|_| vec![0.0; self.num_elements() * 8]).collect();
         for e in 0..self.num_elements() {
             let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
             // Element-mean pressure for the stabilization.
@@ -358,31 +409,39 @@ impl StokesFem {
                     }
                 }
                 // Test against every basis function.
-                for (j, &ni) in en.iter().enumerate() {
+                for (j, _) in en.iter().enumerate() {
                     let gj = g[j];
-                    for d in 0..3 {
+                    for (d, comp) in contribs.iter_mut().take(3).enumerate() {
                         // 2 eta eps(u) : eps(phi_j e_d) = 2 eta
                         // sum_i sym[d][i] gj[i] (symmetry halves fold in).
                         let mut a = 0.0;
                         for i in 0..3 {
                             a += sym[d][i] * gj[i];
                         }
-                        y[d * nn + ni] += w * (2.0 * eta * a - pq * gj[d]);
+                        comp[e * 8 + j] += w * (2.0 * eta * a - pq * gj[d]);
                     }
                     // Pressure row: B u - C p.
                     let stab = (pq - pbar) * (self.basis[q][j] - 0.125);
-                    y[3 * nn + ni] += w * (self.basis[q][j] * divu - stab / eta_bar);
+                    contribs[3][e * 8 + j] += w * (self.basis[q][j] * divu - stab / eta_bar);
                 }
             }
         }
-        self.post(comm, x, y);
+        for (c, f) in self
+            .assemble_contributions(comm, &contribs)
+            .into_iter()
+            .enumerate()
+        {
+            y[c * nn..(c + 1) * nn].copy_from_slice(&f);
+        }
+        self.identity_rows(x, y);
     }
 
     /// Buoyancy right-hand side: `f = Ra T r_hat` tested against the
     /// velocity basis (pressure RHS zero).
     pub fn buoyancy_rhs(&self, comm: &impl Communicator, ra: f64) -> Vec<f64> {
         let nn = self.nn;
-        let mut b = vec![0.0; 4 * nn];
+        let mut contribs: Vec<Vec<f64>> =
+            (0..4).map(|_| vec![0.0; self.num_elements() * 8]).collect();
         for e in 0..self.num_elements() {
             let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
             for q in 0..8 {
@@ -395,15 +454,23 @@ impl StokesFem {
                 }
                 // Hot material rises: force along +r_hat proportional to T.
                 let f = ra * (t - 0.5);
-                for (j, &ni) in en.iter().enumerate() {
-                    for d in 0..3 {
-                        b[d * nn + ni] += w * self.basis[q][j] * f * x[d] / r;
+                for j in 0..en.len() {
+                    for (d, comp) in contribs.iter_mut().take(3).enumerate() {
+                        comp[e * 8 + j] += w * self.basis[q][j] * f * x[d] / r;
                     }
                 }
             }
         }
+        let mut b = vec![0.0; 4 * nn];
+        for (c, f) in self
+            .assemble_contributions(comm, &contribs)
+            .into_iter()
+            .enumerate()
+        {
+            b[c * nn..(c + 1) * nn].copy_from_slice(&f);
+        }
         let zero = vec![0.0; 4 * nn];
-        self.post(comm, &zero, &mut b);
+        self.identity_rows(&zero, &mut b);
         b
     }
 
@@ -411,8 +478,8 @@ impl StokesFem {
     /// of the inverse-viscosity pressure mass (Schur approximation).
     pub fn preconditioner_diagonals(&self, comm: &impl Communicator) -> (Vec<f64>, Vec<f64>) {
         let nn = self.nn;
-        let mut du = vec![0.0; 3 * nn];
-        let mut dp = vec![0.0; nn];
+        let mut contribs: Vec<Vec<f64>> =
+            (0..4).map(|_| vec![0.0; self.num_elements() * 8]).collect();
         for e in 0..self.num_elements() {
             let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
             let mut eta_bar = 0.0;
@@ -426,22 +493,22 @@ impl StokesFem {
                 let w = self.qp_wdet[e * 8 + q];
                 let g = &self.qp_grads[e * 8 + q];
                 let eta = self.eta_qp[e * 8 + q];
-                for (j, &ni) in en.iter().enumerate() {
+                for j in 0..en.len() {
                     let gj = g[j];
                     let norm2 = gj[0] * gj[0] + gj[1] * gj[1] + gj[2] * gj[2];
-                    for d in 0..3 {
-                        du[d * nn + ni] += w * eta * (norm2 + gj[d] * gj[d]);
+                    for (d, comp) in contribs.iter_mut().take(3).enumerate() {
+                        comp[e * 8 + j] += w * eta * (norm2 + gj[d] * gj[d]);
                     }
-                    dp[ni] += w * self.basis[q][j] * self.basis[q][j] / eta_bar;
+                    contribs[3][e * 8 + j] += w * self.basis[q][j] * self.basis[q][j] / eta_bar;
                 }
             }
         }
-        for c in 0..3 {
-            self.interp.collect_add(&mut du[c * nn..(c + 1) * nn]);
-            self.nodes.assemble_add(comm, &mut du[c * nn..(c + 1) * nn]);
+        let mut fields = self.assemble_contributions(comm, &contribs);
+        let mut dp = fields.pop().expect("pressure diagonal");
+        let mut du = Vec::with_capacity(3 * nn);
+        for f in &fields {
+            du.extend_from_slice(f);
         }
-        self.interp.collect_add(&mut dp);
-        self.nodes.assemble_add(comm, &mut dp);
         // Identity rows.
         for i in 0..nn {
             let hanging = matches!(self.nodes.status[i], NodeStatus::Hanging { .. });
@@ -574,6 +641,71 @@ mod tests {
             let nn = fem.nn;
             assert!(b[3 * nn..].iter().all(|&v| v == 0.0));
         });
+    }
+
+    /// The resilience contract: restarting on a different rank count must
+    /// reproduce the operator bitwise. Runs the same global problem on 1,
+    /// 2, and 3 ranks with a global-dof-keyed input vector and compares
+    /// every owned output value (and the exact dot) bit for bit.
+    #[test]
+    fn operator_and_dot_are_rank_count_invariant() {
+        // Key the input field by the canonical node key (the node's
+        // physical identity), NOT by global id: global ids are rank-blocked
+        // and so differ across rank counts for the same node.
+        fn node_hash(key: (u32, [i32; 3]), c: usize) -> f64 {
+            let mut h = (key.0 as u64) << 8 | c as u64;
+            for v in key.1 {
+                h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (v as u64);
+            }
+            h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 33) as f64 / 2f64.powi(31)) - 1.0
+        }
+        type Keyed = Vec<((u32, [i32; 3]), [u64; 4])>;
+        let mut per_p: Vec<(Keyed, u64)> = Vec::new();
+        for p in [1usize, 2, 3] {
+            let results = run_spmd(p, |comm| {
+                let fem = setup(comm, 1);
+                let nn = fem.nn;
+                let mut x = vec![0.0; 4 * nn];
+                for (i, s) in fem.nodes.status.iter().enumerate() {
+                    if matches!(s, NodeStatus::Independent { .. }) {
+                        for c in 0..4 {
+                            x[c * nn + i] = node_hash(fem.nodes.keys[i], c);
+                        }
+                    }
+                }
+                let mut y = vec![0.0; 4 * nn];
+                fem.apply(comm, &x, &mut y);
+                let d = fem.dot(comm, &x, &y);
+                let mut owned: Keyed = Vec::new();
+                for (i, s) in fem.nodes.status.iter().enumerate() {
+                    if let NodeStatus::Independent { owner, .. } = s {
+                        if *owner == comm.rank() {
+                            let mut bits = [0u64; 4];
+                            for (c, b) in bits.iter_mut().enumerate() {
+                                *b = y[c * nn + i].to_bits();
+                            }
+                            owned.push((fem.nodes.keys[i], bits));
+                        }
+                    }
+                }
+                (owned, d.to_bits())
+            });
+            let mut merged: Keyed = results.iter().flat_map(|r| r.0.iter().copied()).collect();
+            merged.sort_unstable();
+            assert!(
+                results.windows(2).all(|w| w[0].1 == w[1].1),
+                "dot differs across ranks at p = {p}"
+            );
+            per_p.push((merged, results[0].1));
+        }
+        for w in per_p.windows(2) {
+            assert_eq!(w[0].0.len(), w[1].0.len());
+            for (a, b) in w[0].0.iter().zip(&w[1].0) {
+                assert_eq!(a, b, "operator output is rank-count dependent");
+            }
+            assert_eq!(w[0].1, w[1].1, "dot is rank-count dependent");
+        }
     }
 
     #[test]

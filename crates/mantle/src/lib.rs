@@ -20,9 +20,11 @@
 //! and `amr`.
 
 mod fem;
+pub mod recovery;
 mod rheology;
 mod solver;
 
 pub use fem::StokesFem;
+pub use recovery::{MantleAttemptResult, MantleRecoverySetup};
 pub use rheology::{plate_boundary_factor, synthetic_temperature, viscosity, RheologyParams};
 pub use solver::{MantleConfig, MantleSolver, MantleTimers};

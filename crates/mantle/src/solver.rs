@@ -3,8 +3,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use forust::connectivity::Connectivity;
 use forust::dim::D3;
-use forust::forest::{BalanceType, Forest};
+use forust::forest::{BalanceType, CheckpointError, CheckpointMeta, Forest};
 use forust_comm::Communicator;
 use forust_geom::Mapping;
 
@@ -73,6 +74,8 @@ pub struct MantleSolver {
     map: Arc<dyn Mapping<D3> + Send + Sync>,
     /// Current solution `[u; p]`.
     pub x: Vec<f64>,
+    /// Picard iterations completed so far (checkpoint epoch).
+    pub picard_done: usize,
     /// Wall-time split (Fig. 7).
     pub timers: MantleTimers,
 }
@@ -133,6 +136,7 @@ impl MantleSolver {
             fem,
             map,
             x,
+            picard_done: 0,
             timers: MantleTimers::default(),
         };
         s.timers.amr += t0.elapsed();
@@ -143,19 +147,36 @@ impl MantleSolver {
     /// Returns the final velocity norm (diagnostic).
     pub fn solve(&mut self, comm: &impl Communicator) -> f64 {
         let _span = forust_obs::span!("mantle.solve");
-        for it in 0..self.config.picard_iters {
-            // Picard operator construction: refresh viscosity.
-            let t0 = Instant::now();
-            self.fem.update_viscosity(&self.config.rheology, &self.x);
-            let b = self.fem.buoyancy_rhs(comm, self.config.ra);
-            self.timers.solve += t0.elapsed();
-
-            self.minres(comm, &b);
-
-            if (it + 1) % self.config.amr_every == 0 && it + 1 < self.config.picard_iters {
-                self.adapt(comm);
-            }
+        while self.picard_done < self.config.picard_iters {
+            self.picard_step(comm);
         }
+        self.solution_norm(comm)
+    }
+
+    /// One Picard (lagged-viscosity) iteration: refresh the viscosity from
+    /// the current solution, rebuild the buoyancy RHS, solve with MINRES,
+    /// and run dynamic AMR when the schedule says so. The cross-iteration
+    /// state is exactly `(forest, x, picard_done)`, so checkpoints taken
+    /// between calls restore bitwise.
+    pub fn picard_step(&mut self, comm: &impl Communicator) {
+        let it = self.picard_done;
+        // Picard operator construction: refresh viscosity.
+        let t0 = Instant::now();
+        self.fem.update_viscosity(&self.config.rheology, &self.x);
+        let b = self.fem.buoyancy_rhs(comm, self.config.ra);
+        self.timers.solve += t0.elapsed();
+
+        self.minres(comm, &b);
+
+        if (it + 1) % self.config.amr_every == 0 && it + 1 < self.config.picard_iters {
+            self.adapt(comm);
+        }
+        self.picard_done = it + 1;
+    }
+
+    /// Global solution norm `sqrt(<x, x>)` (diagnostic; bitwise
+    /// rank-count-invariant through the exact reduction in `dot`).
+    pub fn solution_norm(&self, comm: &impl Communicator) -> f64 {
         self.fem.dot(comm, &self.x, &self.x).sqrt()
     }
 
@@ -309,11 +330,21 @@ impl MantleSolver {
     ) -> f64 {
         let n = self.fem.vec_len();
         let nn = self.fem.nn;
-        let mut v: Vec<f64> = (0..n)
-            .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as f64 / 1e7)
-            .collect();
-        for i in 3 * nn..n {
-            v[i] = 0.0;
+        // Seed from the canonical node keys, not local indices: every
+        // replica of a node hashes to the same value on any partition,
+        // so the estimated bound — and through it the whole MINRES
+        // trajectory — is bitwise independent of the rank count.
+        let mut v = vec![0.0; n];
+        for (i, &(t, p)) in self.fem.nodes.keys.iter().enumerate() {
+            for c in 0..3 {
+                let mut h = (t as u64)
+                    .wrapping_add((c as u64) << 32)
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                for &x in p.iter() {
+                    h = h.wrapping_add(x as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+                }
+                v[c * nn + i] = (h >> 40) as f64 / 1e7;
+            }
         }
         let mut lam = 1.0;
         let mut av = vec![0.0; n];
@@ -375,6 +406,143 @@ impl MantleSolver {
         self.fem = StokesFem::build(&self.forest, comm, &self.map, &self.config.rheology);
         self.x = vec![0.0; self.fem.vec_len()];
         self.timers.amr += t0.elapsed();
+    }
+
+    /// Per-element corner values of the solution, the checkpoint payload:
+    /// 4 components × 8 corners per element, independent of the rank
+    /// count (shared corners carry identical replicas of the nodal value,
+    /// so duplicate writes on restore are benign).
+    fn corner_chunks(&self) -> Vec<Vec<f64>> {
+        let nn = self.fem.nn;
+        (0..self.fem.num_elements())
+            .map(|e| {
+                let el = self.fem.nodes.element(e);
+                let mut v = Vec::with_capacity(4 * el.len());
+                for c in 0..4 {
+                    for &ni in el {
+                        v.push(self.x[c * nn + ni as usize]);
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Flat per-element corner values of the solution (the checkpoint
+    /// payload layout, 32 values per element). Unlike the nodal vector
+    /// `x`, this layout is independent of the rank count and global dof
+    /// numbering, so gathered copies compare bitwise across partitions.
+    pub fn corner_values(&self) -> Vec<f64> {
+        self.corner_chunks().into_iter().flatten().collect()
+    }
+
+    /// Write a recoverable checkpoint of the solver into `dir`: the forest
+    /// with the per-element corner solution as payload, epoch = Picard
+    /// iterations completed. Everything else — FEM state, viscosity,
+    /// preconditioner — is a deterministic function of `(forest, x)` and
+    /// is rebuilt bitwise identically on [`MantleSolver::restore`], even
+    /// on a different rank count. Collective.
+    pub fn save_checkpoint(
+        &self,
+        comm: &impl Communicator,
+        dir: &std::path::Path,
+    ) -> Result<(), CheckpointError> {
+        self.forest.save_with_payload(
+            comm,
+            dir,
+            self.picard_done as u64,
+            Some(&self.corner_chunks()),
+        )
+    }
+
+    /// This rank's checkpoint as an in-memory byte blob (the same bytes a
+    /// disk checkpoint segment would hold), for diskless buddy mirroring.
+    /// Purely local.
+    pub fn checkpoint_segment(&self, saved_ranks: usize) -> Vec<u8> {
+        self.forest.segment_bytes(
+            saved_ranks,
+            self.picard_done as u64,
+            Some(&self.corner_chunks()),
+        )
+    }
+
+    /// Restore a solver from a checkpoint written by
+    /// [`MantleSolver::save_checkpoint`], possibly onto a different rank
+    /// count. The restored solver continues bitwise identically to an
+    /// uninterrupted run: the solution rides the checkpoint exactly and
+    /// the FEM state is a deterministic rebuild.
+    pub fn restore(
+        comm: &impl Communicator,
+        conn: Arc<Connectivity<D3>>,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: MantleConfig,
+        dir: &std::path::Path,
+    ) -> Result<Self, CheckpointError> {
+        let (forest, chunks, meta) = Forest::load_with_payload::<f64>(conn, comm, dir)?;
+        Self::from_restored(comm, forest, chunks, &meta, map, config)
+    }
+
+    /// [`MantleSolver::restore`] from in-memory segment blobs produced by
+    /// [`MantleSolver::checkpoint_segment`] — the diskless (buddy) path.
+    pub fn restore_from_segments(
+        comm: &impl Communicator,
+        conn: Arc<Connectivity<D3>>,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: MantleConfig,
+        segments: &[Vec<u8>],
+    ) -> Result<Self, CheckpointError> {
+        let (forest, chunks, meta) = Forest::load_from_segment_bytes::<f64>(conn, comm, segments)?;
+        Self::from_restored(comm, forest, chunks, &meta, map, config)
+    }
+
+    fn from_restored(
+        comm: &impl Communicator,
+        forest: Forest<D3>,
+        chunks: Vec<Vec<f64>>,
+        meta: &CheckpointMeta,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: MantleConfig,
+    ) -> Result<Self, CheckpointError> {
+        let fem = StokesFem::build(&forest, comm, &map, &config.rheology);
+        let nn = fem.nn;
+        let mut x = vec![0.0; fem.vec_len()];
+        if chunks.len() != fem.num_elements() {
+            return Err(CheckpointError::Format {
+                file: std::path::PathBuf::from("<payload>"),
+                detail: format!(
+                    "solution payload carries {} elements, mesh has {}",
+                    chunks.len(),
+                    fem.num_elements()
+                ),
+            });
+        }
+        for (e, ch) in chunks.iter().enumerate() {
+            let el = fem.nodes.element(e);
+            if ch.len() != 4 * el.len() {
+                return Err(CheckpointError::Format {
+                    file: std::path::PathBuf::from("<payload>"),
+                    detail: format!(
+                        "element {e} payload has {} values, expected {}",
+                        ch.len(),
+                        4 * el.len()
+                    ),
+                });
+            }
+            for c in 0..4 {
+                for (j, &ni) in el.iter().enumerate() {
+                    x[c * nn + ni as usize] = ch[c * el.len() + j];
+                }
+            }
+        }
+        Ok(MantleSolver {
+            config,
+            forest,
+            fem,
+            map,
+            x,
+            picard_done: meta.epoch as usize,
+            timers: MantleTimers::default(),
+        })
     }
 }
 

@@ -1,0 +1,668 @@
+//! # forust-resilience — solver-generic recovery supervisor
+//!
+//! The SC10 *Extreme-Scale AMR* pipeline runs for hours across hundreds of
+//! thousands of cores; at that scale rank loss and link corruption are
+//! expected events, not exceptions. This crate lifts the checkpoint/restart
+//! driver that grew inside `forust-advect` into a solver-generic
+//! supervisor:
+//!
+//! - [`Recoverable`] is the contract a solver experiment implements —
+//!   build fresh, checkpoint (to disk *and* as in-memory byte segments),
+//!   restore (from either), advance one unit, and produce a gathered,
+//!   rank-count-independent final result. All three workspace experiments
+//!   (advection dG, seismic dG, mantle Stokes cG) implement it.
+//! - [`run_with_recovery`] launches SPMD attempts under an optional
+//!   [`FaultPlan`], stacking [`ReliableComm`] *above* the fault layer so
+//!   transient corruption heals in-band (NACK/retransmit), while crashes
+//!   surface as panics that the supervisor catches; restarts — possibly on
+//!   fewer ranks — resume from the newest checkpoint that validates.
+//! - [`BuddyStore`] adds diskless recovery: at each checkpoint epoch every
+//!   rank mirrors its CRC-framed checkpoint segment to a partner rank
+//!   (`(r+1) % p`) over a reserved tag, so a single-rank crash restores
+//!   entirely from surviving memory, never touching the filesystem. The
+//!   store is the driver-side stand-in for the survivors' address spaces.
+//!
+//! Because every solver carries its cross-epoch state bitwise in the
+//! checkpoint and rebuilds the rest by exact deterministic reductions, a
+//! recovered run finishes bitwise identical to a fault-free run — the
+//! property the chaos soak harness asserts.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use forust::forest::CheckpointError;
+use forust_comm::{
+    run_spmd_with, ChaosComm, CommConfig, Communicator, FaultPlan, RankCrashed, ReliableComm,
+    RetryPolicy, TAG_COLLECTIVE,
+};
+
+/// Reserved tag lane for buddy-checkpoint mirroring (below the collective,
+/// ghost, halo, and assembly lanes).
+pub const TAG_BUDDY: u32 = TAG_COLLECTIVE - 64;
+
+/// The contract between a solver experiment and the recovery supervisor.
+///
+/// Implementors are *experiment specs* (configuration + closures/fn
+/// pointers), cheap to clone and shared across rank threads and restart
+/// attempts; the associated [`Recoverable::Solver`] is the per-rank live
+/// state. Units are whatever the solver advances by (RK steps, Picard
+/// iterations); checkpoints are taken at unit boundaries.
+pub trait Recoverable: Sync {
+    /// Live per-rank solver state.
+    type Solver;
+    /// Gathered, rank-count-independent final product (what the bitwise
+    /// oracle compares).
+    type Final: Clone + Send + 'static;
+
+    /// Fresh build on this communicator (no checkpoint found).
+    fn build<C: Communicator>(&self, comm: &C) -> Self::Solver;
+    /// Restore from a disk checkpoint directory. Collective; must fail
+    /// identically on every rank for a given directory state.
+    fn restore<C: Communicator>(
+        &self,
+        comm: &C,
+        dir: &Path,
+    ) -> Result<Self::Solver, CheckpointError>;
+    /// Restore from per-rank in-memory segment blobs (the buddy path).
+    fn restore_from_segments<C: Communicator>(
+        &self,
+        comm: &C,
+        segments: &[Vec<u8>],
+    ) -> Result<Self::Solver, CheckpointError>;
+    /// Write a disk checkpoint into `dir`. Collective.
+    fn save_checkpoint<C: Communicator>(
+        &self,
+        solver: &Self::Solver,
+        comm: &C,
+        dir: &Path,
+    ) -> Result<(), CheckpointError>;
+    /// This rank's checkpoint as one opaque byte blob (CRC-protected by
+    /// the implementor). Purely local.
+    fn checkpoint_segment(&self, solver: &Self::Solver, saved_ranks: usize) -> Vec<u8>;
+    /// Units completed so far (restored bitwise by the checkpoint).
+    fn units_done(&self, solver: &Self::Solver) -> usize;
+    /// Units the experiment runs to.
+    fn total_units(&self) -> usize;
+    /// Checkpoint cadence in units.
+    fn checkpoint_every(&self) -> usize;
+    /// Advance the solver by one unit. Collective.
+    fn advance<C: Communicator>(&self, solver: &mut Self::Solver, comm: &C);
+    /// Gather the final result (redundantly on every rank). Collective.
+    fn finish<C: Communicator>(&self, solver: &Self::Solver, comm: &C) -> Self::Final;
+}
+
+/// One checkpoint epoch in the buddy store: for each saving rank `i`,
+/// `primary[i]` is the segment held by `i` itself and `mirror[i]` the copy
+/// held by its buddy `(i+1) % saved_ranks`. A rank's death wipes
+/// everything *it* held — its own primary and the mirror it kept for its
+/// predecessor — and the epoch stays restorable as long as one copy of
+/// every segment survives.
+struct BuddyEpoch {
+    saved_ranks: usize,
+    primary: Vec<Option<Vec<u8>>>,
+    mirror: Vec<Option<Vec<u8>>>,
+}
+
+impl BuddyEpoch {
+    /// The full segment set if one copy of every segment survives.
+    fn segments(&self) -> Option<Vec<Vec<u8>>> {
+        (0..self.saved_ranks)
+            .map(|i| {
+                self.primary[i]
+                    .as_ref()
+                    .or(self.mirror[i].as_ref())
+                    .cloned()
+            })
+            .collect()
+    }
+}
+
+/// Driver-side stand-in for the ranks' in-memory checkpoint copies.
+///
+/// In a real deployment each rank would keep its newest segment and its
+/// buddy's in RAM; here rank threads share the driver's address space, so
+/// the store *is* that memory, and [`BuddyStore::mark_dead`] models the
+/// loss of one rank's RAM. The mirrored copy still travels over the
+/// communicator (tag [`TAG_BUDDY`]) so the fault/healing stack exercises
+/// the transfer.
+#[derive(Default)]
+pub struct BuddyStore {
+    epochs: Mutex<HashMap<u64, BuddyEpoch>>,
+}
+
+impl BuddyStore {
+    /// An empty store, shareable across attempts.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record what rank `rank` holds after the epoch-`epoch` mirror round:
+    /// its own segment plus (on multi-rank runs) the copy received from
+    /// its predecessor.
+    fn put(
+        &self,
+        epoch: u64,
+        saved_ranks: usize,
+        rank: usize,
+        own: Vec<u8>,
+        mirrored: Option<(usize, Vec<u8>)>,
+    ) {
+        let mut epochs = self.epochs.lock().unwrap();
+        let e = epochs.entry(epoch).or_insert_with(|| BuddyEpoch {
+            saved_ranks,
+            primary: vec![None; saved_ranks],
+            mirror: vec![None; saved_ranks],
+        });
+        e.primary[rank] = Some(own);
+        if let Some((from, seg)) = mirrored {
+            e.mirror[from] = Some(seg);
+        }
+    }
+
+    /// Model the death of `rank`: drop every copy it held, in every epoch.
+    pub fn mark_dead(&self, rank: usize) {
+        let mut epochs = self.epochs.lock().unwrap();
+        for e in epochs.values_mut() {
+            if rank < e.saved_ranks {
+                e.primary[rank] = None;
+                e.mirror[(rank + e.saved_ranks - 1) % e.saved_ranks] = None;
+            }
+        }
+    }
+
+    /// Epochs whose full segment set survives, newest first.
+    pub fn epochs_newest_first(&self) -> Vec<(u64, Vec<Vec<u8>>)> {
+        let epochs = self.epochs.lock().unwrap();
+        let mut out: Vec<(u64, Vec<Vec<u8>>)> = epochs
+            .iter()
+            .filter_map(|(&n, e)| e.segments().map(|s| (n, s)))
+            .collect();
+        out.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
+        out
+    }
+
+    /// Total bytes currently held (diagnostic).
+    pub fn bytes(&self) -> usize {
+        let epochs = self.epochs.lock().unwrap();
+        epochs
+            .values()
+            .flat_map(|e| e.primary.iter().chain(&e.mirror))
+            .flatten()
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+/// Where attempts write checkpoints and restarts look for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Per-epoch subdirectories of the checkpoint root (durable).
+    Disk,
+    /// Buddy-mirrored in-memory segments only (diskless).
+    Buddy,
+    /// Both: buddy preferred on restore, disk as the fallback.
+    Both,
+}
+
+/// Where a successful attempt got its starting state from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreSource {
+    /// Fresh build, no checkpoint found.
+    Fresh,
+    /// Diskless restore from buddy segments of this epoch.
+    Buddy(u64),
+    /// Disk restore from this epoch's directory.
+    Disk(u64),
+}
+
+/// Tuning of [`run_with_recovery_opts`].
+#[derive(Clone)]
+pub struct RecoveryOptions {
+    /// SPMD launches before the last failure is resumed to the caller.
+    pub max_attempts: usize,
+    /// Receive deadline of the underlying transport: a wedged rank
+    /// becomes a diagnostic panic (and thus a restart) instead of a hang.
+    pub deadline: Duration,
+    /// Self-healing transport policy; `None` runs bare (no retransmit).
+    pub retry: Option<RetryPolicy>,
+    /// Checkpoint placement.
+    pub mode: CheckpointMode,
+    /// The buddy memory (required for `Buddy`/`Both` modes).
+    pub buddy: Option<Arc<BuddyStore>>,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            max_attempts: 3,
+            deadline: Duration::from_secs(60),
+            retry: Some(RetryPolicy::default()),
+            mode: CheckpointMode::Disk,
+            buddy: None,
+        }
+    }
+}
+
+/// Outcome of [`run_with_recovery`].
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome<F> {
+    /// The completed run's gathered result.
+    pub result: F,
+    /// SPMD launches needed (1 = no fault fired).
+    pub attempts: usize,
+    /// The injected crash that was caught, if any.
+    pub injected_crash: Option<RankCrashed>,
+    /// Where the final (successful) attempt restored from.
+    pub restored_from: RestoreSource,
+    /// Self-healing transport counters summed over all ranks and
+    /// attempts (`comm.retry.*`).
+    pub retry_counts: Vec<(&'static str, u64)>,
+    /// Injected-fault counters summed over the chaos attempt's ranks
+    /// (`chaos.*`).
+    pub fault_counts: Vec<(&'static str, u64)>,
+    /// Human-readable log of each failed attempt (names the dead peer).
+    pub failures: Vec<String>,
+}
+
+/// Epoch subdirectories of the checkpoint root, newest first.
+pub fn epochs_newest_first(root: &Path) -> Vec<(u64, PathBuf)> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if let Some(num) = name.strip_prefix("epoch_") {
+                if let Ok(n) = num.parse::<u64>() {
+                    found.push((n, e.path()));
+                }
+            }
+        }
+    }
+    found.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
+    found
+}
+
+/// One SPMD attempt: restore from the newest checkpoint that validates
+/// (buddy segments preferred over disk at equal epoch, fresh build if
+/// nothing validates), run to completion with periodic checkpoints, and
+/// gather the final result.
+pub fn attempt<C: Communicator, R: Recoverable>(
+    comm: &C,
+    exp: &R,
+    ckpt_root: &Path,
+    opts: &RecoveryOptions,
+) -> (R::Final, RestoreSource) {
+    let buddy = opts.buddy.as_deref();
+
+    // Candidates newest-epoch-first; every rank scans the same shared
+    // state with the same logic, so all ranks agree on the pick without
+    // communicating.
+    let mut candidates: Vec<(u64, RestoreSource)> = Vec::new();
+    if opts.mode != CheckpointMode::Disk {
+        if let Some(store) = buddy {
+            for (n, _) in store.epochs_newest_first() {
+                candidates.push((n, RestoreSource::Buddy(n)));
+            }
+        }
+    }
+    if opts.mode != CheckpointMode::Buddy {
+        for (n, _) in epochs_newest_first(ckpt_root) {
+            candidates.push((n, RestoreSource::Disk(n)));
+        }
+    }
+    // Stable sort: at equal epoch the buddy copy (pushed first) wins —
+    // it is the copy that never left memory.
+    candidates.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
+
+    let mut restored = RestoreSource::Fresh;
+    let mut solver = None;
+    for (n, source) in candidates {
+        let r = match source {
+            RestoreSource::Buddy(_) => {
+                let segments = buddy
+                    .and_then(|s| {
+                        s.epochs_newest_first()
+                            .into_iter()
+                            .find(|(e, _)| *e == n)
+                            .map(|(_, segs)| segs)
+                    })
+                    .expect("buddy epoch listed but vanished");
+                exp.restore_from_segments(comm, &segments)
+            }
+            RestoreSource::Disk(_) => exp.restore(comm, &ckpt_root.join(format!("epoch_{n}"))),
+            RestoreSource::Fresh => unreachable!(),
+        };
+        if let Ok(s) = r {
+            restored = source;
+            solver = Some(s);
+            break;
+        }
+    }
+    let mut solver = solver.unwrap_or_else(|| exp.build(comm));
+
+    while exp.units_done(&solver) < exp.total_units() {
+        exp.advance(&mut solver, comm);
+        let done = exp.units_done(&solver);
+        if done % exp.checkpoint_every() == 0 && done < exp.total_units() {
+            let _span = forust_obs::span!("resilience.checkpoint");
+            if opts.mode != CheckpointMode::Buddy {
+                let dir = ckpt_root.join(format!("epoch_{done}"));
+                exp.save_checkpoint(&solver, comm, &dir)
+                    .unwrap_or_else(|e| panic!("rank {}: checkpoint failed: {e}", comm.rank()));
+            }
+            if opts.mode != CheckpointMode::Disk {
+                if let Some(store) = buddy {
+                    mirror_segments(comm, exp, &solver, store, done as u64);
+                }
+            }
+        }
+    }
+
+    (exp.finish(&solver, comm), restored)
+}
+
+/// The buddy mirror round at one checkpoint epoch: send my segment to
+/// `(r+1) % p`, receive my predecessor's, record both in the store. The
+/// copy travels through the full communicator stack, so injected faults
+/// hit it and the reliable layer heals it like any other traffic.
+fn mirror_segments<C: Communicator, R: Recoverable>(
+    comm: &C,
+    exp: &R,
+    solver: &R::Solver,
+    store: &BuddyStore,
+    epoch: u64,
+) {
+    let p = comm.size();
+    let r = comm.rank();
+    let own = exp.checkpoint_segment(solver, p);
+    forust_obs::counter_add("resilience.buddy_bytes", own.len() as u64);
+    let mirrored = if p > 1 {
+        let partner = (r + 1) % p;
+        comm.send(partner, TAG_BUDDY, &own);
+        let from = (r + p - 1) % p;
+        let seg: Vec<u8> = comm.recv(from, TAG_BUDDY);
+        Some((from, seg))
+    } else {
+        None
+    };
+    store.put(epoch, p, r, own, mirrored);
+}
+
+/// Run an experiment under fault injection with checkpoint/restart
+/// recovery, with default options ([`CheckpointMode::Disk`], self-healing
+/// transport on).
+///
+/// The first attempt launches `ranks` ranks, each wrapped in a
+/// [`ChaosComm`] (when a `plan` is given) underneath a [`ReliableComm`];
+/// corruption and delay heal in-band, crashes kill the attempt. If the
+/// run dies, subsequent attempts launch `restart_ranks` ranks *without*
+/// fault injection and resume from the newest valid checkpoint. Panics
+/// beyond `max_attempts` launches are resumed to the caller.
+pub fn run_with_recovery<R: Recoverable>(
+    ranks: usize,
+    restart_ranks: usize,
+    plan: Option<FaultPlan>,
+    ckpt_root: &Path,
+    exp: &R,
+    max_attempts: usize,
+) -> RecoveryOutcome<R::Final> {
+    let opts = RecoveryOptions {
+        max_attempts,
+        ..RecoveryOptions::default()
+    };
+    run_with_recovery_opts(ranks, restart_ranks, plan, ckpt_root, exp, &opts)
+}
+
+/// Per-rank product of one attempt: the result plus the healing/fault
+/// counters harvested from that rank's communicator stack.
+struct RankReport<F> {
+    result: F,
+    source: RestoreSource,
+    retry: Vec<(&'static str, u64)>,
+    faults: Vec<(&'static str, u64)>,
+}
+
+/// [`run_with_recovery`] with full control over transport healing,
+/// checkpoint placement, and buddy memory.
+pub fn run_with_recovery_opts<R: Recoverable>(
+    ranks: usize,
+    restart_ranks: usize,
+    plan: Option<FaultPlan>,
+    ckpt_root: &Path,
+    exp: &R,
+    opts: &RecoveryOptions,
+) -> RecoveryOutcome<R::Final> {
+    let config = CommConfig::with_deadline(opts.deadline);
+    let mut attempts = 0;
+    let mut injected_crash = None;
+    let mut failures = Vec::new();
+    let mut retry_sum: HashMap<&'static str, u64> = HashMap::new();
+    let mut fault_sum: HashMap<&'static str, u64> = HashMap::new();
+    loop {
+        attempts += 1;
+        let first = attempts == 1;
+        let p = if first { ranks } else { restart_ranks };
+        let _recover_span = if first {
+            None
+        } else {
+            Some(forust_obs::span!("comm.recover"))
+        };
+        let run = catch_unwind(AssertUnwindSafe(|| -> Vec<RankReport<R::Final>> {
+            match (first, &plan, &opts.retry) {
+                (true, Some(plan), Some(policy)) => {
+                    let (plan, policy) = (plan.clone(), policy.clone());
+                    run_spmd_with(
+                        p,
+                        config.clone(),
+                        move |tc| {
+                            ReliableComm::new(ChaosComm::new(tc, plan.clone()), policy.clone())
+                        },
+                        |comm| {
+                            let (result, source) = attempt(comm, exp, ckpt_root, opts);
+                            RankReport {
+                                result,
+                                source,
+                                retry: comm.retry_counts(),
+                                faults: comm.inner().fault_counts(),
+                            }
+                        },
+                    )
+                }
+                (true, Some(plan), None) => {
+                    let plan = plan.clone();
+                    run_spmd_with(
+                        p,
+                        config.clone(),
+                        move |tc| ChaosComm::new(tc, plan.clone()),
+                        |comm| {
+                            let (result, source) = attempt(comm, exp, ckpt_root, opts);
+                            RankReport {
+                                result,
+                                source,
+                                retry: Vec::new(),
+                                faults: comm.fault_counts(),
+                            }
+                        },
+                    )
+                }
+                (_, _, Some(policy)) => {
+                    let policy = policy.clone();
+                    run_spmd_with(
+                        p,
+                        config.clone(),
+                        move |tc| ReliableComm::new(tc, policy.clone()),
+                        |comm| {
+                            let (result, source) = attempt(comm, exp, ckpt_root, opts);
+                            RankReport {
+                                result,
+                                source,
+                                retry: comm.retry_counts(),
+                                faults: Vec::new(),
+                            }
+                        },
+                    )
+                }
+                (_, _, None) => run_spmd_with(
+                    p,
+                    config.clone(),
+                    |tc| tc,
+                    |comm| {
+                        let (result, source) = attempt(comm, exp, ckpt_root, opts);
+                        RankReport {
+                            result,
+                            source,
+                            retry: Vec::new(),
+                            faults: Vec::new(),
+                        }
+                    },
+                ),
+            }
+        }));
+        match run {
+            Ok(mut reports) => {
+                for rep in &reports {
+                    for &(k, v) in &rep.retry {
+                        *retry_sum.entry(k).or_default() += v;
+                    }
+                    for &(k, v) in &rep.faults {
+                        *fault_sum.entry(k).or_default() += v;
+                    }
+                }
+                let rep = reports.swap_remove(0);
+                let mut retry_counts: Vec<_> = retry_sum.into_iter().collect();
+                retry_counts.sort();
+                let mut fault_counts: Vec<_> = fault_sum.into_iter().collect();
+                fault_counts.sort();
+                for &(k, v) in &retry_counts {
+                    forust_obs::counter_add(k, v);
+                }
+                for &(k, v) in &fault_counts {
+                    forust_obs::counter_add(k, v);
+                }
+                return RecoveryOutcome {
+                    result: rep.result,
+                    attempts,
+                    injected_crash,
+                    restored_from: rep.source,
+                    retry_counts,
+                    fault_counts,
+                    failures,
+                };
+            }
+            Err(payload) => {
+                let why = if let Some(rc) = payload.downcast_ref::<RankCrashed>() {
+                    injected_crash = Some(*rc);
+                    if let Some(store) = &opts.buddy {
+                        store.mark_dead(rc.rank);
+                    }
+                    format!("rank {} crashed at communication call {}", rc.rank, rc.call)
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else {
+                    "opaque panic payload".to_string()
+                };
+                let line = format!(
+                    "recovery: attempt {attempts} on {p} ranks failed ({why}); \
+                     restarting on {restart_ranks} ranks"
+                );
+                eprintln!("{line}");
+                forust_obs::counter_add("resilience.attempts_failed", 1);
+                failures.push(line);
+                if attempts >= opts.max_attempts {
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Populate one epoch the way a 3-rank mirror round would: rank r
+    /// stores its own segment and the copy received from (r+p-1)%p.
+    fn fill_epoch(store: &BuddyStore, epoch: u64, p: usize) {
+        for r in 0..p {
+            let pred = (r + p - 1) % p;
+            store.put(
+                epoch,
+                p,
+                r,
+                vec![r as u8; 4],
+                Some((pred, vec![pred as u8; 4])),
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_survives_single_rank_death() {
+        let store = BuddyStore::new();
+        fill_epoch(&store, 4, 3);
+
+        // Rank 1 dies: loses primary[1] and the mirror it held for rank 0.
+        store.mark_dead(1);
+        let epochs = store.epochs_newest_first();
+        assert_eq!(epochs.len(), 1);
+        let (n, segs) = &epochs[0];
+        assert_eq!(*n, 4);
+        assert_eq!(segs.len(), 3);
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s, &vec![i as u8; 4], "segment {i} corrupted or misplaced");
+        }
+    }
+
+    #[test]
+    fn epoch_dies_when_both_copies_of_a_segment_are_lost() {
+        let store = BuddyStore::new();
+        fill_epoch(&store, 4, 3);
+
+        // Rank 1's segment lives as primary[1] (on rank 1) and mirror[1]
+        // (on rank 2). Killing both ranks loses both copies.
+        store.mark_dead(1);
+        store.mark_dead(2);
+        assert!(store.epochs_newest_first().is_empty());
+    }
+
+    #[test]
+    fn single_rank_store_cannot_survive_its_only_rank() {
+        let store = BuddyStore::new();
+        store.put(7, 1, 0, vec![1, 2, 3], None);
+        assert_eq!(store.epochs_newest_first().len(), 1);
+        store.mark_dead(0);
+        assert!(store.epochs_newest_first().is_empty());
+    }
+
+    #[test]
+    fn epochs_sorted_newest_first_and_partial_epochs_skipped() {
+        let store = BuddyStore::new();
+        fill_epoch(&store, 2, 3);
+        fill_epoch(&store, 5, 3);
+        // Epoch 7 only has rank 0's contribution: rank 2's segment has no
+        // surviving copy, so the epoch must not be offered for restore.
+        store.put(7, 3, 0, vec![0; 4], Some((2, vec![2; 4])));
+        store.mark_dead(2);
+
+        let epochs: Vec<u64> = store
+            .epochs_newest_first()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(epochs, vec![5, 2]);
+    }
+
+    #[test]
+    fn bytes_accounts_for_all_copies() {
+        let store = BuddyStore::new();
+        fill_epoch(&store, 1, 2);
+        // 2 primaries + 2 mirrors, 4 bytes each.
+        assert_eq!(store.bytes(), 16);
+        store.mark_dead(0);
+        assert_eq!(store.bytes(), 8);
+    }
+}

@@ -17,7 +17,9 @@
 
 pub mod device;
 pub mod model;
+pub mod recovery;
 pub mod solver;
 
 pub use model::{prem_like, prem_like_at, ricker, Material};
+pub use recovery::{SeismicAttemptResult, SeismicRecoverySetup};
 pub use solver::{SeismicConfig, SeismicSolver, SeismicTimers, NCOMP};

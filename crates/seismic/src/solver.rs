@@ -14,9 +14,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use forust::connectivity::Connectivity;
 use forust::dim::D3;
-use forust::forest::{BalanceType, Forest};
-use forust_comm::Communicator;
+use forust::forest::{BalanceType, CheckpointError, Forest};
+use forust_comm::{Communicator, Wire};
 use forust_dg::geometry::MeshGeometry;
 use forust_dg::halo::{HaloData, HaloExchange};
 use forust_dg::kernels::{self, KernelWorkspace};
@@ -984,6 +985,170 @@ impl SeismicSolver {
         }
     }
 
+    /// Write a recoverable checkpoint of the solver into `dir`: the
+    /// forest with the per-element state as payload (epoch = step count),
+    /// plus a CRC-trailed `solver.fst` holding the exact scalar state
+    /// (`time` bits, step count). Collective.
+    ///
+    /// Everything else — mesh, metric terms, nodal material, `dt` — is a
+    /// deterministic function of the forest, configuration, and material
+    /// model, and is rebuilt bitwise identically on
+    /// [`SeismicSolver::restore`], even on a different rank count.
+    pub fn save_checkpoint(
+        &self,
+        comm: &impl Communicator,
+        dir: &std::path::Path,
+    ) -> Result<(), CheckpointError> {
+        let chunk = self.mesh.re.nodes_per_elem(3) * NCOMP;
+        let chunks: Vec<Vec<f64>> = self.q.chunks(chunk).map(|c| c.to_vec()).collect();
+        self.forest
+            .save_with_payload(comm, dir, self.timers.steps as u64, Some(&chunks))?;
+        if comm.rank() == 0 {
+            let buf = self.scalar_state_bytes();
+            let tmp = dir.join("solver.fst.tmp");
+            std::fs::write(&tmp, &buf)?;
+            std::fs::rename(tmp, dir.join("solver.fst"))?;
+        }
+        comm.barrier();
+        Ok(())
+    }
+
+    /// The CRC-trailed scalar-state blob (`solver.fst` body): simulated
+    /// time bits and step count. Replicated on every rank.
+    fn scalar_state_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        SOLVER_MAGIC.encode(&mut buf);
+        self.time.to_bits().encode(&mut buf);
+        (self.timers.steps as u64).encode(&mut buf);
+        buf.extend_from_slice(&forust_comm::crc32(&buf).to_le_bytes());
+        buf
+    }
+
+    /// This rank's checkpoint as one in-memory byte blob for diskless
+    /// buddy mirroring: `[u64 segment length] ++ forest segment ++ scalar
+    /// state`, where the forest segment is byte-identical to what
+    /// [`SeismicSolver::save_checkpoint`] would write to disk. Purely
+    /// local.
+    pub fn checkpoint_segment(&self, saved_ranks: usize) -> Vec<u8> {
+        let chunk = self.mesh.re.nodes_per_elem(3) * NCOMP;
+        let chunks: Vec<Vec<f64>> = self.q.chunks(chunk).map(|c| c.to_vec()).collect();
+        let seg = self
+            .forest
+            .segment_bytes(saved_ranks, self.timers.steps as u64, Some(&chunks));
+        let mut blob = Vec::with_capacity(8 + seg.len() + 28);
+        (seg.len() as u64).encode(&mut blob);
+        blob.extend_from_slice(&seg);
+        blob.extend_from_slice(&self.scalar_state_bytes());
+        blob
+    }
+
+    /// Restore a solver from a checkpoint written by
+    /// [`SeismicSolver::save_checkpoint`], possibly onto a different rank
+    /// count; the restored state continues bitwise identically to an
+    /// uninterrupted run.
+    pub fn restore(
+        comm: &impl Communicator,
+        conn: Arc<Connectivity<D3>>,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: SeismicConfig,
+        model: impl Fn([f64; 3]) -> Material + Copy,
+        dir: &std::path::Path,
+    ) -> Result<Self, CheckpointError> {
+        let (forest, chunks, meta) = Forest::load_with_payload::<f64>(conn, comm, dir)?;
+        let spath = dir.join("solver.fst");
+        let bytes = std::fs::read(&spath)?;
+        let (time, steps) = parse_scalar_state(&bytes, &spath)?;
+        if steps as u64 != meta.epoch {
+            return Err(CheckpointError::Format {
+                file: spath,
+                detail: "solver step count disagrees with checkpoint epoch".to_string(),
+            });
+        }
+        Self::from_restored(comm, forest, chunks, time, steps, map, config, model)
+    }
+
+    /// [`SeismicSolver::restore`] from in-memory blobs produced by
+    /// [`SeismicSolver::checkpoint_segment`] — the diskless (buddy) path.
+    pub fn restore_from_segments(
+        comm: &impl Communicator,
+        conn: Arc<Connectivity<D3>>,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: SeismicConfig,
+        model: impl Fn([f64; 3]) -> Material + Copy,
+        segments: &[Vec<u8>],
+    ) -> Result<Self, CheckpointError> {
+        let (segs, scalar) = split_segment_blobs(segments)?;
+        let (forest, chunks, meta) = Forest::load_from_segment_bytes::<f64>(conn, comm, &segs)?;
+        let origin = std::path::PathBuf::from("<memory solver state>");
+        let (time, steps) = parse_scalar_state(&scalar, &origin)?;
+        if steps as u64 != meta.epoch {
+            return Err(CheckpointError::Format {
+                file: origin,
+                detail: "solver step count disagrees with checkpoint epoch".to_string(),
+            });
+        }
+        Self::from_restored(comm, forest, chunks, time, steps, map, config, model)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_restored(
+        comm: &impl Communicator,
+        forest: Forest<D3>,
+        chunks: Vec<Vec<f64>>,
+        time: f64,
+        steps: usize,
+        map: Arc<dyn Mapping<D3> + Send + Sync>,
+        config: SeismicConfig,
+        model: impl Fn([f64; 3]) -> Material + Copy,
+    ) -> Result<Self, CheckpointError> {
+        let mesh = DgMesh::build(&forest, comm, config.degree);
+        let geo = MeshGeometry::build(&mesh, &*map);
+        let halo = HaloExchange::build(&mesh);
+        let npe = mesh.re.nodes_per_elem(3);
+        let q: Vec<f64> = chunks.into_iter().flatten().collect();
+        if q.len() != mesh.num_elements() * npe * NCOMP {
+            return Err(CheckpointError::Format {
+                file: std::path::PathBuf::from("<payload>"),
+                detail: "state payload does not match the mesh size".to_string(),
+            });
+        }
+        let resid = vec![0.0; q.len()];
+        let mat: Vec<[f64; 3]> = geo
+            .pos
+            .iter()
+            .map(|&x| {
+                let m = model(x);
+                [m.rho, m.lambda(), m.mu()]
+            })
+            .collect();
+        let (wv, wf, face_idx) = cache_constants(&mesh.re);
+        let mut ws = KernelWorkspace::new();
+        ws.configure(npe, mesh.re.nodes_per_face(3), NCOMP);
+        let mut solver = SeismicSolver {
+            config,
+            forest,
+            mesh,
+            geo,
+            halo,
+            q,
+            resid,
+            mat,
+            time,
+            dt: 0.0,
+            timers: SeismicTimers {
+                steps,
+                ..Default::default()
+            },
+            wv,
+            wf,
+            face_idx,
+            ws,
+            stage_k: Vec::new(),
+        };
+        solver.dt = solver.stable_dt(comm);
+        Ok(solver)
+    }
+
     /// Maximum velocity magnitude (diagnostic / wavefront indicator).
     pub fn max_velocity(&self, comm: &impl Communicator) -> f64 {
         let npe = self.mesh.re.nodes_per_elem(3);
@@ -996,6 +1161,70 @@ impl SeismicSolver {
         }
         comm.allreduce_max_f64(m)
     }
+}
+
+/// Magic header of the solver scalar-state checkpoint blob.
+const SOLVER_MAGIC: u64 = 0x464f_5255_5345_4953; // "FORU SEIS"
+
+/// Validate the CRC trailer of a scalar-state blob and decode
+/// `(time, steps)`.
+fn parse_scalar_state(
+    bytes: &[u8],
+    origin: &std::path::Path,
+) -> Result<(f64, usize), CheckpointError> {
+    let bad = |detail: &str| CheckpointError::Format {
+        file: origin.to_path_buf(),
+        detail: detail.to_string(),
+    };
+    if bytes.len() < 4 {
+        return Err(bad("too short to carry a CRC trailer"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes(trailer.try_into().unwrap());
+    let actual = forust_comm::crc32(body);
+    if expected != actual {
+        return Err(CheckpointError::Crc {
+            file: origin.to_path_buf(),
+            expected,
+            actual,
+        });
+    }
+    let mut s = body;
+    if u64::decode(&mut s) != Some(SOLVER_MAGIC) {
+        return Err(bad("not a solver state blob"));
+    }
+    let time = f64::from_bits(u64::decode(&mut s).ok_or_else(|| bad("truncated time"))?);
+    let steps = u64::decode(&mut s).ok_or_else(|| bad("truncated step count"))? as usize;
+    Ok((time, steps))
+}
+
+/// Split buddy blobs (`[u64 len] ++ forest segment ++ scalar state`) into
+/// the per-rank forest segments and one scalar-state blob (replicated in
+/// every blob; the first is used).
+fn split_segment_blobs(blobs: &[Vec<u8>]) -> Result<(Vec<Vec<u8>>, Vec<u8>), CheckpointError> {
+    let origin = std::path::PathBuf::from("<memory solver state>");
+    let mut segs = Vec::with_capacity(blobs.len());
+    let mut scalar: Option<Vec<u8>> = None;
+    for blob in blobs {
+        let mut s = blob.as_slice();
+        let len = u64::decode(&mut s).ok_or_else(|| CheckpointError::Format {
+            file: origin.clone(),
+            detail: "truncated segment length".to_string(),
+        })? as usize;
+        if s.len() < len {
+            return Err(CheckpointError::Format {
+                file: origin.clone(),
+                detail: "segment blob shorter than its declared length".to_string(),
+            });
+        }
+        let (seg, rest) = s.split_at(len);
+        segs.push(seg.to_vec());
+        scalar.get_or_insert_with(|| rest.to_vec());
+    }
+    let scalar = scalar.ok_or(CheckpointError::NoCheckpoint {
+        dir: std::path::PathBuf::from("<memory>"),
+    })?;
+    Ok((segs, scalar))
 }
 
 fn cache_constants(re: &forust_dg::RefElement) -> (Vec<f64>, Vec<f64>, Vec<Vec<usize>>) {
