@@ -17,6 +17,12 @@ use forust_dg::lserk::{LSERK_A, LSERK_B};
 use forust_dg::mesh::{DgMesh, ElemRef, FaceConn};
 use forust_dg::transfer::transfer_fields;
 use forust_geom::Mapping;
+use forust_pool::{DisjointSlice, PerLane, SyncMutPtr};
+
+/// Elements per pool chunk in the RHS sweeps. Chunk boundaries are a
+/// function of the element count and this constant only, never of the
+/// worker count — part of the bitwise-determinism contract.
+const RHS_GRAIN: usize = 8;
 
 /// Parameters of the advection experiment (defaults follow §III-B).
 #[derive(Debug, Clone)]
@@ -96,8 +102,14 @@ pub struct AdvectSolver {
     wf: Vec<f64>,
     face_idx: Vec<Vec<usize>>,
     /// Kernel-engine scratch arena (gradient panels, face traces, mortar
-    /// buffers), sized once per mesh (re)build.
+    /// buffers), sized once per mesh (re)build. Lane 0 of the worker
+    /// pool (the rank thread) runs on this one.
     pub ws: KernelWorkspace,
+    /// Scratch for pool lanes `1..width` (slot 0 exists but is unused:
+    /// lane 0 stays on [`ws`](Self::ws)). Rebuilt only when the
+    /// configured worker count changes; reconfigured per adapt so
+    /// steady-state stepping allocates nothing.
+    ws_lanes: PerLane<KernelWorkspace>,
     /// RK stage buffer, hoisted out of [`step`](Self::step) so steady-state
     /// stepping allocates nothing.
     stage_k: Vec<f64>,
@@ -165,6 +177,7 @@ impl AdvectSolver {
         let caches = velocity_caches(&mesh, &geo, velocity);
         let mut ws = KernelWorkspace::new();
         ws.configure(npe, npf, 1);
+        let ws_lanes = lane_workspaces(npe, npf);
 
         let mut s = AdvectSolver {
             config,
@@ -183,6 +196,7 @@ impl AdvectSolver {
             wf,
             face_idx,
             ws,
+            ws_lanes,
             stage_k: Vec::new(),
             vel: caches.vel,
             mortar_vel: caches.mortar_vel,
@@ -233,6 +247,7 @@ impl AdvectSolver {
     pub fn step(&mut self, comm: &impl Communicator) {
         let _span = forust_obs::span!("advect.step");
         let t0 = Instant::now();
+        self.ensure_lane_workspaces();
         // 2N-storage RK with a hand-rolled loop so the ghost exchange can
         // borrow disjoint fields. The stage buffer and workspace are
         // moved out of `self` for the duration of the stages so
@@ -267,38 +282,83 @@ impl AdvectSolver {
     /// Split-phase: the face-trace ghost exchange goes on the wire first,
     /// interior elements (which read no ghost) are computed while the
     /// messages fly, then the boundary elements finish after the traces
-    /// arrive. Element results are independent, so the reordering is
-    /// bitwise identical to the old exchange-then-sweep loop.
+    /// arrive. Each sweep fans out over the rank's worker pool in fixed
+    /// chunks; element results are independent and written to disjoint
+    /// windows, so the result is bitwise identical to the serial
+    /// exchange-then-sweep loop at any worker count.
     fn compute_rhs(&self, comm: &impl Communicator, ws: &mut KernelWorkspace, out: &mut [f64]) {
         let pending = self.halo.begin(comm, &self.c, 1);
+        let lane0 = SyncMutPtr(ws as *mut KernelWorkspace);
         {
             let _span = forust_obs::span!("rhs.interior");
-            for &e in self.halo.interior() {
-                self.rhs_element(e as usize, None, ws, out);
-            }
+            self.rhs_sweep(self.halo.interior(), None, &lane0, out);
         }
         let traces = {
             let _span = forust_obs::span!("rhs.exchange_wait");
             pending.finish()
         };
         let _span = forust_obs::span!("rhs.boundary");
-        for &e in self.halo.boundary() {
-            self.rhs_element(e as usize, Some(&traces), ws, out);
-        }
+        self.rhs_sweep(self.halo.boundary(), Some(&traces), &lane0, out);
         forust_obs::counter_add("kernels.rhs_elements", self.mesh.num_elements() as u64);
+    }
+
+    /// Pool sweep over one element list: lane 0 works on the
+    /// solver-owned workspace behind `lane0`, lanes `1..` on their
+    /// [`PerLane`] slots, and every element writes only its own
+    /// `npe`-window of `out`.
+    fn rhs_sweep(
+        &self,
+        list: &[u32],
+        traces: Option<&HaloData<'_, D3>>,
+        lane0: &SyncMutPtr<KernelWorkspace>,
+        out: &mut [f64],
+    ) {
+        let npe = self.mesh.re.nodes_per_elem(3);
+        let slots = DisjointSlice::new(out);
+        forust_pool::par_for_each(list.len(), RHS_GRAIN, |r, lane| {
+            // SAFETY: the pool runs each lane on exactly one thread per
+            // job, so the workspace borrow is unique.
+            let ws = unsafe {
+                if lane == 0 {
+                    &mut *lane0.0
+                } else {
+                    self.ws_lanes.lane(lane)
+                }
+            };
+            for i in r {
+                let e = list[i] as usize;
+                // SAFETY: distinct elements own disjoint npe-windows.
+                let out_e = unsafe { slots.slice(e * npe..(e + 1) * npe) };
+                self.rhs_element(e, traces, ws, out_e);
+            }
+        });
+    }
+
+    /// (Re)build the worker-lane workspaces when the configured pool
+    /// width changed since the last step (the worker-matrix tests flip
+    /// it between runs); in steady state this is a no-op so stepping
+    /// stays allocation-free.
+    fn ensure_lane_workspaces(&mut self) {
+        if self.ws_lanes.len() != forust_pool::configured_workers() {
+            let re = &self.mesh.re;
+            self.ws_lanes = lane_workspaces(re.nodes_per_elem(3), re.nodes_per_face(3));
+        }
     }
 
     /// RHS of a single element via the kernel engine: fused volume pass
     /// (reference gradient → metric contraction → flux accumulation),
     /// cached nodal/mortar velocities, and workspace-backed face buffers —
     /// zero heap allocations. `traces` carries the received ghost face
-    /// traces; `None` is only valid for interior elements.
+    /// traces; `None` is only valid for interior elements. `out_e` is
+    /// the element's own `npe`-window of the RHS vector — the element
+    /// touches nothing outside it, which is what lets the sweeps above
+    /// run elements concurrently.
     fn rhs_element(
         &self,
         e: usize,
         traces: Option<&HaloData<'_, D3>>,
         ws: &mut KernelWorkspace,
-        out: &mut [f64],
+        out_e: &mut [f64],
     ) {
         let re = &self.mesh.re;
         let npe = re.nodes_per_elem(3);
@@ -338,7 +398,7 @@ impl AdvectSolver {
                 &self.metr_soa[e * 9 * npe..(e + 1) * 9 * npe],
                 &self.vel_soa[e * 3 * npe..(e + 1) * 3 * npe],
                 &mut grad[..3 * npe],
-                &mut out[e * npe..(e + 1) * npe],
+                out_e,
             );
             // Surface terms.
             for f in 0..6 {
@@ -373,7 +433,7 @@ impl AdvectSolver {
                             let un = u[0] * n[0] + u[1] * n[1] + u[2] * n[2];
                             let fstar = if un >= 0.0 { un * cm[j] } else { un * cp[j] };
                             let coef = self.wf[j] * fg.sj[j] / (self.wv[v] * det[v]);
-                            out[e * npe + v] += coef * (un * cm[j] - fstar);
+                            out_e[v] += coef * (un * cm[j] - fstar);
                         }
                     }
                     FaceConn::FineNbrs { subs } => {
@@ -399,7 +459,7 @@ impl AdvectSolver {
                                 if w != 0.0 {
                                     for i in 0..npf {
                                         let v = fidx[i];
-                                        out[e * npe + v] += sub.to_fine.data[j * npf + i] * w
+                                        out_e[v] += sub.to_fine.data[j * npf + i] * w
                                             / (self.wv[v] * det[v]);
                                     }
                                 }
@@ -647,6 +707,9 @@ impl AdvectSolver {
         self.metr_soa = caches.metr_soa;
         self.vel_soa = caches.vel_soa;
         self.ws.configure(npe, self.mesh.re.nodes_per_face(3), 1);
+        for ws in self.ws_lanes.iter_mut() {
+            ws.configure(npe, self.mesh.re.nodes_per_face(3), 1);
+        }
         self.dt = self.stable_dt(comm);
         self.timers.amr += t0.elapsed();
         self.timers.adapts += 1;
@@ -825,6 +888,7 @@ impl AdvectSolver {
         let caches = velocity_caches(&mesh, &geo, velocity);
         let mut ws = KernelWorkspace::new();
         ws.configure(npe, npf, 1);
+        let ws_lanes = lane_workspaces(npe, npf);
         let mut solver = AdvectSolver {
             config,
             forest,
@@ -845,6 +909,7 @@ impl AdvectSolver {
             wf,
             face_idx,
             ws,
+            ws_lanes,
             stage_k: Vec::new(),
             vel: caches.vel,
             mortar_vel: caches.mortar_vel,
@@ -919,6 +984,17 @@ fn split_segment_blobs(blobs: &[Vec<u8>]) -> Result<(Vec<Vec<u8>>, Vec<u8>), Che
         dir: std::path::PathBuf::from("<memory>"),
     })?;
     Ok((segs, scalar))
+}
+
+/// Kernel workspaces for pool lanes `1..width`, each configured for the
+/// current degree so steady-state stepping never grows them (slot 0 is
+/// provisioned but idle: lane 0 runs on the solver-owned workspace).
+fn lane_workspaces(npe: usize, npf: usize) -> PerLane<KernelWorkspace> {
+    PerLane::new(forust_pool::configured_workers(), |_| {
+        let mut ws = KernelWorkspace::new();
+        ws.configure(npe, npf, 1);
+        ws
+    })
 }
 
 /// Volume quadrature weights, face quadrature weights, and face node

@@ -1,0 +1,71 @@
+//! The determinism contract of the worker pool, end to end: the adaptive
+//! advection run must produce **bitwise** the same state at every worker
+//! count. Chunk boundaries are a function of the element count and grain
+//! only, and reductions fold in chunk order on the caller, so 1, 2 and 4
+//! workers must be indistinguishable down to the last mantissa bit.
+//!
+//! This file is its own test binary because the worker override is
+//! process-global: sharing a process with width-sensitive tests would
+//! race.
+
+use std::sync::Arc;
+
+use forust::connectivity::builders;
+use forust::dim::D3;
+use forust::forest::Forest;
+use forust_advect::{rotation_velocity, AdvectConfig, AdvectSolver};
+use forust_comm::run_spmd;
+use forust_geom::ShellMap;
+
+/// Final (coefficients, time) bits per rank of a 3-rank adaptive run at
+/// the given pool width. The override is set before `run_spmd` spawns the
+/// rank threads, so every rank's lazily-built pool gets the width.
+fn run_at(workers: usize) -> Vec<(Vec<u64>, u64)> {
+    forust_pool::set_worker_override(Some(workers));
+    let out = run_spmd(3, |comm| {
+        let conn = Arc::new(builders::cubed_sphere());
+        let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
+        let map = Arc::new(ShellMap::new(conn, 0.55, 1.0));
+        let config = AdvectConfig {
+            degree: 3,
+            initial_level: 1,
+            min_level: 1,
+            max_level: 3,
+            adapt_every: 3,
+            cfl: 0.4,
+            refine_tol: 0.05,
+            coarsen_tol: 0.02,
+        };
+        let mut s = AdvectSolver::new(
+            comm,
+            forest,
+            map,
+            config,
+            forust_advect::four_fronts,
+            rotation_velocity,
+        );
+        for _ in 0..7 {
+            s.step(comm);
+        }
+        assert!(s.timers.adapts >= 2, "adapt cycles must have run");
+        let bits: Vec<u64> = s.c.iter().map(|v| v.to_bits()).collect();
+        (bits, s.time.to_bits())
+    });
+    forust_pool::set_worker_override(None);
+    out
+}
+
+#[test]
+fn step_state_is_bitwise_invariant_of_worker_count() {
+    let base = run_at(1);
+    for workers in [2usize, 4] {
+        let other = run_at(workers);
+        for (rank, ((c1, t1), (cw, tw))) in base.iter().zip(&other).enumerate() {
+            assert_eq!(c1.len(), cw.len(), "rank {rank}: meshes diverged");
+            for (i, (a, b)) in c1.iter().zip(cw).enumerate() {
+                assert_eq!(a, b, "rank {rank} dof {i}: w1 vs w{workers} differ");
+            }
+            assert_eq!(t1, tw, "rank {rank}: time diverged at w{workers}");
+        }
+    }
+}

@@ -19,9 +19,13 @@ use std::time::Instant;
 use forust::connectivity::builders;
 use forust::dim::D3;
 use forust::forest::{BalanceType, Forest};
-use forust_comm::{run_spmd_with, CommConfig, Communicator, ReliableComm, RetryPolicy, SerialComm};
+use forust_advect::{four_fronts, rotation_velocity, AdvectConfig, AdvectSolver};
+use forust_comm::{
+    run_spmd, run_spmd_with, CommConfig, Communicator, ReliableComm, RetryPolicy, SerialComm,
+};
 use forust_dg::halo::HaloExchange;
 use forust_dg::mesh::DgMesh;
+use forust_geom::ShellMap;
 use forust_obs::metrics::{MetricsReport, Registry};
 
 fn fractal_forest(level: u8) -> (SerialComm, Forest<D3>) {
@@ -120,6 +124,17 @@ fn write_json(
     s.push_str("{\n");
     s.push_str("  \"bench\": \"bench_core\",\n");
     s.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    // Worker-pool width the serial sections ran at, and the machine's
+    // core count: the w1-vs-w4 SPMD records only show a speedup when
+    // the host actually has the cores, so gates must read both.
+    s.push_str(&format!(
+        "  \"workers\": {},\n",
+        forust_pool::configured_workers()
+    ));
+    s.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     s.push_str("  \"kernels\": [\n");
     for (i, r) in records.iter().enumerate() {
         let bytes = r
@@ -272,6 +287,14 @@ fn main() {
         |tc| ReliableComm::new(tc, RetryPolicy::default()),
         |rcomm| {
             let comm = rcomm.inner();
+            // Each SPMD rank is its own OS thread with its own
+            // thread-local recorder: install one per rank so the halo
+            // spans land somewhere instead of being silently dropped,
+            // and so worker-pool busy counters attribute to the right
+            // rank. The cross-rank report is collected before the
+            // recorder is uninstalled and returned for the no-cross-talk
+            // assertion below.
+            forust_obs::install(comm.rank());
             let conn = Arc::new(builders::rotcubes6());
             let mut f = Forest::<D3>::new_uniform(conn, comm, 3);
             let maxl = 5;
@@ -319,6 +342,8 @@ fn main() {
             let _ = begin_us; // outer timer includes the finish; use inner one
             begin_acc.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let begin_us = begin_acc[begin_acc.len() / 2];
+            let rank_report = Registry::collect(comm);
+            forust_obs::uninstall();
             (
                 octants,
                 full_bytes,
@@ -327,10 +352,20 @@ fn main() {
                 trace_us,
                 trace_rel_us,
                 begin_us,
+                rank_report,
             )
         },
     );
-    let (octs, full_bytes, trace_bytes, full_us, trace_us, trace_rel_us, begin_us) = halo[0];
+    let (octs, full_bytes, trace_bytes, full_us, trace_us, trace_rel_us, begin_us, ref spmd_report) =
+        halo[0];
+    // The SPMD ranks' spans must have landed in the rank recorders …
+    assert_eq!(spmd_report.ranks, 4, "SPMD report must span all 4 ranks");
+    for phase in ["halo.begin", "halo.finish", "forest.balance"] {
+        assert!(
+            spmd_report.phase(phase).is_some(),
+            "phase {phase} missing from the SPMD rank report"
+        );
+    }
     for (name, us, bytes) in [
         ("halo_full_exchange", full_us, Some(full_bytes)),
         ("halo_trace_exchange", trace_us, Some(trace_bytes)),
@@ -347,6 +382,55 @@ fn main() {
         });
     }
 
+    // --- SPMD dG step vs worker count (the MPI+X overlap benchmark) -----
+    // The same 4-rank advect step measured with the per-rank worker pool
+    // pinned to 1 and to 4 lanes. `set_worker_override` between the two
+    // `run_spmd` calls is enough: each call spawns fresh rank threads,
+    // and each fresh thread lazily builds its pool at the overridden
+    // width. On a multi-core host the w4 step must beat w1 (interior RHS
+    // chunks run on workers while the ghost exchange is in flight); the
+    // CI gate checks the ratio when the runner has the cores for it.
+    drop(sec);
+    let sec = forust_obs::span!("bench.spmd_compute");
+    let spmd_step = |workers: usize| -> (usize, f64) {
+        forust_pool::set_worker_override(Some(workers));
+        let out = run_spmd(4, |comm| {
+            let conn = Arc::new(builders::shell24());
+            let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
+            let map = Arc::new(ShellMap::new(Arc::clone(&conn), 0.55, 1.0));
+            let config = AdvectConfig {
+                degree: 3,
+                initial_level: 1,
+                min_level: 1,
+                max_level: 2,
+                adapt_every: usize::MAX,
+                cfl: 0.4,
+                refine_tol: 0.3,
+                coarsen_tol: 0.1,
+            };
+            let mut s =
+                AdvectSolver::new(comm, forest, map, config, four_fronts, rotation_velocity);
+            let elems = comm.allreduce_sum_u64(s.mesh.num_elements() as u64) as usize;
+            s.step(comm); // warm caches, pool threads and halo scratch
+            let us = median_us_sync(comm, 7, || {
+                s.step(comm);
+            });
+            (elems, us)
+        });
+        forust_pool::set_worker_override(None);
+        out[0]
+    };
+    for (name, workers) in [("advect_step_spmd_w1", 1), ("advect_step_spmd_w4", 4)] {
+        let (elems, us) = spmd_step(workers);
+        println!("{name:<24} {elems:>9} oct {us:>12.1} us");
+        records.push(Record {
+            name,
+            octants: elems,
+            median_us: us,
+            bytes: None,
+        });
+    }
+
     drop(sec);
     drop(outer);
     let total_wall_s = t_wall.elapsed().as_secs_f64();
@@ -356,6 +440,12 @@ fn main() {
     // rows (plus "(untracked)") sum to 100% of wall time.
     let obs_comm = SerialComm::new();
     let report = Registry::collect(&obs_comm);
+    // … and must NOT have leaked into the main-thread recorder: the halo
+    // spans only ever ran on SPMD rank threads.
+    assert!(
+        report.phase("halo.begin").is_none(),
+        "SPMD rank spans leaked into the main-thread recorder"
+    );
     println!();
     print!("{}", report.phase_table(total_wall_s));
     let coverage = report.coverage(total_wall_s);

@@ -28,6 +28,11 @@ use crate::forest::{sfc_pos, Forest};
 use crate::linear;
 use crate::octant::Octant;
 
+/// Chunk grain for parallel requirement emission. Fixed so the chunk
+/// boundaries (and therefore the fold order) are a function of the
+/// worklist length only, never of the worker count.
+const BALANCE_GRAIN: usize = 64;
+
 /// Which neighbor relations the 2:1 balance must respect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BalanceType {
@@ -171,28 +176,59 @@ impl<D: Dim> Forest<D> {
         loop {
             let mut remote: Vec<Vec<(u32, Octant<D>)>> = (0..p).map(|_| Vec::new()).collect();
             let mut pending: Vec<Vec<Octant<D>>> = vec![Vec::new(); self.conn.num_trees()];
-            for (t, o) in work.drain(..) {
-                // A requirement at level o.level - 1 <= 0 never splits.
-                if o.level <= 1 {
-                    continue;
-                }
-                for d in &dirs {
-                    let n = o.neighbor(d[0], d[1], d[2]);
-                    for (k2, m) in self.conn.exterior_images(t, &n) {
-                        let (rlo, rhi) = self.owner_range(k2, &m);
-                        if rlo != rhi {
-                            // The region spans ranks, so every overlapping
-                            // leaf is finer than m: nothing to enforce.
-                            continue;
+            // Requirement emission is embarrassingly parallel: each work
+            // item only reads the connectivity and the partition markers.
+            // Chunks fold back in ascending order, and every consumer of
+            // `remote`/`pending` sorts + dedups along the curve anyway, so
+            // the outcome is bitwise independent of the worker count.
+            {
+                let this = &*self;
+                let items = &work[..];
+                let dirs = &dirs[..];
+                forust_pool::par_map_reduce(
+                    items.len(),
+                    BALANCE_GRAIN,
+                    |range, _| {
+                        let mut rem: Vec<Vec<(u32, Octant<D>)>> =
+                            (0..p).map(|_| Vec::new()).collect();
+                        let mut pend: Vec<Vec<Octant<D>>> = vec![Vec::new(); this.conn.num_trees()];
+                        for &(t, o) in &items[range] {
+                            // A requirement at level o.level - 1 <= 0 never
+                            // splits.
+                            if o.level <= 1 {
+                                continue;
+                            }
+                            for d in dirs {
+                                let n = o.neighbor(d[0], d[1], d[2]);
+                                for (k2, m) in this.conn.exterior_images(t, &n) {
+                                    let (rlo, rhi) = this.owner_range(k2, &m);
+                                    if rlo != rhi {
+                                        // The region spans ranks, so every
+                                        // overlapping leaf is finer than m:
+                                        // nothing to enforce.
+                                        continue;
+                                    }
+                                    if rlo == me {
+                                        pend[k2 as usize].push(m);
+                                    } else {
+                                        rem[rlo].push((k2, m));
+                                    }
+                                }
+                            }
                         }
-                        if rlo == me {
-                            pending[k2 as usize].push(m);
-                        } else {
-                            remote[rlo].push((k2, m));
+                        (rem, pend)
+                    },
+                    |(rem, pend)| {
+                        for (dst, src) in remote.iter_mut().zip(rem) {
+                            dst.extend(src);
                         }
-                    }
-                }
+                        for (dst, src) in pending.iter_mut().zip(pend) {
+                            dst.extend(src);
+                        }
+                    },
+                );
             }
+            work.clear();
             for v in &mut remote {
                 v.sort_by_cached_key(|(t, o)| sfc_pos(*t, o));
                 v.dedup();

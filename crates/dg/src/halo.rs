@@ -324,27 +324,27 @@ impl<D: Dim> HaloExchange<D> {
     ) -> HaloPending<'a, C, D> {
         let _span = forust_obs::span!("halo.begin");
         let chunk = self.npe * ncomp;
-        let outgoing: Vec<Vec<u8>> = self
-            .send_entries
-            .iter()
-            .map(|entries| {
-                let payload: usize = entries.iter().map(|en| en.nodes.len()).sum();
-                let mut buf = Vec::with_capacity(entries.len() + payload * ncomp * 8);
-                for en in entries {
-                    buf.push(en.mask);
-                }
-                for en in entries {
-                    let base = en.elem as usize * chunk;
-                    for c in 0..ncomp {
-                        let comp = &local[base + c * self.npe..base + (c + 1) * self.npe];
-                        for &n in &en.nodes {
-                            buf.extend_from_slice(&comp[n as usize].to_le_bytes());
-                        }
+        // One message buffer per destination rank, each packed serially
+        // from read-only state: fanning the per-rank packs out over the
+        // worker pool leaves every byte of every buffer unchanged.
+        let outgoing: Vec<Vec<u8>> = forust_pool::par_map(self.send_entries.len(), 1, |r| {
+            let entries = &self.send_entries[r];
+            let payload: usize = entries.iter().map(|en| en.nodes.len()).sum();
+            let mut buf = Vec::with_capacity(entries.len() + payload * ncomp * 8);
+            for en in entries {
+                buf.push(en.mask);
+            }
+            for en in entries {
+                let base = en.elem as usize * chunk;
+                for c in 0..ncomp {
+                    let comp = &local[base + c * self.npe..base + (c + 1) * self.npe];
+                    for &n in &en.nodes {
+                        buf.extend_from_slice(&comp[n as usize].to_le_bytes());
                     }
                 }
-                buf
-            })
-            .collect();
+            }
+            buf
+        });
         forust_obs::counter_add(
             "halo.bytes_sent",
             outgoing.iter().map(|b| b.len() as u64).sum(),

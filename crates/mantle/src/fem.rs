@@ -17,8 +17,17 @@ use forust::nodes::{NodeStatus, Nodes};
 use forust_comm::{allreduce_sum_f64_exact, Communicator, FixedPoint};
 use forust_dg::cg::HangingInterp;
 use forust_geom::{octant_ref_coords, Mapping};
+use forust_pool::DisjointSlice;
 
 use crate::rheology::{synthetic_temperature, viscosity, RheologyParams};
+
+/// Elements per pool chunk in the element-integration sweeps. Chunk
+/// boundaries are a function of the element count and this constant
+/// only, never of the worker count — part of the bitwise-determinism
+/// contract (each element's contributions are computed independently and
+/// written to its own window; the cross-element scatter happens later on
+/// the serial fixed-point assembly path).
+const FEM_GRAIN: usize = 32;
 
 /// Gauss points of the 2-point rule on [-1, 1].
 const GP: [f64; 2] = [
@@ -225,39 +234,53 @@ impl StokesFem {
         allreduce_sum_f64_exact(comm, &terms)
     }
 
-    /// Picard viscosity update from the current velocity.
+    /// Picard viscosity update from the current velocity. Each element's
+    /// eight quadrature values depend only on that element's nodal state,
+    /// so the sweep fans out over the worker pool with every element
+    /// writing its own `eta_qp` window.
     pub fn update_viscosity(&mut self, p: &RheologyParams, x: &[f64]) {
         let nn = self.nn;
-        for e in 0..self.num_elements() {
-            let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
-            for q in 0..8 {
-                let g = &self.qp_grads[e * 8 + q];
-                // Strain rate second invariant at the quadrature point.
-                let mut grad = [[0.0f64; 3]; 3];
-                for (j, &ni) in en.iter().enumerate() {
-                    for d in 0..3 {
-                        for i in 0..3 {
-                            grad[d][i] += x[d * nn + ni] * g[j][i];
+        let mut eta = std::mem::take(&mut self.eta_qp);
+        {
+            let this = &*self;
+            let slots = DisjointSlice::new(&mut eta);
+            forust_pool::par_for_each(this.num_elements(), FEM_GRAIN, |range, _| {
+                for e in range {
+                    let en: Vec<usize> =
+                        this.nodes.element(e).iter().map(|&i| i as usize).collect();
+                    // SAFETY: distinct elements own disjoint 8-windows.
+                    let eta_e = unsafe { slots.slice(e * 8..(e + 1) * 8) };
+                    for q in 0..8 {
+                        let g = &this.qp_grads[e * 8 + q];
+                        // Strain rate second invariant at the quadrature point.
+                        let mut grad = [[0.0f64; 3]; 3];
+                        for (j, &ni) in en.iter().enumerate() {
+                            for d in 0..3 {
+                                for i in 0..3 {
+                                    grad[d][i] += x[d * nn + ni] * g[j][i];
+                                }
+                            }
                         }
+                        let mut eps2 = 0.0;
+                        for d in 0..3 {
+                            for i in 0..3 {
+                                let s = 0.5 * (grad[d][i] + grad[i][d]);
+                                eps2 += s * s;
+                            }
+                        }
+                        let eps_ii = eps2.sqrt().max(1e-8);
+                        let pos = this.qp_pos[e * 8 + q];
+                        // Temperature at the qp from the nodal field.
+                        let mut t = 0.0;
+                        for (j, &ni) in en.iter().enumerate() {
+                            t += this.basis[q][j] * this.temp[ni];
+                        }
+                        eta_e[q] = viscosity(p, pos, t, eps_ii);
                     }
                 }
-                let mut eps2 = 0.0;
-                for d in 0..3 {
-                    for i in 0..3 {
-                        let s = 0.5 * (grad[d][i] + grad[i][d]);
-                        eps2 += s * s;
-                    }
-                }
-                let eps_ii = eps2.sqrt().max(1e-8);
-                let pos = self.qp_pos[e * 8 + q];
-                // Temperature at the qp from the nodal field.
-                let mut t = 0.0;
-                for (j, &ni) in en.iter().enumerate() {
-                    t += self.basis[q][j] * self.temp[ni];
-                }
-                self.eta_qp[e * 8 + q] = viscosity(p, pos, t, eps_ii);
-            }
+            });
         }
+        self.eta_qp = eta;
     }
 
     /// Apply boundary/hanging pre-state: distribute hanging values,
@@ -365,66 +388,83 @@ impl StokesFem {
         let z = self.pre(x);
         // Element contributions go into per-element buffers (not straight
         // into `y`) so `assemble_contributions` can reduce them on the
-        // rank-count-invariant fixed-point path.
+        // rank-count-invariant fixed-point path. The integration fans out
+        // over the worker pool: each element accumulates locally and
+        // writes only its own 8-window of each component, so the buffers
+        // are bitwise identical to the serial sweep at any worker count.
         let mut contribs: Vec<Vec<f64>> =
             (0..4).map(|_| vec![0.0; self.num_elements() * 8]).collect();
-        for e in 0..self.num_elements() {
-            let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
-            // Element-mean pressure for the stabilization.
-            let (mut pbar, mut vol) = (0.0, 0.0);
-            let mut eta_bar = 0.0;
-            for q in 0..8 {
-                let w = self.qp_wdet[e * 8 + q];
-                let mut pq = 0.0;
-                for (j, &ni) in en.iter().enumerate() {
-                    pq += self.basis[q][j] * z[3 * nn + ni];
-                }
-                pbar += w * pq;
-                vol += w;
-                eta_bar += w * self.eta_qp[e * 8 + q];
-            }
-            pbar /= vol;
-            eta_bar /= vol;
+        {
+            let slots: Vec<DisjointSlice<'_, f64>> = contribs
+                .iter_mut()
+                .map(|c| DisjointSlice::new(c.as_mut_slice()))
+                .collect();
+            forust_pool::par_for_each(self.num_elements(), FEM_GRAIN, |range, _| {
+                for e in range {
+                    let en: Vec<usize> =
+                        self.nodes.element(e).iter().map(|&i| i as usize).collect();
+                    let mut comp_e = [[0.0f64; 8]; 4];
+                    // Element-mean pressure for the stabilization.
+                    let (mut pbar, mut vol) = (0.0, 0.0);
+                    let mut eta_bar = 0.0;
+                    for q in 0..8 {
+                        let w = self.qp_wdet[e * 8 + q];
+                        let mut pq = 0.0;
+                        for (j, &ni) in en.iter().enumerate() {
+                            pq += self.basis[q][j] * z[3 * nn + ni];
+                        }
+                        pbar += w * pq;
+                        vol += w;
+                        eta_bar += w * self.eta_qp[e * 8 + q];
+                    }
+                    pbar /= vol;
+                    eta_bar /= vol;
 
-            for q in 0..8 {
-                let w = self.qp_wdet[e * 8 + q];
-                let g = &self.qp_grads[e * 8 + q];
-                let eta = self.eta_qp[e * 8 + q];
-                // State at the quadrature point.
-                let mut grad = [[0.0f64; 3]; 3];
-                let mut pq = 0.0;
-                for (j, &ni) in en.iter().enumerate() {
-                    pq += self.basis[q][j] * z[3 * nn + ni];
-                    for d in 0..3 {
-                        for i in 0..3 {
-                            grad[d][i] += z[d * nn + ni] * g[j][i];
+                    for q in 0..8 {
+                        let w = self.qp_wdet[e * 8 + q];
+                        let g = &self.qp_grads[e * 8 + q];
+                        let eta = self.eta_qp[e * 8 + q];
+                        // State at the quadrature point.
+                        let mut grad = [[0.0f64; 3]; 3];
+                        let mut pq = 0.0;
+                        for (j, &ni) in en.iter().enumerate() {
+                            pq += self.basis[q][j] * z[3 * nn + ni];
+                            for d in 0..3 {
+                                for i in 0..3 {
+                                    grad[d][i] += z[d * nn + ni] * g[j][i];
+                                }
+                            }
+                        }
+                        let divu = grad[0][0] + grad[1][1] + grad[2][2];
+                        let mut sym = [[0.0f64; 3]; 3];
+                        for d in 0..3 {
+                            for i in 0..3 {
+                                sym[d][i] = 0.5 * (grad[d][i] + grad[i][d]);
+                            }
+                        }
+                        // Test against every basis function.
+                        for (j, _) in en.iter().enumerate() {
+                            let gj = g[j];
+                            for (d, comp) in comp_e.iter_mut().take(3).enumerate() {
+                                // 2 eta eps(u) : eps(phi_j e_d) = 2 eta
+                                // sum_i sym[d][i] gj[i] (symmetry halves fold in).
+                                let mut a = 0.0;
+                                for i in 0..3 {
+                                    a += sym[d][i] * gj[i];
+                                }
+                                comp[j] += w * (2.0 * eta * a - pq * gj[d]);
+                            }
+                            // Pressure row: B u - C p.
+                            let stab = (pq - pbar) * (self.basis[q][j] - 0.125);
+                            comp_e[3][j] += w * (self.basis[q][j] * divu - stab / eta_bar);
                         }
                     }
-                }
-                let divu = grad[0][0] + grad[1][1] + grad[2][2];
-                let mut sym = [[0.0f64; 3]; 3];
-                for d in 0..3 {
-                    for i in 0..3 {
-                        sym[d][i] = 0.5 * (grad[d][i] + grad[i][d]);
+                    for (c, slot) in slots.iter().enumerate() {
+                        // SAFETY: distinct elements own disjoint 8-windows.
+                        unsafe { slot.slice(e * 8..(e + 1) * 8) }.copy_from_slice(&comp_e[c]);
                     }
                 }
-                // Test against every basis function.
-                for (j, _) in en.iter().enumerate() {
-                    let gj = g[j];
-                    for (d, comp) in contribs.iter_mut().take(3).enumerate() {
-                        // 2 eta eps(u) : eps(phi_j e_d) = 2 eta
-                        // sum_i sym[d][i] gj[i] (symmetry halves fold in).
-                        let mut a = 0.0;
-                        for i in 0..3 {
-                            a += sym[d][i] * gj[i];
-                        }
-                        comp[e * 8 + j] += w * (2.0 * eta * a - pq * gj[d]);
-                    }
-                    // Pressure row: B u - C p.
-                    let stab = (pq - pbar) * (self.basis[q][j] - 0.125);
-                    contribs[3][e * 8 + j] += w * (self.basis[q][j] * divu - stab / eta_bar);
-                }
-            }
+            });
         }
         for (c, f) in self
             .assemble_contributions(comm, &contribs)
@@ -442,24 +482,38 @@ impl StokesFem {
         let nn = self.nn;
         let mut contribs: Vec<Vec<f64>> =
             (0..4).map(|_| vec![0.0; self.num_elements() * 8]).collect();
-        for e in 0..self.num_elements() {
-            let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
-            for q in 0..8 {
-                let w = self.qp_wdet[e * 8 + q];
-                let x = self.qp_pos[e * 8 + q];
-                let r = (x[0] * x[0] + x[1] * x[1] + x[2] * x[2]).sqrt().max(1e-12);
-                let mut t = 0.0;
-                for (j, &ni) in en.iter().enumerate() {
-                    t += self.basis[q][j] * self.temp[ni];
-                }
-                // Hot material rises: force along +r_hat proportional to T.
-                let f = ra * (t - 0.5);
-                for j in 0..en.len() {
-                    for (d, comp) in contribs.iter_mut().take(3).enumerate() {
-                        comp[e * 8 + j] += w * self.basis[q][j] * f * x[d] / r;
+        {
+            let slots: Vec<DisjointSlice<'_, f64>> = contribs
+                .iter_mut()
+                .map(|c| DisjointSlice::new(c.as_mut_slice()))
+                .collect();
+            forust_pool::par_for_each(self.num_elements(), FEM_GRAIN, |range, _| {
+                for e in range {
+                    let en: Vec<usize> =
+                        self.nodes.element(e).iter().map(|&i| i as usize).collect();
+                    let mut comp_e = [[0.0f64; 8]; 4];
+                    for q in 0..8 {
+                        let w = self.qp_wdet[e * 8 + q];
+                        let x = self.qp_pos[e * 8 + q];
+                        let r = (x[0] * x[0] + x[1] * x[1] + x[2] * x[2]).sqrt().max(1e-12);
+                        let mut t = 0.0;
+                        for (j, &ni) in en.iter().enumerate() {
+                            t += self.basis[q][j] * self.temp[ni];
+                        }
+                        // Hot material rises: force along +r_hat proportional to T.
+                        let f = ra * (t - 0.5);
+                        for j in 0..en.len() {
+                            for (d, comp) in comp_e.iter_mut().take(3).enumerate() {
+                                comp[j] += w * self.basis[q][j] * f * x[d] / r;
+                            }
+                        }
+                    }
+                    for (c, slot) in slots.iter().enumerate().take(3) {
+                        // SAFETY: distinct elements own disjoint 8-windows.
+                        unsafe { slot.slice(e * 8..(e + 1) * 8) }.copy_from_slice(&comp_e[c]);
                     }
                 }
-            }
+            });
         }
         let mut b = vec![0.0; 4 * nn];
         for (c, f) in self
@@ -480,28 +534,42 @@ impl StokesFem {
         let nn = self.nn;
         let mut contribs: Vec<Vec<f64>> =
             (0..4).map(|_| vec![0.0; self.num_elements() * 8]).collect();
-        for e in 0..self.num_elements() {
-            let en: Vec<usize> = self.nodes.element(e).iter().map(|&i| i as usize).collect();
-            let mut eta_bar = 0.0;
-            let mut vol = 0.0;
-            for q in 0..8 {
-                eta_bar += self.qp_wdet[e * 8 + q] * self.eta_qp[e * 8 + q];
-                vol += self.qp_wdet[e * 8 + q];
-            }
-            eta_bar /= vol;
-            for q in 0..8 {
-                let w = self.qp_wdet[e * 8 + q];
-                let g = &self.qp_grads[e * 8 + q];
-                let eta = self.eta_qp[e * 8 + q];
-                for j in 0..en.len() {
-                    let gj = g[j];
-                    let norm2 = gj[0] * gj[0] + gj[1] * gj[1] + gj[2] * gj[2];
-                    for (d, comp) in contribs.iter_mut().take(3).enumerate() {
-                        comp[e * 8 + j] += w * eta * (norm2 + gj[d] * gj[d]);
+        {
+            let slots: Vec<DisjointSlice<'_, f64>> = contribs
+                .iter_mut()
+                .map(|c| DisjointSlice::new(c.as_mut_slice()))
+                .collect();
+            forust_pool::par_for_each(self.num_elements(), FEM_GRAIN, |range, _| {
+                for e in range {
+                    let en: Vec<usize> =
+                        self.nodes.element(e).iter().map(|&i| i as usize).collect();
+                    let mut comp_e = [[0.0f64; 8]; 4];
+                    let mut eta_bar = 0.0;
+                    let mut vol = 0.0;
+                    for q in 0..8 {
+                        eta_bar += self.qp_wdet[e * 8 + q] * self.eta_qp[e * 8 + q];
+                        vol += self.qp_wdet[e * 8 + q];
                     }
-                    contribs[3][e * 8 + j] += w * self.basis[q][j] * self.basis[q][j] / eta_bar;
+                    eta_bar /= vol;
+                    for q in 0..8 {
+                        let w = self.qp_wdet[e * 8 + q];
+                        let g = &self.qp_grads[e * 8 + q];
+                        let eta = self.eta_qp[e * 8 + q];
+                        for j in 0..en.len() {
+                            let gj = g[j];
+                            let norm2 = gj[0] * gj[0] + gj[1] * gj[1] + gj[2] * gj[2];
+                            for (d, comp) in comp_e.iter_mut().take(3).enumerate() {
+                                comp[j] += w * eta * (norm2 + gj[d] * gj[d]);
+                            }
+                            comp_e[3][j] += w * self.basis[q][j] * self.basis[q][j] / eta_bar;
+                        }
+                    }
+                    for (c, slot) in slots.iter().enumerate() {
+                        // SAFETY: distinct elements own disjoint 8-windows.
+                        unsafe { slot.slice(e * 8..(e + 1) * 8) }.copy_from_slice(&comp_e[c]);
+                    }
                 }
-            }
+            });
         }
         let mut fields = self.assemble_contributions(comm, &contribs);
         let mut dp = fields.pop().expect("pressure diagonal");

@@ -83,6 +83,10 @@ pub struct TraceEvent {
     pub ts_ns: u64,
     /// Duration in ns.
     pub dur_ns: u64,
+    /// Pool lane that produced the event: 0 is the rank thread itself,
+    /// `i > 0` is worker `i` of the rank's pool. Lanes get their own
+    /// Perfetto track under the rank's.
+    pub lane: u32,
 }
 
 /// Accumulated wall clock of one phase name on one rank.
@@ -181,6 +185,16 @@ pub fn installed() -> bool {
     enabled() && RECORDER.with(|r| r.borrow().is_some())
 }
 
+/// The rank of this thread's recorder, if one is installed. Worker pools
+/// use this to decide whether (and under which rank) a job's worker
+/// threads should record.
+pub fn installed_rank() -> Option<usize> {
+    if !enabled() {
+        return None;
+    }
+    RECORDER.with(|r| r.borrow().as_ref().map(|rec| rec.rank))
+}
+
 /// Clear this thread's recorded phases, counters and events (the
 /// recorder stays installed). Useful to exclude warmup work.
 pub fn reset() {
@@ -198,6 +212,89 @@ pub fn reset() {
 /// until they close). `None` if no recorder is installed.
 pub fn snapshot_local() -> Option<LocalReport> {
     RECORDER.with(|r| r.borrow().as_ref().map(|rec| rec.report()))
+}
+
+/// Nanoseconds since the process-wide trace epoch. Worker pools use this
+/// to timestamp per-lane busy intervals on the shared rank timeline.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Intern a phase name so dynamically produced reports (worker-thread
+/// drains travel as `String`s) can merge into the `&'static str`-keyed
+/// recorder maps. Phase names form a small static set, so the leaked
+/// bytes are bounded by the set of distinct span names in the binary.
+fn intern(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERNED.lock().expect("intern table");
+    if let Some(&s) = set.get(name) {
+        return s;
+    }
+    let s: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.insert(s);
+    s
+}
+
+/// Merge a drained report from a helper thread (a pool worker) into the
+/// current thread's recorder: phases and counters accumulate, events are
+/// appended tagged with `lane` so they land on the worker's own trace
+/// track. A no-op when this thread has no recorder.
+pub fn absorb(report: &LocalReport, lane: u32) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        let Some(rec) = r.as_mut() else {
+            return;
+        };
+        for ph in &report.phases {
+            let acc = rec.phases.entry(intern(&ph.name)).or_default();
+            acc.count += ph.count;
+            acc.total_ns += ph.total_ns;
+            acc.self_ns += ph.self_ns;
+        }
+        for (name, v) in &report.counters {
+            *rec.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for ev in &report.events {
+            if rec.events.len() < rec.max_events {
+                rec.events.push(TraceEvent { lane, ..ev.clone() });
+            } else {
+                rec.dropped_events += 1;
+            }
+        }
+        rec.dropped_events += report.dropped_events;
+    });
+}
+
+/// Record one completed interval directly (no span guard), on the given
+/// pool lane's track. Used for per-worker busy intervals, which are
+/// measured on the worker but recorded by the rank thread. Does not
+/// contribute to the phase table (busy time is concurrent with the rank
+/// thread's own spans and would break self-time tiling).
+pub fn event_add(name: &'static str, ts_ns: u64, dur_ns: u64, lane: u32) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        let Some(rec) = r.as_mut() else {
+            return;
+        };
+        if rec.events.len() < rec.max_events {
+            rec.events.push(TraceEvent {
+                name,
+                ts_ns,
+                dur_ns,
+                lane,
+            });
+        } else {
+            rec.dropped_events += 1;
+        }
+    });
 }
 
 impl Recorder {
@@ -306,6 +403,7 @@ fn exit_slow() {
                 name: open.name,
                 ts_ns,
                 dur_ns,
+                lane: 0,
             });
         } else {
             rec.dropped_events += 1;

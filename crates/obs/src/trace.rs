@@ -26,11 +26,12 @@ fn encode_events(rank: usize, report: &LocalReport) -> Vec<u8> {
         buf.extend_from_slice(name);
         buf.extend_from_slice(&ev.ts_ns.to_le_bytes());
         buf.extend_from_slice(&ev.dur_ns.to_le_bytes());
+        buf.extend_from_slice(&ev.lane.to_le_bytes());
     }
     buf
 }
 
-fn decode_events(buf: &[u8]) -> (usize, Vec<(String, u64, u64)>) {
+fn decode_events(buf: &[u8]) -> (usize, Vec<(String, u64, u64, u32)>) {
     let mut at = 0usize;
     let take = |at: &mut usize, n: usize| {
         let s = &buf[*at..*at + n];
@@ -45,9 +46,21 @@ fn decode_events(buf: &[u8]) -> (usize, Vec<(String, u64, u64)>) {
         let name = String::from_utf8(take(&mut at, len).to_vec()).expect("span name utf8");
         let ts = u64::from_le_bytes(take(&mut at, 8).try_into().unwrap());
         let dur = u64::from_le_bytes(take(&mut at, 8).try_into().unwrap());
-        events.push((name, ts, dur));
+        let lane = u32::from_le_bytes(take(&mut at, 4).try_into().unwrap());
+        events.push((name, ts, dur, lane));
     }
     (rank, events)
+}
+
+/// Track id of (rank, lane). Lane 0 keeps the bare rank id (the layout
+/// every existing consumer asserts on); worker lanes get disjoint ids
+/// above any plausible rank count.
+fn track_tid(rank: usize, lane: u32) -> usize {
+    if lane == 0 {
+        rank
+    } else {
+        4096 * lane as usize + rank
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -66,7 +79,7 @@ fn json_escape(s: &str) -> String {
 /// Write the gathered trace as Chrome Trace Event Format JSON.
 fn write_trace(
     w: &mut impl Write,
-    per_rank: &[(usize, Vec<(String, u64, u64)>)],
+    per_rank: &[(usize, Vec<(String, u64, u64, u32)>)],
 ) -> std::io::Result<()> {
     writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
     let mut first = true;
@@ -77,29 +90,42 @@ fn write_trace(
         *first = false;
         Ok(())
     };
-    for (rank, _) in per_rank {
-        sep(w, &mut first)?;
-        write!(
-            w,
-            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"name\":\"thread_name\",\
-             \"args\":{{\"name\":\"rank {rank}\"}}}}"
-        )?;
-        sep(w, &mut first)?;
-        write!(
-            w,
-            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"name\":\"thread_sort_index\",\
-             \"args\":{{\"sort_index\":{rank}}}}}"
-        )?;
+    for (rank, events) in per_rank {
+        // One track per rank, plus one per pool lane that produced events.
+        let mut lanes: BTreeSet<u32> = events.iter().map(|(_, _, _, l)| *l).collect();
+        lanes.insert(0);
+        for lane in lanes {
+            let tid = track_tid(*rank, lane);
+            let label = if lane == 0 {
+                format!("rank {rank}")
+            } else {
+                format!("rank {rank} worker {lane}")
+            };
+            sep(w, &mut first)?;
+            write!(
+                w,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            )?;
+            sep(w, &mut first)?;
+            write!(
+                w,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{}}}}}",
+                rank * 256 + lane as usize
+            )?;
+        }
     }
     for (rank, events) in per_rank {
-        for (name, ts_ns, dur_ns) in events {
+        for (name, ts_ns, dur_ns, lane) in events {
             sep(w, &mut first)?;
             // Chrome trace timestamps are microseconds; keep sub-µs
             // resolution with fractional values.
             write!(
                 w,
-                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{rank},\"name\":\"{}\",\
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"name\":\"{}\",\
                  \"ts\":{:.3},\"dur\":{:.3}}}",
+                track_tid(*rank, *lane),
                 json_escape(name),
                 *ts_ns as f64 / 1e3,
                 *dur_ns as f64 / 1e3,
@@ -127,7 +153,7 @@ pub fn export_trace_from<C: Communicator>(
 ) -> std::io::Result<()> {
     let gathered = comm.allgather_bytes(encode_events(comm.rank(), local));
     if comm.rank() == 0 {
-        let mut per_rank: Vec<(usize, Vec<(String, u64, u64)>)> =
+        let mut per_rank: Vec<(usize, Vec<(String, u64, u64, u32)>)> =
             gathered.iter().map(|b| decode_events(b)).collect();
         per_rank.sort_by_key(|(rank, _)| *rank);
         let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -388,13 +414,13 @@ impl Parser<'_> {
 /// Round-trip helper for tests: write the given per-rank events into a
 /// string in trace format.
 pub fn render_trace_for_test(per_rank: &[(usize, Vec<TraceEvent>)]) -> String {
-    let decoded: Vec<(usize, Vec<(String, u64, u64)>)> = per_rank
+    let decoded: Vec<(usize, Vec<(String, u64, u64, u32)>)> = per_rank
         .iter()
         .map(|(r, evs)| {
             (
                 *r,
                 evs.iter()
-                    .map(|e| (e.name.to_string(), e.ts_ns, e.dur_ns))
+                    .map(|e| (e.name.to_string(), e.ts_ns, e.dur_ns, e.lane))
                     .collect(),
             )
         })
@@ -418,11 +444,13 @@ mod tests {
                         name: "step",
                         ts_ns: 1_000,
                         dur_ns: 10_000,
+                        lane: 0,
                     },
                     TraceEvent {
                         name: "rhs.interior",
                         ts_ns: 2_000,
                         dur_ns: 3_000,
+                        lane: 0,
                     },
                 ],
             ),
@@ -432,6 +460,7 @@ mod tests {
                     name: "step",
                     ts_ns: 1_500,
                     dur_ns: 9_000,
+                    lane: 0,
                 }],
             ),
         ];
@@ -451,6 +480,7 @@ mod tests {
                 name: "weird\"name\\x",
                 ts_ns: 0,
                 dur_ns: 1,
+                lane: 0,
             }],
         )];
         let text = render_trace_for_test(&per_rank);

@@ -21,33 +21,10 @@ use forust_dg::mesh::{ElemRef, FaceConn};
 
 use crate::solver::{SeismicSolver, NCOMP};
 
-/// Data-parallel map over `0..n` on scoped worker threads (the "thread
-/// blocks" of the substituted GPU kernel), in index order.
-fn par_map<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(|w| w.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    if workers <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let f = &f;
-    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let lo = n * w / workers;
-                let hi = n * (w + 1) / workers;
-                scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let mut v = Vec::with_capacity(n);
-    for chunk in out.drain(..) {
-        v.extend(chunk);
-    }
-    v
-}
+/// Elements per pool chunk in the device step's data-parallel map. The
+/// per-element kernel is heavy, so small chunks keep the steal queue
+/// balanced without scheduling overhead.
+const DEVICE_GRAIN: usize = 4;
 
 /// The device-resident state of one solver (f32 arenas).
 pub struct DeviceState {
@@ -189,10 +166,13 @@ impl DeviceState {
         };
         let face_idx: Vec<Vec<usize>> = (0..6).map(|f| re.face_nodes(3, f)).collect();
 
-        // Data-parallel over elements: each "thread block" updates its own
-        // element, mirroring the GPU kernel structure.
+        // Data-parallel over elements on the rank's persistent worker
+        // pool: each "thread block" updates its own element, mirroring
+        // the GPU kernel structure. (This used to spawn fresh scoped OS
+        // threads — and re-query `available_parallelism` — on every
+        // step; the shared pool parks its workers between steps.)
         let npf = np * np;
-        let updates: Vec<Vec<f32>> = par_map(self.nel, |e| {
+        let updates: Vec<Vec<f32>> = forust_pool::par_map(self.nel, DEVICE_GRAIN, |e| {
             let base = e * chunk;
             let mut rhs = vec![0.0f32; chunk];
             // Nodal stress.

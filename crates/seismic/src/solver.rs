@@ -24,8 +24,14 @@ use forust_dg::kernels::{self, KernelWorkspace};
 use forust_dg::lserk::{LSERK_A, LSERK_B, LSERK_C};
 use forust_dg::mesh::{DgMesh, ElemRef, FaceConn};
 use forust_geom::Mapping;
+use forust_pool::{DisjointSlice, PerLane, SyncMutPtr};
 
 use crate::model::{ricker, Material};
+
+/// Elements per pool chunk in the RHS sweeps. Chunk boundaries are a
+/// function of the element count and this constant only, never of the
+/// worker count — part of the bitwise-determinism contract.
+const RHS_GRAIN: usize = 4;
 
 /// Number of state components: `(vx, vy, vz, Exx, Eyy, Ezz, Eyz, Exz, Exy)`.
 pub const NCOMP: usize = 9;
@@ -104,8 +110,13 @@ pub struct SeismicSolver {
     wf: Vec<f64>,
     face_idx: Vec<Vec<usize>>,
     /// Kernel-engine scratch arena (gradient panels for all 9 fields,
-    /// nodal stress, flat face traces), sized once at mesh build.
+    /// nodal stress, flat face traces), sized once at mesh build. Lane 0
+    /// of the worker pool (the rank thread) runs on this one.
     pub ws: KernelWorkspace,
+    /// Scratch for pool lanes `1..width` (slot 0 exists but is unused:
+    /// lane 0 stays on [`ws`](Self::ws)). Rebuilt only when the
+    /// configured worker count changes.
+    ws_lanes: PerLane<KernelWorkspace>,
     /// RK stage buffer, hoisted out of [`step`](Self::step) so
     /// steady-state stepping allocates nothing.
     stage_k: Vec<f64>,
@@ -192,6 +203,7 @@ impl SeismicSolver {
         let (wv, wf, face_idx) = cache_constants(&mesh.re);
         let mut ws = KernelWorkspace::new();
         ws.configure(npe, mesh.re.nodes_per_face(3), NCOMP);
+        let ws_lanes = lane_workspaces(npe, mesh.re.nodes_per_face(3));
         let mut s = SeismicSolver {
             config,
             forest,
@@ -211,6 +223,7 @@ impl SeismicSolver {
             wf,
             face_idx,
             ws,
+            ws_lanes,
             stage_k: Vec::new(),
         };
         s.dt = s.stable_dt(comm);
@@ -251,6 +264,7 @@ impl SeismicSolver {
     pub fn step(&mut self, comm: &impl Communicator) {
         let _span = forust_obs::span!("seismic.step");
         let t0 = Instant::now();
+        self.ensure_lane_workspaces();
         let mut k = std::mem::take(&mut self.stage_k);
         k.resize(self.q.len(), 0.0);
         let mut ws = std::mem::take(&mut self.ws);
@@ -358,8 +372,10 @@ impl SeismicSolver {
     /// Split-phase: the face-trace ghost exchange goes on the wire first,
     /// interior elements (which read no ghost) are computed while the
     /// messages fly, then the boundary elements finish after the traces
-    /// arrive. Element results are independent, so the reordering is
-    /// bitwise identical to the old exchange-then-sweep loop.
+    /// arrive. Each sweep fans out over the rank's worker pool in fixed
+    /// chunks; element results are independent and written to disjoint
+    /// windows, so the result is bitwise identical to the serial
+    /// exchange-then-sweep loop at any worker count.
     fn compute_rhs(
         &self,
         comm: &impl Communicator,
@@ -369,21 +385,62 @@ impl SeismicSolver {
     ) {
         let pending = self.halo.begin(comm, &self.q, NCOMP);
         out.fill(0.0);
+        let lane0 = SyncMutPtr(ws as *mut KernelWorkspace);
         {
             let _span = forust_obs::span!("rhs.interior");
-            for &e in self.halo.interior() {
-                self.rhs_element(e as usize, t, None, ws, out);
-            }
+            self.rhs_sweep(self.halo.interior(), t, None, &lane0, out);
         }
         let traces = {
             let _span = forust_obs::span!("rhs.exchange_wait");
             pending.finish()
         };
         let _span = forust_obs::span!("rhs.boundary");
-        for &e in self.halo.boundary() {
-            self.rhs_element(e as usize, t, Some(&traces), ws, out);
-        }
+        self.rhs_sweep(self.halo.boundary(), t, Some(&traces), &lane0, out);
         forust_obs::counter_add("kernels.rhs_elements", self.mesh.num_elements() as u64);
+    }
+
+    /// Pool sweep over one element list: lane 0 works on the
+    /// solver-owned workspace behind `lane0`, lanes `1..` on their
+    /// [`PerLane`] slots, and every element writes only its own
+    /// `npe * NCOMP`-window of `out`.
+    fn rhs_sweep(
+        &self,
+        list: &[u32],
+        t: f64,
+        traces: Option<&HaloData<'_, D3>>,
+        lane0: &SyncMutPtr<KernelWorkspace>,
+        out: &mut [f64],
+    ) {
+        let chunk = self.mesh.re.nodes_per_elem(3) * NCOMP;
+        let slots = DisjointSlice::new(out);
+        forust_pool::par_for_each(list.len(), RHS_GRAIN, |r, lane| {
+            // SAFETY: the pool runs each lane on exactly one thread per
+            // job, so the workspace borrow is unique.
+            let ws = unsafe {
+                if lane == 0 {
+                    &mut *lane0.0
+                } else {
+                    self.ws_lanes.lane(lane)
+                }
+            };
+            for i in r {
+                let e = list[i] as usize;
+                // SAFETY: distinct elements own disjoint state windows.
+                let out_e = unsafe { slots.slice(e * chunk..(e + 1) * chunk) };
+                self.rhs_element(e, t, traces, ws, out_e);
+            }
+        });
+    }
+
+    /// (Re)build the worker-lane workspaces when the configured pool
+    /// width changed since the last step (the worker-matrix tests flip
+    /// it between runs); in steady state this is a no-op so stepping
+    /// stays allocation-free.
+    fn ensure_lane_workspaces(&mut self) {
+        if self.ws_lanes.len() != forust_pool::configured_workers() {
+            let re = &self.mesh.re;
+            self.ws_lanes = lane_workspaces(re.nodes_per_elem(3), re.nodes_per_face(3));
+        }
     }
 
     /// RHS of a single element via the kernel engine: nodal stress in the
@@ -391,14 +448,17 @@ impl SeismicSolver {
     /// each operator row), flat component-major face traces, and
     /// `matvec_into` mortar interpolation — zero heap allocations.
     /// `traces` carries the received ghost face traces; `None` is only
-    /// valid for interior elements.
+    /// valid for interior elements. `out_e` is the element's own
+    /// `npe * NCOMP`-window of the RHS vector — the element touches
+    /// nothing outside it, which is what lets the sweeps above run
+    /// elements concurrently.
     fn rhs_element(
         &self,
         e: usize,
         t: f64,
         traces: Option<&HaloData<'_, D3>>,
         ws: &mut KernelWorkspace,
-        out: &mut [f64],
+        out_e: &mut [f64],
     ) {
         let re = &self.mesh.re;
         let npe = re.nodes_per_elem(3);
@@ -526,10 +586,10 @@ impl SeismicSolver {
                 let sw = 0.02;
                 let amp = ricker(t, cfg.f0, 1.2 / cfg.f0) * (-r2 / (2.0 * sw * sw)).exp();
                 for c in 0..3 {
-                    out[base + c * npe + v] = dv[c] + amp * cfg.src_dir[c] / rho;
+                    out_e[c * npe + v] = dv[c] + amp * cfg.src_dir[c] / rho;
                 }
                 for c in 0..6 {
-                    out[base + (3 + c) * npe + v] = de[c];
+                    out_e[(3 + c) * npe + v] = de[c];
                 }
             }
 
@@ -611,7 +671,7 @@ impl SeismicSolver {
                             let v = fidx[j];
                             let coef = self.wf[j] * s / (self.wv[v] * det[v]);
                             for (c, dc) in d.iter().enumerate() {
-                                out[base + c * npe + v] += coef * dc;
+                                out_e[c * npe + v] += coef * dc;
                             }
                         });
                     }
@@ -634,7 +694,7 @@ impl SeismicSolver {
                             let v = fidx[j];
                             let coef = self.wf[j] * s / (self.wv[v] * det[v]);
                             for (c, dc) in d.iter().enumerate() {
-                                out[base + c * npe + v] += coef * dc;
+                                out_e[c * npe + v] += coef * dc;
                             }
                         });
                     }
@@ -663,7 +723,7 @@ impl SeismicSolver {
                                     let coef =
                                         sub.to_fine.data[j * npf + i] * w / (self.wv[v] * det[v]);
                                     for (c, dc) in d.iter().enumerate() {
-                                        out[base + c * npe + v] += coef * dc;
+                                        out_e[c * npe + v] += coef * dc;
                                     }
                                 }
                             });
@@ -1124,6 +1184,7 @@ impl SeismicSolver {
         let (wv, wf, face_idx) = cache_constants(&mesh.re);
         let mut ws = KernelWorkspace::new();
         ws.configure(npe, mesh.re.nodes_per_face(3), NCOMP);
+        let ws_lanes = lane_workspaces(npe, mesh.re.nodes_per_face(3));
         let mut solver = SeismicSolver {
             config,
             forest,
@@ -1143,6 +1204,7 @@ impl SeismicSolver {
             wf,
             face_idx,
             ws,
+            ws_lanes,
             stage_k: Vec::new(),
         };
         solver.dt = solver.stable_dt(comm);
@@ -1225,6 +1287,17 @@ fn split_segment_blobs(blobs: &[Vec<u8>]) -> Result<(Vec<Vec<u8>>, Vec<u8>), Che
         dir: std::path::PathBuf::from("<memory>"),
     })?;
     Ok((segs, scalar))
+}
+
+/// Kernel workspaces for pool lanes `1..width`, each configured for the
+/// current degree so steady-state stepping never grows them (slot 0 is
+/// provisioned but idle: lane 0 runs on the solver-owned workspace).
+fn lane_workspaces(npe: usize, npf: usize) -> PerLane<KernelWorkspace> {
+    PerLane::new(forust_pool::configured_workers(), |_| {
+        let mut ws = KernelWorkspace::new();
+        ws.configure(npe, npf, NCOMP);
+        ws
+    })
 }
 
 fn cache_constants(re: &forust_dg::RefElement) -> (Vec<f64>, Vec<f64>, Vec<Vec<usize>>) {

@@ -1,0 +1,54 @@
+//! Worker-count invariance for the seismic wave solver: the elastic
+//! RK step (9 coupled fields, wavelength-adapted mesh with 2:1 mortar
+//! faces, pool-backed interior/boundary sweeps) must be **bitwise**
+//! identical at 1, 2 and 4 pool workers.
+//!
+//! Own test binary: the worker override is process-global.
+
+use std::sync::Arc;
+
+use forust::connectivity::builders;
+use forust::dim::D3;
+use forust::forest::Forest;
+use forust_comm::run_spmd;
+use forust_geom::{Mapping, ShellMap};
+use forust_seismic::{prem_like_at, SeismicConfig, SeismicSolver};
+
+/// Final state bits per rank of a 3-rank run at the given pool width.
+fn run_at(workers: usize) -> Vec<Vec<u64>> {
+    forust_pool::set_worker_override(Some(workers));
+    let out = run_spmd(3, |comm| {
+        let conn = Arc::new(builders::shell24());
+        let forest = Forest::<D3>::new_uniform(Arc::clone(&conn), comm, 1);
+        let map: Arc<dyn Mapping<D3> + Send + Sync> = Arc::new(ShellMap::new(conn, 0.55, 1.0));
+        let config = SeismicConfig {
+            degree: 3,
+            min_level: 1,
+            max_level: 2,
+            f0: 3.0,
+            ppw: 6.0,
+            ..Default::default()
+        };
+        let mut s = SeismicSolver::new(comm, forest, map, config, prem_like_at);
+        for _ in 0..4 {
+            s.step(comm);
+        }
+        s.q.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+    });
+    forust_pool::set_worker_override(None);
+    out
+}
+
+#[test]
+fn step_state_is_bitwise_invariant_of_worker_count() {
+    let base = run_at(1);
+    for workers in [2usize, 4] {
+        let other = run_at(workers);
+        for (rank, (q1, qw)) in base.iter().zip(&other).enumerate() {
+            assert_eq!(q1.len(), qw.len(), "rank {rank}: state sizes diverged");
+            for (i, (a, b)) in q1.iter().zip(qw).enumerate() {
+                assert_eq!(a, b, "rank {rank} dof {i}: w1 vs w{workers} differ");
+            }
+        }
+    }
+}

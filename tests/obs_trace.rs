@@ -85,16 +85,26 @@ fn three_rank_advect_trace_has_one_track_per_rank() {
         "comm traffic counters missing"
     );
 
-    // Trace file: parses as Chrome Trace Event Format, one tid (track)
-    // per rank, nested spans present by name.
+    // Trace file: parses as Chrome Trace Event Format, one main track
+    // per rank plus (when the worker pool is wider than one lane)
+    // per-worker tracks at tid 4096 * lane + rank, nested spans present
+    // by name.
     let text = std::fs::read_to_string(&path).expect("read trace.json");
     let summary = validate_trace(&text).expect("trace.json must validate");
-    assert_eq!(
-        summary.tids.len(),
-        RANKS,
-        "expected one trace track per rank, got tids {:?}",
-        summary.tids
-    );
+    for rank in 0..RANKS as i64 {
+        assert!(
+            summary.tids.contains(&rank),
+            "expected a main trace track for rank {rank}, got tids {:?}",
+            summary.tids
+        );
+    }
+    for &tid in &summary.tids {
+        assert!(
+            (tid % 4096) < RANKS as i64,
+            "track {tid} does not map to a rank/worker lane, tids {:?}",
+            summary.tids
+        );
+    }
     assert!(summary.complete_events > 0, "no complete events in trace");
     for name in [
         "advect.step",
