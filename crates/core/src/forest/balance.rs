@@ -152,21 +152,142 @@ impl<D: Dim> Forest<D> {
     /// Enforce 2:1 balance by local refinement (octants only ever split,
     /// never merge). Mirrors p4est `Balance`.
     ///
-    /// Worklist-driven and batched: each round, the worklist octants emit
-    /// insulation *requirements* for their neighbor regions; local and
-    /// received requirements are then applied **per tree in one linear
-    /// rebuild pass** (`apply_requirements`), instead of an `O(N)` splice
-    /// per cascade split — `O(S·N)` becomes `O(N + S log S)` per round.
-    /// Only the octants created by a round (plus, transitively, the
-    /// requirements received from other ranks) seed the next round's
-    /// worklist, so later rounds no longer re-scan every local leaf. An
-    /// `Allreduce` certifies the global fixed point. Refinement is
-    /// monotone and bounded by `MAX_LEVEL`, so the iteration terminates,
-    /// and the closure operator is confluent, so the result is the same
-    /// least fixed point the original one-split-at-a-time ripple
-    /// ([`Forest::balance_ripple`], retained as the test oracle) computes.
+    /// This is the recursive-era formulation (Isaac et al.,
+    /// arXiv:1406.0089): each **outer** round first drives the *local*
+    /// closure to its fixed point without touching the network — worklist
+    /// octants emit insulation requirements (pool-parallel with fixed
+    /// chunking), locally-owned requirements are applied per tree in one
+    /// linear rebuild pass (`apply_requirements`, whose `expand` recursion
+    /// is PR 2's top-down refinement), and the created octants re-enter
+    /// the inner loop — while requirements destined for other ranks
+    /// accumulate on the side. Only then does one `Alltoallv` ship the
+    /// accumulated remote requirements, and an `Allreduce` certifies the
+    /// global fixed point. Interior neighbor regions (the vast majority)
+    /// skip the exterior-image machinery entirely. Refinement is monotone
+    /// and bounded by `MAX_LEVEL`, so the iteration terminates, and the
+    /// closure operator is confluent, so the result is the same least
+    /// fixed point as both retained oracles: the per-round batched
+    /// formulation ([`Forest::balance_rounds`], the benchmark oracle) and
+    /// the one-split-at-a-time ripple ([`Forest::balance_ripple`], the
+    /// fuzz oracle).
     pub fn balance(&mut self, comm: &impl Communicator, btype: BalanceType) {
         let _span = forust_obs::span!("forest.balance");
+        let p = comm.size();
+        let me = comm.rank();
+        let dirs = directions::<D>(btype);
+        // Round 0: every local leaf's insulation could be violated.
+        let mut work: Vec<(TreeId, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
+
+        loop {
+            let mut remote: Vec<Vec<(u32, Octant<D>)>> = (0..p).map(|_| Vec::new()).collect();
+            // Inner loop: local closure. No communication happens here;
+            // remote requirements pile up in `remote` across iterations.
+            while !work.is_empty() {
+                let mut pending: Vec<Vec<Octant<D>>> = vec![Vec::new(); self.conn.num_trees()];
+                {
+                    let this = &*self;
+                    let items = &work[..];
+                    let dirs = &dirs[..];
+                    forust_pool::par_map_reduce(
+                        items.len(),
+                        BALANCE_GRAIN,
+                        |range, _| {
+                            let mut rem: Vec<Vec<(u32, Octant<D>)>> =
+                                (0..p).map(|_| Vec::new()).collect();
+                            let mut pend: Vec<Vec<Octant<D>>> =
+                                vec![Vec::new(); this.conn.num_trees()];
+                            for &(t, o) in &items[range] {
+                                // A requirement at level o.level - 1 <= 0
+                                // never splits.
+                                if o.level <= 1 {
+                                    continue;
+                                }
+                                for d in dirs {
+                                    let n = o.neighbor(d[0], d[1], d[2]);
+                                    // Fast path: an interior region is its
+                                    // own (only) image — skip the
+                                    // exterior-image allocation.
+                                    if n.is_inside_root() {
+                                        let (rlo, rhi) = this.owner_range(t, &n);
+                                        if rlo != rhi {
+                                            continue;
+                                        }
+                                        if rlo == me {
+                                            pend[t as usize].push(n);
+                                        } else {
+                                            rem[rlo].push((t, n));
+                                        }
+                                        continue;
+                                    }
+                                    for (k2, m) in this.conn.exterior_images(t, &n) {
+                                        let (rlo, rhi) = this.owner_range(k2, &m);
+                                        if rlo != rhi {
+                                            // The region spans ranks, so every
+                                            // overlapping leaf is finer than m:
+                                            // nothing to enforce.
+                                            continue;
+                                        }
+                                        if rlo == me {
+                                            pend[k2 as usize].push(m);
+                                        } else {
+                                            rem[rlo].push((k2, m));
+                                        }
+                                    }
+                                }
+                            }
+                            (rem, pend)
+                        },
+                        |(rem, pend)| {
+                            for (dst, src) in remote.iter_mut().zip(rem) {
+                                dst.extend(src);
+                            }
+                            for (dst, src) in pending.iter_mut().zip(pend) {
+                                dst.extend(src);
+                            }
+                        },
+                    );
+                }
+                work.clear();
+                for (ti, reqs) in pending.iter().enumerate() {
+                    if !reqs.is_empty() {
+                        let t = ti as TreeId;
+                        apply_requirements(self.tree_mut(t), reqs, t, &mut work);
+                    }
+                }
+            }
+            for v in &mut remote {
+                v.sort_by_cached_key(|(t, o)| sfc_pos(*t, o));
+                v.dedup();
+            }
+            let incoming = comm.alltoallv(remote);
+            let mut pending: Vec<Vec<Octant<D>>> = vec![Vec::new(); self.conn.num_trees()];
+            for part in incoming {
+                for (t, m) in part {
+                    pending[t as usize].push(m);
+                }
+            }
+            for (ti, reqs) in pending.iter().enumerate() {
+                if !reqs.is_empty() {
+                    let t = ti as TreeId;
+                    apply_requirements(self.tree_mut(t), reqs, t, &mut work);
+                }
+            }
+            if !comm.allreduce_or(!work.is_empty()) {
+                break;
+            }
+        }
+        self.update_meta(comm);
+    }
+
+    /// The per-round batched formulation [`Forest::balance`] replaced:
+    /// every round interleaves one communication exchange with one batch
+    /// of local applications, instead of closing the local fixed point
+    /// first. Retained verbatim as the benchmark equivalence oracle (the
+    /// `morton_reference` pattern); the fuzz suite asserts the production
+    /// path, this and [`Forest::balance_ripple`] produce octant-for-octant
+    /// identical forests. Not public API.
+    #[doc(hidden)]
+    pub fn balance_rounds(&mut self, comm: &impl Communicator, btype: BalanceType) {
         let p = comm.size();
         let me = comm.rank();
         let dirs = directions::<D>(btype);

@@ -162,9 +162,132 @@ impl<C: Communicator, T> GhostDataPending<'_, C, T> {
     }
 }
 
+/// Closed-box contact test within one tree frame.
+fn touch<D: Dim>(a: &Octant<D>, b: &Octant<D>) -> bool {
+    let (al, bl) = (a.len(), b.len());
+    (0..D::DIM as usize).all(|d| {
+        let (a0, a1) = (a.coords()[d], a.coords()[d] + al);
+        let (b0, b1) = (b.coords()[d], b.coords()[d] + bl);
+        a0 <= b1 && b0 <= a1
+    })
+}
+
+/// Recursive owner descent: find every rank owning a leaf that
+/// touches `o`, restricted to the sub-region `n` (in `o`'s frame).
+/// If the routed image of `n` has a single owner, that owner's
+/// leaves tile `n`, so one of them realizes the contact — exact.
+fn descend<D: Dim>(
+    f: &Forest<D>,
+    t: TreeId,
+    o: &Octant<D>,
+    n: &Octant<D>,
+    me: usize,
+    out: &mut impl FnMut(usize),
+) {
+    if !touch(o, n) {
+        return;
+    }
+    for (k2, s) in f.conn.exterior_images(t, n) {
+        let (rlo, rhi) = f.owner_range(k2, &s);
+        if rlo == rhi {
+            if rlo != me {
+                out(rlo);
+            }
+        } else {
+            debug_assert!(n.level < D::MAX_LEVEL);
+            for c in n.children() {
+                descend(f, t, o, &c, me, out);
+            }
+            return; // children of n cover all images
+        }
+    }
+}
+
+/// Is the entire insulation layer of branch `b` of tree `t` — `b` itself
+/// plus every routed image of its 26 (resp. 8 in 2D) same-size neighbor
+/// regions — owned exclusively by rank `me`?
+///
+/// If so, no leaf below `b` can contribute to any ghost layer: a leaf
+/// `l ⊆ b` has neighbor regions whose per-axis extents are `l.len()`-
+/// aligned, and `b`'s boundary planes are multiples of `b.len()` (itself
+/// a multiple of `l.len()`), so each of `l`'s neighbor regions is
+/// contained in exactly one of `b`'s 27 boxes — whose images all have a
+/// single owner `me`. The per-leaf `descend` would therefore emit
+/// nothing for any leaf in `b`.
+fn insulation_local<D: Dim>(f: &Forest<D>, t: TreeId, b: &Octant<D>, me: usize) -> bool {
+    if f.owner_range(t, b) != (me, me) {
+        return false;
+    }
+    let zrange: &[i32] = if D::DIM == 3 { &[-1, 0, 1] } else { &[0] };
+    for &dz in zrange {
+        for dy in [-1i32, 0, 1] {
+            for dx in [-1i32, 0, 1] {
+                if dx == 0 && dy == 0 && dz == 0 {
+                    continue;
+                }
+                let n = b.neighbor(dx, dy, dz);
+                for (k2, s) in f.conn.exterior_images(t, &n) {
+                    if f.owner_range(k2, &s) != (me, me) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Top-down insulation walk (Isaac et al., arXiv:1406.0089): collect the
+/// leaves of `b` whose insulation layer is *not* entirely local — the
+/// only leaves the per-leaf descent can emit ghosts for. Whole interior
+/// subtrees are pruned with one insulation test at their root. `leaves`
+/// is the SFC-sorted slice of `b`'s leaf descendants.
+fn prune_walk<D: Dim>(
+    f: &Forest<D>,
+    t: TreeId,
+    b: &Octant<D>,
+    leaves: &[Octant<D>],
+    me: usize,
+    out: &mut Vec<(u32, Octant<D>)>,
+) {
+    if leaves.is_empty() || insulation_local(f, t, b, me) {
+        return;
+    }
+    if leaves.len() == 1 && leaves[0] == *b {
+        out.push((t, *b));
+        return;
+    }
+    // The slice is SFC-sorted, so each child's descendants are one
+    // contiguous sub-slice, in child order.
+    let mut rest = leaves;
+    for c in b.children() {
+        let n = rest.partition_point(|o| c.contains(o));
+        let (head, tail) = rest.split_at(n);
+        prune_walk(f, t, &c, head, me, out);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty());
+}
+
+/// Chunk grain for the pool fan-out over boundary leaves. Fixed so chunk
+/// boundaries depend only on the boundary-leaf count, never the worker
+/// count (the PR-7 determinism contract).
+const GHOST_GRAIN: usize = 128;
+
 impl<D: Dim> Forest<D> {
     /// Build the ghost layer: collect one layer of remote octants touching
     /// the local partition across faces, edges and corners.
+    ///
+    /// Recursive formulation: a top-down walk over each local tree prunes
+    /// every subtree whose insulation layer is entirely local
+    /// ([`prune_walk`]), so the exact per-leaf owner descent only runs on
+    /// the partition-boundary leaves that survive — on a single rank the
+    /// walk prunes at the tree roots and the whole pass is `O(trees)`.
+    /// The surviving leaves fan out across the PR-7 worker pool with a
+    /// fixed chunk grain; every downstream list is sorted + deduplicated
+    /// along the curve, so the result is bitwise identical to the
+    /// retained per-leaf oracle ([`Forest::ghost_reference`]) for any
+    /// worker count (the fuzz suite asserts full [`GhostLayer`] equality).
     ///
     /// Communication: one all-to-all whose volume scales with the number of
     /// octants on partition boundaries, as the paper describes.
@@ -173,46 +296,71 @@ impl<D: Dim> Forest<D> {
         let p = comm.size();
         let me = comm.rank();
 
-        // Closed-box contact test within one tree frame.
-        fn touch<D: Dim>(a: &Octant<D>, b: &Octant<D>) -> bool {
-            let (al, bl) = (a.len(), b.len());
-            (0..D::DIM as usize).all(|d| {
-                let (a0, a1) = (a.coords()[d], a.coords()[d] + al);
-                let (b0, b1) = (b.coords()[d], b.coords()[d] + bl);
-                a0 <= b1 && b0 <= a1
-            })
+        // Phase 1: recursive insulation walk — the candidate leaves.
+        let mut boundary: Vec<(u32, Octant<D>)> = Vec::new();
+        for t in 0..self.conn.num_trees() as u32 {
+            prune_walk(self, t, &Octant::root(), self.tree(t), me, &mut boundary);
         }
 
-        // Recursive owner descent: find every rank owning a leaf that
-        // touches `o`, restricted to the sub-region `n` (in `o`'s frame).
-        // If the routed image of `n` has a single owner, that owner's
-        // leaves tile `n`, so one of them realizes the contact — exact.
-        fn descend<D: Dim>(
-            f: &Forest<D>,
-            t: TreeId,
-            o: &Octant<D>,
-            n: &Octant<D>,
-            me: usize,
-            out: &mut impl FnMut(usize),
-        ) {
-            if !touch(o, n) {
-                return;
-            }
-            for (k2, s) in f.conn.exterior_images(t, n) {
-                let (rlo, rhi) = f.owner_range(k2, &s);
-                if rlo == rhi {
-                    if rlo != me {
-                        out(rlo);
+        // Phase 2: exact per-leaf owner descent over the survivors,
+        // pool-parallel with deterministic chunking.
+        let zrange: &[i32] = if D::DIM == 3 { &[-1, 0, 1] } else { &[0] };
+        let mut per_rank: Vec<Vec<(u32, Octant<D>)>> = (0..p).map(|_| Vec::new()).collect();
+        {
+            let this: &Self = self;
+            let items = &boundary[..];
+            forust_pool::par_map_reduce(
+                items.len(),
+                GHOST_GRAIN,
+                |range, _| {
+                    let mut pr: Vec<Vec<(u32, Octant<D>)>> = (0..p).map(|_| Vec::new()).collect();
+                    let mut ranks: Vec<usize> = Vec::new();
+                    for &(t, o) in &items[range] {
+                        ranks.clear();
+                        for &dz in zrange {
+                            for dy in [-1i32, 0, 1] {
+                                for dx in [-1i32, 0, 1] {
+                                    if dx == 0 && dy == 0 && dz == 0 {
+                                        continue;
+                                    }
+                                    let n = o.neighbor(dx, dy, dz);
+                                    descend(this, t, &o, &n, me, &mut |r| ranks.push(r));
+                                }
+                            }
+                        }
+                        ranks.sort_unstable();
+                        ranks.dedup();
+                        for &r in &ranks {
+                            pr[r].push((t, o));
+                        }
                     }
-                } else {
-                    debug_assert!(n.level < D::MAX_LEVEL);
-                    for c in n.children() {
-                        descend(f, t, o, &c, me, out);
+                    pr
+                },
+                |pr| {
+                    for (dst, src) in per_rank.iter_mut().zip(pr) {
+                        dst.extend(src);
                     }
-                    return; // children of n cover all images
-                }
-            }
+                },
+            );
         }
+        for v in &mut per_rank {
+            v.sort_by_cached_key(|(t, o)| sfc_pos(*t, o));
+            v.dedup();
+        }
+
+        self.ghost_finish(comm, per_rank)
+    }
+
+    /// The original per-leaf formulation of [`Forest::ghost`]: the owner
+    /// descent runs on **every** local leaf, with no insulation pruning.
+    /// Retained verbatim as the equivalence oracle (the
+    /// `morton_reference`/`balance_ripple` pattern); the fuzz suite
+    /// asserts both construct bitwise-identical ghost layers across rank
+    /// and worker counts. Not public API.
+    #[doc(hidden)]
+    pub fn ghost_reference(&self, comm: &impl Communicator) -> GhostLayer<D> {
+        let p = comm.size();
+        let me = comm.rank();
 
         // Directions: full insulation (faces + edges + corners).
         let zrange: &[i32] = if D::DIM == 3 { &[-1, 0, 1] } else { &[0] };
@@ -243,6 +391,16 @@ impl<D: Dim> Forest<D> {
             v.dedup();
         }
 
+        self.ghost_finish(comm, per_rank)
+    }
+
+    /// Shared tail of both ghost constructions: mirrors, per-rank mirror
+    /// indices, and the one all-to-all that delivers the ghost octants.
+    fn ghost_finish(
+        &self,
+        comm: &impl Communicator,
+        per_rank: Vec<Vec<(u32, Octant<D>)>>,
+    ) -> GhostLayer<D> {
         // Mirrors: union of all per-rank send lists, with their SFC keys
         // interleaved once and reused for every binary search below.
         let mut mirrors: Vec<(u32, Octant<D>)> = per_rank.iter().flatten().copied().collect();

@@ -1,0 +1,724 @@
+//! Top-down recursive traversal of the local forest plus its ghost
+//! layer, in the style of `p4est_iterate` (Isaac, Burstedde, Wilcox,
+//! Ghattas, "Recursive Algorithms for Distributed Forests of Octrees",
+//! arXiv:1406.0089; see also Burstedde, arXiv:1803.08432).
+//!
+//! [`Forest::iterate`] walks every tree once by *simultaneous
+//! recursion*: branches on both sides of each candidate face descend in
+//! lockstep, so a face is classified (conforming / hanging / boundary)
+//! the moment both sides have settled on leaves — no per-leaf neighbor
+//! search, no binary descend per octant. Callbacks see the full
+//! local+ghost neighborhood; the dG mesh derives its entire face
+//! topology from this traversal instead of re-deriving it.
+//!
+//! # Callback contract
+//!
+//! The forest must be 2:1 **face-balanced** ([`super::BalanceType`]
+//! `Full` or `Face`) and `ghost` must be the layer built from the same
+//! forest; hanging faces then have exactly [`Dim::FACE_CHILDREN`] fine
+//! octants, one refinement level below the coarse side.
+//!
+//! * `volume` fires once per **local** leaf, in SFC order per tree,
+//!   trees ascending.
+//! * `face` fires once per face entity with at least one local
+//!   participant: interior faces during the per-tree recursion,
+//!   inter-tree (and periodic) macro faces next, physical-boundary
+//!   faces last. Each [`FaceSide::transform`] maps *that* side's tree
+//!   frame into the opposite side's frame (`None` when both sides share
+//!   a frame); the `fine` list of a hanging visit is ordered by
+//!   ascending child id in the fine side's own frame.
+//! * `edge` / `corner` (opt-in via `wants_edges` / `wants_corners`)
+//!   fire once per entity with at least one local sharer. A *sharer*
+//!   is a leaf whose own edge/corner coincides exactly with the entity;
+//!   leaves one level coarser whose edge properly contains a hanging
+//!   half-edge are reported in [`EdgeVisit::coarse`]. Visits are
+//!   deduplicated by the canonical sharer set, so a half-edge and its
+//!   parent edge are distinct entities.
+//!
+//! Visits never pair ghost-only participants: an entity all of whose
+//! participants are ghosts is skipped (its owner rank visits it).
+
+use crate::connectivity::{EdgeNeighbor, FaceTransform, Route, TreeId};
+use crate::dim::Dim;
+use crate::hash::FxHashSet;
+use crate::linear;
+use crate::octant::Octant;
+
+use super::{Forest, GhostLayer};
+
+/// An owning version of [`Route`] (no borrow of the connectivity).
+///
+/// Hanging face/edge entities never arrive through corner routes, so
+/// this carries the face and edge cases only.
+#[derive(Debug, Clone, Copy)]
+pub enum OwnedRoute {
+    Interior,
+    Face(FaceTransform),
+    Edge {
+        source_edge: usize,
+        nb: EdgeNeighbor,
+    },
+}
+
+impl OwnedRoute {
+    pub fn from_route(r: &Route<'_>) -> Self {
+        match r {
+            Route::Interior => OwnedRoute::Interior,
+            Route::Face(t) => OwnedRoute::Face(**t),
+            Route::Edge { source_edge, nb } => OwnedRoute::Edge {
+                source_edge: *source_edge,
+                nb: *nb,
+            },
+            Route::Corner { .. } => unreachable!("corner routes never carry hanging entities"),
+        }
+    }
+
+    pub fn map_point_scaled<D: Dim>(&self, p: [i32; 3], scale: i32) -> [i32; 3] {
+        match self {
+            OwnedRoute::Interior => p,
+            OwnedRoute::Face(t) => t.apply_point_scaled(p, scale),
+            OwnedRoute::Edge { source_edge, nb } => Route::Edge {
+                source_edge: *source_edge,
+                nb: *nb,
+            }
+            .map_point_scaled::<D>(p, scale),
+        }
+    }
+}
+
+/// A leaf as seen by the traversal: either the `i`-th local leaf (flat
+/// index across trees, i.e. `iter_local` order) or the `i`-th entry of
+/// the ghost layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeafRef {
+    Local(u32),
+    Ghost(u32),
+}
+
+impl LeafRef {
+    #[inline]
+    pub fn is_local(self) -> bool {
+        matches!(self, LeafRef::Local(_))
+    }
+}
+
+/// One side of a face visit.
+#[derive(Debug, Clone, Copy)]
+pub struct FaceSide<D: Dim> {
+    pub elem: LeafRef,
+    pub tree: TreeId,
+    /// The leaf, in its own tree's coordinate frame.
+    pub octant: Octant<D>,
+    /// Face number of `octant` on this interface.
+    pub face: usize,
+    /// Maps this side's frame into the opposite side's frame; `None`
+    /// when both sides live in the same tree frame.
+    pub transform: Option<FaceTransform>,
+}
+
+/// A classified face entity.
+#[derive(Debug, Clone)]
+pub enum FaceVisit<D: Dim> {
+    /// A local leaf's face on the physical domain boundary.
+    Boundary { side: FaceSide<D> },
+    /// Two equal-size leaves meeting at a conforming face.
+    Conforming { a: FaceSide<D>, b: FaceSide<D> },
+    /// A coarse leaf facing [`Dim::FACE_CHILDREN`] half-size leaves;
+    /// `fine` is ordered by ascending child id in the fine frame.
+    Hanging {
+        coarse: FaceSide<D>,
+        fine: Vec<FaceSide<D>>,
+    },
+}
+
+/// One leaf sharing an edge or corner entity; `index` is the entity's
+/// number within `octant` (an edge index for edge visits, a corner
+/// index for corner visits).
+#[derive(Debug, Clone, Copy)]
+pub struct EntitySharer<D: Dim> {
+    pub elem: LeafRef,
+    pub tree: TreeId,
+    pub octant: Octant<D>,
+    pub index: usize,
+}
+
+/// An edge entity (3D only): all leaves whose matching edge coincides
+/// with the entity, sorted by (tree, SFC key, edge index). `coarse`
+/// lists leaves one level up whose edge properly contains this hanging
+/// half-edge.
+#[derive(Debug, Clone)]
+pub struct EdgeVisit<D: Dim> {
+    pub sharers: Vec<EntitySharer<D>>,
+    pub coarse: Vec<EntitySharer<D>>,
+}
+
+/// A corner entity: all leaves (any level) having the point as one of
+/// their corners, sorted by (tree, SFC key, corner index).
+#[derive(Debug, Clone)]
+pub struct CornerVisit<D: Dim> {
+    pub sharers: Vec<EntitySharer<D>>,
+}
+
+/// Callbacks for [`Forest::iterate`]. All default to no-ops; edge and
+/// corner enumeration runs only when the matching `wants_*` returns
+/// true (they cost extra neighborhood searches).
+pub trait Visit<D: Dim> {
+    fn volume(&mut self, _elem: LeafRef, _tree: TreeId, _octant: &Octant<D>) {}
+    fn face(&mut self, _visit: &FaceVisit<D>) {}
+    fn edge(&mut self, _visit: &EdgeVisit<D>) {}
+    fn corner(&mut self, _visit: &CornerVisit<D>) {}
+    fn wants_edges(&self) -> bool {
+        false
+    }
+    fn wants_corners(&self) -> bool {
+        false
+    }
+}
+
+/// Local leaves of one tree merged with that tree's slice of the ghost
+/// layer, SFC-sorted, with a back-reference per entry.
+struct MTree<D: Dim> {
+    octs: Vec<Octant<D>>,
+    refs: Vec<LeafRef>,
+}
+
+fn merged_trees<D: Dim>(f: &Forest<D>, ghost: &GhostLayer<D>) -> Vec<MTree<D>> {
+    let nt = f.conn.num_trees();
+    let mut out: Vec<MTree<D>> = Vec::with_capacity(nt);
+    let mut flat = 0u32;
+    let mut gi = 0usize;
+    for t in 0..nt as TreeId {
+        let locals = f.tree(t);
+        // Ghosts are globally (tree, SFC)-sorted, so each tree's slice
+        // is one contiguous run.
+        let gstart = gi;
+        while gi < ghost.ghosts.len() && ghost.ghosts[gi].0 == t {
+            gi += 1;
+        }
+        let gslice = &ghost.ghosts[gstart..gi];
+        let mut octs = Vec::with_capacity(locals.len() + gslice.len());
+        let mut refs = Vec::with_capacity(locals.len() + gslice.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < locals.len() || b < gslice.len() {
+            let take_local = if a == locals.len() {
+                false
+            } else if b == gslice.len() {
+                true
+            } else {
+                locals[a] < gslice[b].1
+            };
+            if take_local {
+                octs.push(locals[a]);
+                refs.push(LeafRef::Local(flat + a as u32));
+                a += 1;
+            } else {
+                octs.push(gslice[b].1);
+                refs.push(LeafRef::Ghost((gstart + b) as u32));
+                b += 1;
+            }
+        }
+        debug_assert!(linear::is_linear(&octs));
+        flat += locals.len() as u32;
+        out.push(MTree { octs, refs });
+    }
+    debug_assert_eq!(gi, ghost.ghosts.len());
+    out
+}
+
+/// `Some(i)` iff the range is a single leaf covering all of `b` — which
+/// in every state the recursion can reach means the leaf *equals* `b`
+/// (a strictly coarser covering leaf would already have settled the
+/// parent call).
+fn settle<D: Dim>(mt: &MTree<D>, r: &std::ops::Range<usize>, b: &Octant<D>) -> Option<usize> {
+    (r.len() == 1 && mt.octs[r.start].contains(b)).then_some(r.start)
+}
+
+struct Trav<'a, D: Dim> {
+    f: &'a Forest<D>,
+    m: &'a [MTree<D>],
+}
+
+impl<D: Dim> Trav<'_, D> {
+    /// Volume visits plus all faces interior to tree `t`, by recursion
+    /// over sibling groups. `[lo, hi)` indexes the merged leaves lying
+    /// inside branch `b`.
+    fn rec_volume<V: Visit<D>>(&self, t: TreeId, b: &Octant<D>, lo: usize, hi: usize, v: &mut V) {
+        if lo == hi {
+            return;
+        }
+        let mt = &self.m[t as usize];
+        if hi - lo == 1 && mt.octs[lo] == *b {
+            if mt.refs[lo].is_local() {
+                v.volume(mt.refs[lo], t, b);
+            }
+            return;
+        }
+        let children = b.children();
+        let mut bounds = [0usize; 9]; // CHILDREN + 1 <= 9
+        let mut i = lo;
+        for (ci, c) in children.iter().enumerate() {
+            bounds[ci] = i;
+            while i < hi && c.contains(&mt.octs[i]) {
+                i += 1;
+            }
+        }
+        bounds[D::CHILDREN] = i;
+        debug_assert_eq!(i, hi, "leaves must partition among the children");
+        for (ci, c) in children.iter().enumerate() {
+            self.rec_volume(t, c, bounds[ci], bounds[ci + 1], v);
+        }
+        // The DIM * 2^(DIM-1) faces between sibling pairs.
+        for axis in 0..D::DIM as usize {
+            for ci in 0..D::CHILDREN {
+                if (ci >> axis) & 1 == 1 {
+                    continue;
+                }
+                let cj = ci | (1 << axis);
+                self.face_rec(
+                    t,
+                    &children[ci],
+                    2 * axis + 1,
+                    None,
+                    t,
+                    &children[cj],
+                    2 * axis,
+                    None,
+                    v,
+                );
+            }
+        }
+    }
+
+    /// Simultaneous recursion over the face shared by branches `a` (in
+    /// tree `ta`, touching through its face `fa`) and `b`. The two
+    /// branches always have equal levels; `tr_*` maps each branch's
+    /// frame to the other's (`None` intra-tree).
+    #[allow(clippy::too_many_arguments)]
+    fn face_rec<V: Visit<D>>(
+        &self,
+        ta: TreeId,
+        a: &Octant<D>,
+        fa: usize,
+        tr_a: Option<&FaceTransform>,
+        tb: TreeId,
+        b: &Octant<D>,
+        fb: usize,
+        tr_b: Option<&FaceTransform>,
+        v: &mut V,
+    ) {
+        let ma = &self.m[ta as usize];
+        let mb = &self.m[tb as usize];
+        let ra = linear::find_overlapping_range(&ma.octs, a);
+        let rb = linear::find_overlapping_range(&mb.octs, b);
+        if ra.is_empty() || rb.is_empty() {
+            // A face-adjacent local leaf on either side would have
+            // pulled the other side's strip into the ghost layer, so an
+            // uncovered side means no local participant here.
+            return;
+        }
+        let sa = settle(ma, &ra, a);
+        let sb = settle(mb, &rb, b);
+        match (sa, sb) {
+            (Some(ia), Some(ib)) => {
+                debug_assert_eq!(ma.octs[ia], *a);
+                debug_assert_eq!(mb.octs[ib], *b);
+                let (ea, eb) = (ma.refs[ia], mb.refs[ib]);
+                if !ea.is_local() && !eb.is_local() {
+                    return;
+                }
+                v.face(&FaceVisit::Conforming {
+                    a: FaceSide {
+                        elem: ea,
+                        tree: ta,
+                        octant: ma.octs[ia],
+                        face: fa,
+                        transform: tr_a.copied(),
+                    },
+                    b: FaceSide {
+                        elem: eb,
+                        tree: tb,
+                        octant: mb.octs[ib],
+                        face: fb,
+                        transform: tr_b.copied(),
+                    },
+                });
+            }
+            (Some(ia), None) => self.hanging(ta, ia, fa, tr_a, tb, b, fb, tr_b, v),
+            (None, Some(ib)) => self.hanging(tb, ib, fb, tr_b, ta, a, fa, tr_a, v),
+            (None, None) => {
+                // Both sides refine: descend the face's child quadrants
+                // in lockstep.
+                let axis = D::face_axis(fa);
+                let bit = usize::from(D::face_positive(fa));
+                for ci in 0..D::CHILDREN {
+                    if (ci >> axis) & 1 != bit {
+                        continue;
+                    }
+                    let ca = a.child(ci);
+                    let phantom = ca.face_neighbor(fa);
+                    let cb = match tr_a {
+                        None => phantom,
+                        Some(tr) => tr.apply_octant(&phantom),
+                    };
+                    debug_assert!(b.contains(&cb) && cb.level == b.level + 1);
+                    self.face_rec(ta, &ca, fa, tr_a, tb, &cb, fb, tr_b, v);
+                }
+            }
+        }
+    }
+
+    /// Emit a hanging visit: the settled coarse leaf `mc.octs[ic]`
+    /// against the face-adjacent children of the opposite branch `bf`.
+    #[allow(clippy::too_many_arguments)]
+    fn hanging<V: Visit<D>>(
+        &self,
+        tc: TreeId,
+        ic: usize,
+        fc: usize,
+        tr_c: Option<&FaceTransform>,
+        tf: TreeId,
+        bf: &Octant<D>,
+        ff: usize,
+        tr_f: Option<&FaceTransform>,
+        v: &mut V,
+    ) {
+        let mc = &self.m[tc as usize];
+        let mf = &self.m[tf as usize];
+        let coarse_ref = mc.refs[ic];
+        let axis = D::face_axis(ff);
+        let bit = usize::from(D::face_positive(ff));
+        let mut fine: Vec<FaceSide<D>> = Vec::with_capacity(D::FACE_CHILDREN);
+        for ci in 0..D::CHILDREN {
+            if (ci >> axis) & 1 != bit {
+                continue;
+            }
+            let c = bf.child(ci);
+            let key = c.sfc_key();
+            let i = mf.octs.partition_point(|o| o.sfc_key() < key);
+            if i < mf.octs.len() && mf.octs[i] == c {
+                fine.push(FaceSide {
+                    elem: mf.refs[i],
+                    tree: tf,
+                    octant: c,
+                    face: ff,
+                    transform: tr_f.copied(),
+                });
+            } else {
+                // The one-layer ghost halo only omits a fine child when
+                // no participant of this face is local: skip the entity
+                // (its owner visits it).
+                debug_assert!(!coarse_ref.is_local());
+                debug_assert!(fine.iter().all(|s| !s.elem.is_local()));
+                return;
+            }
+        }
+        if !coarse_ref.is_local() && fine.iter().all(|s| !s.elem.is_local()) {
+            return;
+        }
+        v.face(&FaceVisit::Hanging {
+            coarse: FaceSide {
+                elem: coarse_ref,
+                tree: tc,
+                octant: mc.octs[ic],
+                face: fc,
+                transform: tr_c.copied(),
+            },
+            fine,
+        });
+    }
+
+    /// Edge and corner entity enumeration, seeded from local leaves.
+    fn entities<V: Visit<D>>(&self, v: &mut V) {
+        let want_e = v.wants_edges() && D::EDGES > 0;
+        let want_c = v.wants_corners();
+        if !want_e && !want_c {
+            return;
+        }
+        let mut seen_e: FxHashSet<EntityKey> = FxHashSet::default();
+        let mut seen_c: FxHashSet<EntityKey> = FxHashSet::default();
+        let mut flat = 0u32;
+        for t in 0..self.f.conn.num_trees() as TreeId {
+            for o in self.f.tree(t) {
+                if want_e {
+                    for e in 0..D::EDGES {
+                        self.edge_entity(t, o, e, flat, &mut seen_e, v);
+                    }
+                }
+                if want_c {
+                    for c in 0..D::CORNERS {
+                        self.corner_entity(t, o, c, flat, &mut seen_c, v);
+                    }
+                }
+                flat += 1;
+            }
+        }
+    }
+
+    /// Collect the sharers of edge `e` of local leaf `o` by probing the
+    /// finest-level atom adjacent to the edge's low end in each of the
+    /// three surrounding quadrants. Alignment makes one probe per
+    /// quadrant sufficient: an equal-level sharer's edge coincides with
+    /// the segment exactly, so it always covers the low-end atom.
+    fn edge_entity<V: Visit<D>>(
+        &self,
+        t: TreeId,
+        o: &Octant<D>,
+        e: usize,
+        flat: u32,
+        seen: &mut FxHashSet<EntityKey>,
+        v: &mut V,
+    ) {
+        let [c0, c1] = D::EDGE_CORNERS[e];
+        let pa = o.corner_coords(c0);
+        let pb = o.corner_coords(c1);
+        let axis = D::edge_axis(e);
+        // Transverse axes in increasing order, each with the edge's
+        // high/low offset bit.
+        let mut tv = [(0usize, 0usize); 2];
+        {
+            let bits = e % 4;
+            let mut j = 0;
+            for d in 0..3 {
+                if d == axis {
+                    continue;
+                }
+                tv[j] = (d, (bits >> j) & 1);
+                j += 1;
+            }
+        }
+        let mut sharers = vec![EntitySharer {
+            elem: LeafRef::Local(flat),
+            tree: t,
+            octant: *o,
+            index: e,
+        }];
+        let mut coarse: Vec<EntitySharer<D>> = Vec::new();
+        for dirsel in 1..4usize {
+            let mut atom = [0i32; 3];
+            atom[axis] = pa[axis].min(pb[axis]);
+            for (j, &(d, off)) in tv.iter().enumerate() {
+                let moved = (dirsel >> j) & 1 == 1;
+                let bc = pa[d];
+                atom[d] = if moved == (off == 1) { bc } else { bc - 1 };
+            }
+            let atom_oct = Octant::<D>::from_coords(atom, D::MAX_LEVEL);
+            for (k2, img, route) in self.f.conn.exterior_images_routed(t, &atom_oct) {
+                let mt = &self.m[k2 as usize];
+                let Some(li) = linear::find_containing(&mt.octs, &img) else {
+                    continue;
+                };
+                let cand = mt.octs[li];
+                let qa = route.map_point_scaled::<D>(pa, 1);
+                let qb = route.map_point_scaled::<D>(pb, 1);
+                let Some(e2) = segment_on_edge(&cand, qa, qb) else {
+                    continue;
+                };
+                let s = EntitySharer {
+                    elem: mt.refs[li],
+                    tree: k2,
+                    octant: cand,
+                    index: e2,
+                };
+                if cand.level == o.level {
+                    sharers.push(s);
+                } else {
+                    debug_assert!(cand.level < o.level);
+                    coarse.push(s);
+                }
+            }
+        }
+        canonicalize(&mut sharers);
+        canonicalize(&mut coarse);
+        if seen.insert(entity_key(&sharers)) {
+            v.edge(&EdgeVisit { sharers, coarse });
+        }
+    }
+
+    /// Collect the sharers of corner `c` of local leaf `o` by probing
+    /// the atom diagonally adjacent to the corner point in each
+    /// surrounding orthant. Any leaf with the point as a corner fills
+    /// its whole orthant, so it contains that orthant's probe atom.
+    fn corner_entity<V: Visit<D>>(
+        &self,
+        t: TreeId,
+        o: &Octant<D>,
+        c: usize,
+        flat: u32,
+        seen: &mut FxHashSet<EntityKey>,
+        v: &mut V,
+    ) {
+        let p = o.corner_coords(c);
+        let off = D::corner_offset(c);
+        let ndirs = (1usize << D::DIM) - 1;
+        let mut sharers = vec![EntitySharer {
+            elem: LeafRef::Local(flat),
+            tree: t,
+            octant: *o,
+            index: c,
+        }];
+        for dirsel in 1..=ndirs {
+            let mut atom = [0i32; 3];
+            for d in 0..D::DIM as usize {
+                let moved = (dirsel >> d) & 1 == 1;
+                atom[d] = if moved == (off[d] == 1) {
+                    p[d]
+                } else {
+                    p[d] - 1
+                };
+            }
+            let atom_oct = Octant::<D>::from_coords(atom, D::MAX_LEVEL);
+            for (k2, img, route) in self.f.conn.exterior_images_routed(t, &atom_oct) {
+                let mt = &self.m[k2 as usize];
+                let Some(li) = linear::find_containing(&mt.octs, &img) else {
+                    continue;
+                };
+                let cand = mt.octs[li];
+                let q = route.map_point_scaled::<D>(p, 1);
+                if let Some(c2) = corner_index_of_point(&cand, q) {
+                    sharers.push(EntitySharer {
+                        elem: mt.refs[li],
+                        tree: k2,
+                        octant: cand,
+                        index: c2,
+                    });
+                }
+            }
+        }
+        canonicalize(&mut sharers);
+        if seen.insert(entity_key(&sharers)) {
+            v.corner(&CornerVisit { sharers });
+        }
+    }
+}
+
+type EntityKey = Vec<(TreeId, u64, u8, usize)>;
+
+fn canonicalize<D: Dim>(list: &mut Vec<EntitySharer<D>>) {
+    list.sort_by_key(|s| {
+        let (m, l) = s.octant.sfc_key();
+        (s.tree, m, l, s.index)
+    });
+    list.dedup_by(|x, y| x.tree == y.tree && x.octant == y.octant && x.index == y.index);
+}
+
+fn entity_key<D: Dim>(list: &[EntitySharer<D>]) -> EntityKey {
+    list.iter()
+        .map(|s| {
+            let (m, l) = s.octant.sfc_key();
+            (s.tree, m, l, s.index)
+        })
+        .collect()
+}
+
+/// If the axis-aligned segment `qa..qb` (at most one octant-edge long)
+/// lies on an edge of `o`, return that edge's index. 3D only.
+fn segment_on_edge<D: Dim>(o: &Octant<D>, qa: [i32; 3], qb: [i32; 3]) -> Option<usize> {
+    let c = o.coords();
+    let h = o.len();
+    let run = (0..3).find(|&d| qa[d] != qb[d])?;
+    let (lo, hi) = (qa[run].min(qb[run]), qa[run].max(qb[run]));
+    if lo < c[run] || hi > c[run] + h {
+        return None;
+    }
+    let mut bits = 0usize;
+    let mut j = 0;
+    for d in 0..3 {
+        if d == run {
+            continue;
+        }
+        if qa[d] == c[d] + h {
+            bits |= 1 << j;
+        } else if qa[d] != c[d] {
+            return None;
+        }
+        j += 1;
+    }
+    Some(run * 4 + bits)
+}
+
+/// If `q` is one of `o`'s corner points, return that corner's index.
+fn corner_index_of_point<D: Dim>(o: &Octant<D>, q: [i32; 3]) -> Option<usize> {
+    let c = o.coords();
+    let h = o.len();
+    let mut idx = 0usize;
+    for d in 0..D::DIM as usize {
+        if q[d] == c[d] + h {
+            idx |= 1 << d;
+        } else if q[d] != c[d] {
+            return None;
+        }
+    }
+    Some(idx)
+}
+
+impl<D: Dim> Forest<D> {
+    /// Run the recursive traversal over the local forest plus `ghost`,
+    /// firing `v`'s callbacks. See the module docs for the contract.
+    pub fn iterate<V: Visit<D>>(&self, ghost: &GhostLayer<D>, v: &mut V) {
+        let _span = forust_obs::span!("forest.iterate");
+        let m = merged_trees(self, ghost);
+        let trav = Trav { f: self, m: &m };
+        let nt = self.conn.num_trees() as TreeId;
+        // Volumes and all faces interior to each tree.
+        for t in 0..nt {
+            let n = m[t as usize].octs.len();
+            trav.rec_volume(t, &Octant::root(), 0, n, v);
+        }
+        // Inter-tree (and periodic intra-tree) macro faces, each glued
+        // pair visited from its canonical side.
+        for k in 0..nt {
+            for fc in 0..D::FACES {
+                let Some(tr) = self.conn.face_transform(k, fc) else {
+                    continue;
+                };
+                if (k, fc) > (tr.target, tr.target_face) {
+                    continue;
+                }
+                let back = self
+                    .conn
+                    .face_transform(tr.target, tr.target_face)
+                    .expect("face gluing must be symmetric");
+                trav.face_rec(
+                    k,
+                    &Octant::root(),
+                    fc,
+                    Some(tr),
+                    tr.target,
+                    &Octant::root(),
+                    tr.target_face,
+                    Some(back),
+                    v,
+                );
+            }
+        }
+        // Physical-boundary faces of local leaves.
+        let mut flat = 0u32;
+        let big = D::root_len();
+        for t in 0..nt {
+            for o in self.tree(t) {
+                for fc in 0..D::FACES {
+                    let ax = D::face_axis(fc);
+                    let on = if D::face_positive(fc) {
+                        o.coords()[ax] + o.len() == big
+                    } else {
+                        o.coords()[ax] == 0
+                    };
+                    if on && self.conn.face_transform(t, fc).is_none() {
+                        v.face(&FaceVisit::Boundary {
+                            side: FaceSide {
+                                elem: LeafRef::Local(flat),
+                                tree: t,
+                                octant: *o,
+                                face: fc,
+                                transform: None,
+                            },
+                        });
+                    }
+                }
+                flat += 1;
+            }
+        }
+        // Edge and corner entities (opt-in).
+        trav.entities(v);
+    }
+}

@@ -25,12 +25,16 @@
 mod balance;
 mod checkpoint;
 mod ghost;
+mod iterate;
 mod partition;
 mod search;
 
 pub use balance::BalanceType;
 pub use checkpoint::{CheckpointError, CheckpointMeta};
 pub use ghost::{GhostDataPending, GhostLayer, TAG_GHOST_EXCHANGE};
+pub use iterate::{
+    CornerVisit, EdgeVisit, EntitySharer, FaceSide, FaceVisit, LeafRef, OwnedRoute, Visit,
+};
 pub use search::Descend;
 
 use std::sync::Arc;

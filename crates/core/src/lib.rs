@@ -28,12 +28,16 @@
 pub mod connectivity;
 pub mod dim;
 pub mod forest;
+pub(crate) mod hash;
 pub mod linear;
 pub mod nodes;
 pub mod octant;
 
 pub use connectivity::{Connectivity, TreeId};
 pub use dim::{Dim, D2, D3};
-pub use forest::{BalanceType, Forest, GhostLayer};
+pub use forest::{
+    BalanceType, CornerVisit, EdgeVisit, EntitySharer, FaceSide, FaceVisit, Forest, GhostLayer,
+    LeafRef, Visit,
+};
 pub use nodes::{AssemblePending, NodeKey, NodeStatus, Nodes, TAG_ASSEMBLE};
 pub use octant::Octant;

@@ -30,7 +30,8 @@ use forust_comm::{read_vec, write_vec, Communicator, PendingExchange, Wire, TAG_
 
 use crate::connectivity::{Route, TreeId};
 use crate::dim::Dim;
-use crate::forest::{Forest, GhostLayer};
+use crate::forest::{Forest, GhostLayer, OwnedRoute};
+use crate::hash::FxHashMap;
 use crate::octant::Octant;
 
 /// Canonical identity of a node: lowest participating tree, position in
@@ -126,47 +127,19 @@ struct EdgeHang<D: Dim> {
     route: OwnedRoute,
 }
 
-/// An owning version of [`Route`] (no borrow of the connectivity).
-#[derive(Debug, Clone, Copy)]
-enum OwnedRoute {
-    Interior,
-    Face(crate::connectivity::FaceTransform),
-    Edge {
-        source_edge: usize,
-        nb: crate::connectivity::EdgeNeighbor,
-    },
-}
-
-impl OwnedRoute {
-    fn from_route(r: &Route<'_>) -> Self {
-        match r {
-            Route::Interior => OwnedRoute::Interior,
-            Route::Face(t) => OwnedRoute::Face(**t),
-            Route::Edge { source_edge, nb } => OwnedRoute::Edge {
-                source_edge: *source_edge,
-                nb: *nb,
-            },
-            Route::Corner { .. } => unreachable!("corner routes never carry hanging entities"),
-        }
-    }
-
-    fn map_point_scaled<D: Dim>(&self, p: [i32; 3], scale: i32) -> [i32; 3] {
-        match self {
-            OwnedRoute::Interior => p,
-            OwnedRoute::Face(t) => t.apply_point_scaled(p, scale),
-            OwnedRoute::Edge { source_edge, nb } => Route::Edge {
-                source_edge: *source_edge,
-                nb: *nb,
-            }
-            .map_point_scaled::<D>(p, scale),
-        }
-    }
-}
-
 impl<D: Dim> Forest<D> {
     /// `Nodes`: build the globally unique numbering of degree-`N` cG
     /// unknowns with hanging-node constraints. Requires a 2:1 balanced
     /// forest and its ghost layer.
+    ///
+    /// This is the recursive-era formulation: the per-element flow of
+    /// [`Forest::nodes_reference`] with allocation-free fast paths for
+    /// the overwhelmingly common all-interior cases — an interior point
+    /// is its own canonical image, and an in-root neighbor box routes
+    /// through `Route::Interior` only, so neither needs the image
+    /// enumeration. Both paths produce identical keys, classifications
+    /// and interning order, so the result is bitwise identical to the
+    /// oracle (asserted node-for-node by the fuzz suite).
     pub fn nodes(
         &self,
         comm: &impl Communicator,
@@ -174,6 +147,413 @@ impl<D: Dim> Forest<D> {
         degree: usize,
     ) -> Nodes<D> {
         let _span = forust_obs::span!("forest.nodes");
+        assert!(degree >= 1, "nodes: degree must be at least 1");
+        let n = degree as i32;
+        let me = comm.rank();
+        let p = comm.size();
+        let npe_1d = degree + 1;
+        let nodes_per_elem = npe_1d.pow(D::DIM);
+        let big = D::root_len();
+
+        let elements: Vec<(TreeId, Octant<D>)> = self.iter_local().map(|(t, o)| (t, *o)).collect();
+
+        // Leaf lookup across local storage and the ghost layer.
+        let find_leaf = |t: TreeId, region: &Octant<D>| -> Option<Octant<D>> {
+            if let Some((_, leaf)) = self.find_local_containing(t, region) {
+                return Some(*leaf);
+            }
+            ghost.find_containing(t, region).map(|i| ghost.ghosts[i].1)
+        };
+
+        // Canonicalize a scaled position of tree `t`. A strictly interior
+        // point has exactly one image — itself — so only boundary points
+        // pay for the image enumeration.
+        let canon = |t: TreeId, pos: [i32; 3]| -> NodeKey {
+            if (0..D::DIM as usize).all(|d| pos[d] > 0 && pos[d] < n * big) {
+                return (t, pos);
+            }
+            self.conn
+                .point_images_scaled(t, pos, n)
+                .into_iter()
+                .min()
+                .expect("point has at least its own image")
+        };
+
+        let mut key_index: FxHashMap<NodeKey, u32> = FxHashMap::default();
+        let mut keys: Vec<NodeKey> = Vec::new();
+        let mut drafts: Vec<Draft> = Vec::new();
+        let mut intern = |key: NodeKey, keys: &mut Vec<NodeKey>, drafts: &mut Vec<Draft>| -> u32 {
+            *key_index.entry(key).or_insert_with(|| {
+                keys.push(key);
+                drafts.push(Draft::Unset);
+                (keys.len() - 1) as u32
+            })
+        };
+
+        let mut element_nodes: Vec<u32> = Vec::with_capacity(elements.len() * nodes_per_elem);
+
+        for &(t, o) in &elements {
+            let h = o.len();
+            let level = o.level;
+
+            // --- Detect hanging faces -------------------------------------
+            // A coarser neighbor can only sit across an *outer* face of the
+            // sibling group: across an inner face the neighbor region lies
+            // inside our parent, so a containing leaf at `level - 1` would
+            // have to be the parent itself — impossible while we are its
+            // descendant. Root elements have no coarser side at all. This
+            // prunes half the face probes with bit arithmetic.
+            let cid = o.child_id();
+            let mut face_hang: Vec<Option<FaceHang<D>>> = (0..D::FACES).map(|_| None).collect();
+            for (f, slot) in face_hang.iter_mut().enumerate() {
+                if level == 0 || (((cid >> D::face_axis(f)) & 1) == 1) != D::face_positive(f) {
+                    continue;
+                }
+                let nb = o.face_neighbor(f);
+                if nb.is_inside_root() {
+                    // Fast path: the neighbor box is its own single image
+                    // (`Route::Interior`).
+                    if let Some(leaf) = find_leaf(t, &nb) {
+                        if leaf.level + 1 == level {
+                            let plane_axis = D::face_axis(f);
+                            let my_plane = if D::face_positive(f) {
+                                o.coords()[plane_axis] + h
+                            } else {
+                                o.coords()[plane_axis]
+                            };
+                            let plane_high = if my_plane == leaf.coords()[plane_axis] {
+                                false
+                            } else {
+                                debug_assert_eq!(my_plane, leaf.coords()[plane_axis] + leaf.len());
+                                true
+                            };
+                            *slot = Some(FaceHang {
+                                tree: t,
+                                coarse: leaf,
+                                plane_axis,
+                                plane_high,
+                                route: OwnedRoute::Interior,
+                            });
+                        }
+                    }
+                    continue;
+                }
+                for (k2, m, route) in self.conn.exterior_images_routed(t, &nb) {
+                    let Some(leaf) = find_leaf(k2, &m) else {
+                        continue;
+                    };
+                    if leaf.level + 1 != level {
+                        continue;
+                    }
+                    // Plane of the shared face in the coarse frame: the
+                    // boundary plane of `m` facing back toward us.
+                    let plane_axis = match &route {
+                        Route::Interior => D::face_axis(f),
+                        Route::Face(tr) => tr.perm[D::face_axis(f)],
+                        _ => unreachable!("face neighbor crosses at most a macro-face"),
+                    };
+                    // The shared plane coordinate equals my face plane
+                    // mapped; determine low/high side of the coarse leaf.
+                    let my_plane = if D::face_positive(f) {
+                        o.coords()[D::face_axis(f)] + h
+                    } else {
+                        o.coords()[D::face_axis(f)]
+                    };
+                    let mut probe = o.coords();
+                    probe[D::face_axis(f)] = my_plane;
+                    let probe2 = OwnedRoute::from_route(&route)
+                        .map_point_scaled::<D>([probe[0] * 1, probe[1], probe[2]], 1);
+                    let plane_high = if probe2[plane_axis] == leaf.coords()[plane_axis] {
+                        false
+                    } else {
+                        debug_assert_eq!(
+                            probe2[plane_axis],
+                            leaf.coords()[plane_axis] + leaf.len()
+                        );
+                        true
+                    };
+                    *slot = Some(FaceHang {
+                        tree: k2,
+                        coarse: leaf,
+                        plane_axis,
+                        plane_high,
+                        route: OwnedRoute::from_route(&route),
+                    });
+                    break;
+                }
+            }
+
+            // --- Detect hanging edges (3D) --------------------------------
+            // Same pruning for edges: a coarser edge neighbor requires the
+            // edge to lie on the sibling group's boundary along *both*
+            // transverse axes — three of twelve edges on average.
+            let mut edge_hang: Vec<Option<EdgeHang<D>>> = (0..D::EDGES).map(|_| None).collect();
+            for (e, slot) in edge_hang.iter_mut().enumerate() {
+                if level == 0 {
+                    continue;
+                }
+                let axis = D::edge_axis(e);
+                let bits = e % 4;
+                let mut outer = true;
+                let mut b = 0;
+                for d in 0..3 {
+                    if d == axis {
+                        continue;
+                    }
+                    outer &= (((bits >> b) & 1) == 1) == (((cid >> d) & 1) == 1);
+                    b += 1;
+                }
+                if !outer {
+                    continue;
+                }
+                let nb = o.edge_neighbor(e);
+                if nb.is_inside_root() {
+                    // Fast path: single interior image; the run axis is the
+                    // edge's own axis (identity map).
+                    if let Some(leaf) = find_leaf(t, &nb) {
+                        if leaf.level + 1 == level {
+                            *slot = Some(EdgeHang {
+                                tree: t,
+                                coarse: leaf,
+                                run_axis: D::edge_axis(e),
+                                route: OwnedRoute::Interior,
+                            });
+                        }
+                    }
+                    continue;
+                }
+                for (k2, m, route) in self.conn.exterior_images_routed(t, &nb) {
+                    let Some(leaf) = find_leaf(k2, &m) else {
+                        continue;
+                    };
+                    if leaf.level + 1 != level {
+                        continue;
+                    }
+                    // Run axis in the coarse frame: map both endpoints of
+                    // my edge and see which axis varies.
+                    let owned = OwnedRoute::from_route(&route);
+                    let [ca, cb] = D::EDGE_CORNERS[e];
+                    let pa = owned.map_point_scaled::<D>(o.corner_coords(ca), 1);
+                    let pb = owned.map_point_scaled::<D>(o.corner_coords(cb), 1);
+                    let run_axis = (0..3)
+                        .find(|&d| pa[d] != pb[d])
+                        .expect("edge endpoints must differ along one axis");
+                    *slot = Some(EdgeHang {
+                        tree: k2,
+                        coarse: leaf,
+                        run_axis,
+                        route: owned,
+                    });
+                    break;
+                }
+            }
+
+            // --- Classify every node of this element ----------------------
+            let idx_ranges: [usize; 3] = [npe_1d, npe_1d, if D::DIM == 3 { npe_1d } else { 1 }];
+            for iz in 0..idx_ranges[2] {
+                for iy in 0..idx_ranges[1] {
+                    for ix in 0..idx_ranges[0] {
+                        let idx = [ix as i32, iy as i32, iz as i32];
+                        // Scaled position in my tree frame.
+                        let pos = [
+                            n * o.x + idx[0] * h,
+                            n * o.y + idx[1] * h,
+                            n * o.z + idx[2] * h,
+                        ];
+                        // Faces this node lies on.
+                        let on_face = |f: usize| -> bool {
+                            let a = D::face_axis(f);
+                            if D::face_positive(f) {
+                                idx[a] == n
+                            } else {
+                                idx[a] == 0
+                            }
+                        };
+                        // First hanging face containing the node wins.
+                        let face_c = (0..D::FACES).find(|&f| on_face(f) && face_hang[f].is_some());
+
+                        let node_idx = if let Some(f) = face_c {
+                            let hang = face_hang[f].as_ref().expect("checked");
+                            self.hanging_face_node(
+                                hang,
+                                n,
+                                pos,
+                                &mut intern,
+                                &mut keys,
+                                &mut drafts,
+                                &canon,
+                            )
+                        } else {
+                            // Hanging edge: node on edge e, no hanging face.
+                            let mut via_edge = None;
+                            for (e, eh) in edge_hang.iter().enumerate() {
+                                let Some(eh) = eh else { continue };
+                                let on_edge = {
+                                    let axis = D::edge_axis(e);
+                                    let bits = e % 4;
+                                    let mut ok = true;
+                                    let mut b = 0;
+                                    for d in 0..3 {
+                                        if d == axis {
+                                            continue;
+                                        }
+                                        let want = if (bits >> b) & 1 == 1 { n } else { 0 };
+                                        ok &= idx[d] == want;
+                                        b += 1;
+                                    }
+                                    ok
+                                };
+                                if on_edge {
+                                    via_edge = Some(self.hanging_edge_node(
+                                        eh,
+                                        n,
+                                        pos,
+                                        &mut intern,
+                                        &mut keys,
+                                        &mut drafts,
+                                        &canon,
+                                    ));
+                                    break;
+                                }
+                            }
+                            via_edge.unwrap_or_else(|| {
+                                let i = intern(canon(t, pos), &mut keys, &mut drafts);
+                                mark_independent(&mut drafts, i);
+                                i
+                            })
+                        };
+                        element_nodes.push(node_idx);
+                    }
+                }
+            }
+        }
+
+        // --- Ownership and global numbering -------------------------------
+        let num_nodes = keys.len();
+        let mut status: Vec<NodeStatus> = Vec::with_capacity(num_nodes);
+        let mut owners: Vec<usize> = vec![usize::MAX; num_nodes];
+        for (i, d) in drafts.iter().enumerate() {
+            match d {
+                Draft::Independent | Draft::Unset => {
+                    // Unset can only be a parent interned before its own
+                    // element classified it; parents are independent.
+                    let (kt, kp) = keys[i];
+                    let mut anchor = [0i32; 3];
+                    for dd in 0..3 {
+                        let a = (kp[dd] / n).min(big - 1).max(0);
+                        anchor[dd] = a;
+                    }
+                    if D::DIM == 2 {
+                        anchor[2] = 0;
+                    }
+                    let atom = Octant::<D>::from_coords(anchor, D::MAX_LEVEL);
+                    owners[i] = self.owner_of_atom(kt, &atom);
+                    status.push(NodeStatus::Independent {
+                        global: u64::MAX,
+                        owner: owners[i],
+                    });
+                }
+                Draft::Hanging {
+                    parents,
+                    rel,
+                    entity_dim,
+                } => {
+                    status.push(NodeStatus::Hanging {
+                        parents: parents.clone(),
+                        rel: *rel,
+                        entity_dim: *entity_dim,
+                    });
+                }
+            }
+        }
+
+        // Owned nodes in canonical-key order get consecutive global ids.
+        let mut owned: Vec<u32> = (0..num_nodes as u32)
+            .filter(|&i| owners[i as usize] == me)
+            .collect();
+        owned.sort_by_key(|&i| keys[i as usize]);
+        let num_owned = owned.len();
+        let global_offset = comm.exscan_sum_u64(num_owned as u64);
+        let num_global = comm.allreduce_sum_u64(num_owned as u64);
+        for (j, &i) in owned.iter().enumerate() {
+            if let NodeStatus::Independent { global, .. } = &mut status[i as usize] {
+                *global = global_offset + j as u64;
+            }
+        }
+
+        // Borrowed nodes: query owners for ids; owners learn lent lists.
+        let mut borrowed_by_rank: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        for i in 0..num_nodes as u32 {
+            let r = owners[i as usize];
+            if r != usize::MAX && r != me {
+                borrowed_by_rank[r].push(i);
+            }
+        }
+        for v in &mut borrowed_by_rank {
+            v.sort_by_key(|&i| keys[i as usize]);
+        }
+        let queries: Vec<Vec<(u32, [i32; 3])>> = borrowed_by_rank
+            .iter()
+            .map(|v| v.iter().map(|&i| keys[i as usize]).collect())
+            .collect();
+        let incoming = comm.alltoallv(queries);
+        let mut lent_to_rank: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        let replies: Vec<Vec<u64>> = incoming
+            .into_iter()
+            .enumerate()
+            .map(|(r, qs)| {
+                qs.into_iter()
+                    .map(|key| {
+                        let &i = key_index.get(&key).unwrap_or_else(|| {
+                            panic!("rank {me}: queried for unknown node {key:?} by rank {r}")
+                        });
+                        lent_to_rank[r].push(i);
+                        match &status[i as usize] {
+                            NodeStatus::Independent { global, owner } => {
+                                assert_eq!(*owner, me, "queried for a node we do not own");
+                                *global
+                            }
+                            _ => panic!("queried for a hanging node"),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let answers = comm.alltoallv(replies);
+        for (r, ids) in answers.into_iter().enumerate() {
+            assert_eq!(ids.len(), borrowed_by_rank[r].len());
+            for (&i, id) in borrowed_by_rank[r].iter().zip(ids) {
+                if let NodeStatus::Independent { global, .. } = &mut status[i as usize] {
+                    *global = id;
+                }
+            }
+        }
+
+        Nodes {
+            degree,
+            nodes_per_elem,
+            elements,
+            element_nodes,
+            keys,
+            status,
+            num_owned,
+            global_offset,
+            num_global,
+            borrowed_by_rank,
+            lent_to_rank,
+        }
+    }
+
+    /// The pre-recursive `Nodes` implementation, retained verbatim as
+    /// the equivalence oracle for [`Forest::nodes`] (the fuzz suite
+    /// asserts node-for-node identity across ranks and worker counts).
+    #[doc(hidden)]
+    pub fn nodes_reference(
+        &self,
+        comm: &impl Communicator,
+        ghost: &GhostLayer<D>,
+        degree: usize,
+    ) -> Nodes<D> {
         assert!(degree >= 1, "nodes: degree must be at least 1");
         let n = degree as i32;
         let me = comm.rank();

@@ -4,9 +4,12 @@
 //! topologies (`moebius`, `rotcubes6`, `cubed_sphere`) and three rank
 //! counts (1, 3, 5), driven by a SplitMix64-seeded hash so every run is
 //! deterministic. Each iteration asserts the full distributed invariant
-//! set (`check_valid`, `check_balanced`) **and** that the batched balance
-//! produces octant-for-octant the same forest as the retained
-//! one-split-at-a-time ripple oracle (`balance_ripple`).
+//! set (`check_valid`, `check_balanced`) **and** that every recursive
+//! rewrite matches its retained oracle octant-for-octant: batched
+//! balance vs the one-split-at-a-time ripple (`balance_ripple`), the
+//! pruned insulation-walk ghost vs the per-leaf scan
+//! (`ghost_reference`), and the fast-path node numbering vs the fully
+//! routed construction (`nodes_reference`).
 
 use std::sync::Arc;
 
@@ -80,6 +83,35 @@ fn cycle<D: Dim>(conn_fn: fn() -> Connectivity<D>, name: &str, max_level: u8) {
                     .sum();
                 let total_sends = comm.allreduce_sum_u64(my_sends);
                 assert_eq!(total_ghosts, total_sends, "{name}, p={ranks}, iter={iter}");
+
+                // Equivalence: the pruned insulation-walk ghost must match
+                // the retained per-leaf oracle field for field.
+                let oracle = f.ghost_reference(comm);
+                let ctx = format!(
+                    "ghost != ghost_reference ({name}, p={ranks}, iter={iter}, rank={})",
+                    comm.rank()
+                );
+                assert_eq!(ghost.ghosts, oracle.ghosts, "{ctx}");
+                assert_eq!(ghost.ghost_owner, oracle.ghost_owner, "{ctx}");
+                assert_eq!(ghost.mirrors, oracle.mirrors, "{ctx}");
+                assert_eq!(ghost.mirror_idx_by_rank, oracle.mirror_idx_by_rank, "{ctx}");
+
+                // Equivalence: the fast-path node numbering must match the
+                // fully routed oracle node for node.
+                let nodes = f.nodes(comm, &ghost, 1);
+                let nodes_o = f.nodes_reference(comm, &ghost, 1);
+                let ctx = format!(
+                    "nodes != nodes_reference ({name}, p={ranks}, iter={iter}, rank={})",
+                    comm.rank()
+                );
+                assert_eq!(nodes.keys, nodes_o.keys, "{ctx}");
+                assert_eq!(nodes.status, nodes_o.status, "{ctx}");
+                assert_eq!(nodes.element_nodes, nodes_o.element_nodes, "{ctx}");
+                assert_eq!(nodes.num_owned, nodes_o.num_owned, "{ctx}");
+                assert_eq!(nodes.global_offset, nodes_o.global_offset, "{ctx}");
+                assert_eq!(nodes.num_global, nodes_o.num_global, "{ctx}");
+                assert_eq!(nodes.borrowed_by_rank, nodes_o.borrowed_by_rank, "{ctx}");
+                assert_eq!(nodes.lent_to_rank, nodes_o.lent_to_rank, "{ctx}");
             }
         });
     }

@@ -16,10 +16,17 @@
 //! element's face nodes. Conforming aligned faces degenerate to permutation
 //! matrices, rotations to permuted/flip­ped ones, and 2:1 faces to the
 //! half-interval interpolations, without any case-specific index juggling.
+//!
+//! Face *topology* (which element is across each face, with which
+//! orientation) is not derived here: the mesh rides the forest's
+//! recursive traversal ([`Forest::iterate`]), which classifies every
+//! local face as boundary / conforming / hanging in one top-down pass
+//! over local + ghost octants. This layer only turns each visit into the
+//! interpolation matrices above.
 
-use forust::connectivity::{Route, TreeId};
+use forust::connectivity::{FaceTransform, TreeId};
 use forust::dim::Dim;
-use forust::forest::{Forest, GhostLayer};
+use forust::forest::{FaceSide, FaceVisit, Forest, GhostLayer, LeafRef, Visit};
 use forust::octant::Octant;
 use forust_comm::Communicator;
 
@@ -107,7 +114,7 @@ impl<D: Dim> DgMesh<D> {
         let elements: Vec<(TreeId, Octant<D>)> =
             forest.iter_local().map(|(t, o)| (t, *o)).collect();
 
-        // Local element index by (tree, octant) for neighbor lookups.
+        // Local element index by (tree, octant), for mirror association.
         let elem_index = |t: TreeId, o: &Octant<D>| -> Option<u32> {
             forest
                 .find_local_containing(t, o)
@@ -118,38 +125,36 @@ impl<D: Dim> DgMesh<D> {
                     (before + i) as u32
                 })
         };
-        let find_ref = |t: TreeId, o: &Octant<D>| -> Option<ElemRef> {
-            if let Some(i) = elem_index(t, o) {
-                return Some(ElemRef::Local(i));
-            }
-            ghost.find(t, o).map(|i| ElemRef::Ghost(i as u32))
-        };
-        // Containing-leaf search across local + ghost storage.
-        let find_leaf = |t: TreeId, region: &Octant<D>| -> Option<(ElemRef, Octant<D>)> {
-            if let Some((i, leaf)) = forest.find_local_containing(t, region) {
-                let before: usize = (0..t).map(|tt| forest.tree(tt).len()).sum();
-                return Some((ElemRef::Local((before + i) as u32), *leaf));
-            }
-            ghost
-                .find_containing(t, region)
-                .map(|i| (ElemRef::Ghost(i as u32), ghost.ghosts[i].1))
-        };
-
         let mirror_elem: Vec<u32> = ghost
             .mirrors
             .iter()
             .map(|(t, o)| elem_index(*t, o).expect("mirror must be a local element"))
             .collect();
 
-        let dim = D::DIM as usize;
-        let mut faces = Vec::with_capacity(elements.len() * D::FACES);
-        for &(t, o) in &elements {
-            for f in 0..D::FACES {
-                faces.push(classify_face(
-                    &re, dim, forest, t, &o, f, &find_ref, &find_leaf,
-                ));
-            }
-        }
+        // One recursive traversal classifies every local face; each
+        // visit's callback builds the interpolation matrices.
+        let mut fb = FaceBuilder {
+            re: &re,
+            dim: D::DIM as usize,
+            nfaces: D::FACES,
+            slots: vec![None; elements.len() * D::FACES],
+        };
+        forest.iterate(&ghost, &mut fb);
+        let faces: Vec<FaceConn> = fb
+            .slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.unwrap_or_else(|| {
+                    panic!(
+                        "dG mesh: face slot {}/{} of element {} unclassified by iterate",
+                        i % D::FACES,
+                        D::FACES,
+                        i / D::FACES
+                    )
+                })
+            })
+            .collect();
 
         DgMesh {
             re,
@@ -222,19 +227,18 @@ fn face_node_position<D: Dim>(
     x
 }
 
-/// Map a real-coordinate point through a routed inter-tree transform
-/// (identity for intra-tree neighbors).
-fn map_point_real<D: Dim>(route: &Route<'_>, p: [f64; 3]) -> [f64; 3] {
-    match route {
-        Route::Interior => p,
-        Route::Face(tr) => {
+/// Map a real-coordinate point through an inter-tree face transform
+/// (`None` for same-frame neighbors).
+fn map_point_real(tr: Option<&FaceTransform>, p: [f64; 3]) -> [f64; 3] {
+    match tr {
+        None => p,
+        Some(tr) => {
             let mut out = [0.0; 3];
             for d in 0..3 {
                 out[tr.perm[d]] = tr.sign[d] as f64 * p[d] + tr.offset[d] as f64;
             }
             out
         }
-        _ => unreachable!("face neighbors never route across edges/corners"),
     }
 }
 
@@ -276,7 +280,7 @@ fn interp_from_neighbor<D: Dim>(
     dim: usize,
     my: &Octant<D>,
     my_face: usize,
-    route: &Route<'_>,
+    tr: Option<&FaceTransform>,
     nbr: &Octant<D>,
     nbr_face: usize,
 ) -> Matrix {
@@ -286,7 +290,7 @@ fn interp_from_neighbor<D: Dim>(
     for b in 0..nb {
         for a in 0..re.np {
             let x = face_node_position::<D>(re, dim, my, my_face, a, b);
-            let x2 = map_point_real::<D>(route, x);
+            let x2 = map_point_real(tr, x);
             let row = nbr_face_basis_row::<D>(re, dim, nbr, nbr_face, x2);
             let r = b * re.np + a;
             m.data[r * npf..(r + 1) * npf].copy_from_slice(&row);
@@ -295,138 +299,142 @@ fn interp_from_neighbor<D: Dim>(
     m
 }
 
-/// The face of the neighbor element that lies on the shared plane.
-fn neighbor_face<D: Dim>(my_face: usize, route: &Route<'_>) -> usize {
-    match route {
-        Route::Interior => my_face ^ 1,
-        Route::Face(tr) => tr.target_face,
-        _ => unreachable!("face neighbors never route across edges/corners"),
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn classify_face<D: Dim>(
-    re: &RefElement,
-    dim: usize,
-    _forest: &Forest<D>,
-    t: TreeId,
-    o: &Octant<D>,
-    f: usize,
-    find_ref: &impl Fn(TreeId, &Octant<D>) -> Option<ElemRef>,
-    find_leaf: &impl Fn(TreeId, &Octant<D>) -> Option<(ElemRef, Octant<D>)>,
-) -> FaceConn {
-    let n = o.face_neighbor(f);
-    let conn = &_forest.conn;
-    let routed = conn.exterior_images_routed(t, &n);
-    if routed.is_empty() {
-        return FaceConn::Boundary;
-    }
-    assert_eq!(routed.len(), 1, "a face has exactly one neighbor image");
-    let (k2, m, route) = &routed[0];
-    let nbr_face = neighbor_face::<D>(f, route);
-
-    match find_leaf(*k2, m) {
-        Some((nbr, leaf)) if leaf.level == o.level => {
-            let from_nbr = interp_from_neighbor(re, dim, o, f, route, &leaf, nbr_face);
-            FaceConn::Conforming {
-                nbr,
-                nbr_face,
-                from_nbr,
-            }
-        }
-        Some((nbr, leaf)) => {
-            assert_eq!(
-                leaf.level + 1,
-                o.level,
-                "face neighbor violates 2:1 balance"
-            );
-            let from_nbr = interp_from_neighbor(re, dim, o, f, route, &leaf, nbr_face);
-            FaceConn::CoarseNbr {
-                nbr,
-                nbr_face,
-                from_nbr,
-            }
-        }
-        None => {
-            // Fine neighbors: the face-adjacent children of the image.
-            let plane_axis = D::face_axis(nbr_face);
-            let plane_bit = usize::from(D::face_positive(nbr_face));
-            let mut subs = Vec::with_capacity(D::FACE_CHILDREN);
-            for cid in 0..D::CHILDREN {
-                if (cid >> plane_axis) & 1 != plane_bit {
-                    continue;
-                }
-                let child = m.child(cid);
-                let nbr = find_ref(*k2, &child).unwrap_or_else(|| {
-                    // A missing fine neighbor means 2:1 balance or the
-                    // ghost layer is broken; name every party so the
-                    // hanging face can be reconstructed from the log.
-                    panic!(
-                        "dG mesh: fine face neighbor not found\n  \
-                         my element:    tree {t}, face {f}, octant {o:?} \
-                         (level {}, sfc key {:#018x})\n  \
-                         neighbor image: tree {k2}, region {m:?} \
-                         (level {}, sfc key {:#018x})\n  \
-                         missing child:  {child:?} (level {}, sfc key {:#018x})\n  \
-                         neighbor-frame face toward me: {nbr_face}",
-                        o.level,
-                        o.morton(),
-                        m.level,
-                        m.morton(),
-                        child.level,
-                        child.morton(),
-                    )
-                });
-                // Matrix mapping MY face values to the fine child's face
-                // nodes: evaluate MY basis at the child's face points.
-                // Build by the same machinery, viewed from the child: map
-                // each child face node back into my frame.
-                let to_fine = interp_to_fine(re, dim, o, f, route, &child, nbr_face);
-                subs.push(FineSub {
-                    nbr,
-                    nbr_face,
-                    to_fine,
-                });
-            }
-            FaceConn::FineNbrs { subs }
-        }
-    }
-}
-
 /// Matrix mapping the coarse element's face values to the fine child's
 /// face node points (fine lattice order): the mortar interpolation.
+/// `tr` maps the coarse frame into the fine frame; it is inverted here
+/// to pull the fine face nodes back into the coarse frame.
 fn interp_to_fine<D: Dim>(
     re: &RefElement,
     dim: usize,
     coarse: &Octant<D>,
     coarse_face: usize,
-    route: &Route<'_>,
+    tr: Option<&FaceTransform>,
     fine: &Octant<D>,
     fine_face: usize,
 ) -> Matrix {
-    // Invert the route to map fine-frame points back into the coarse frame.
-    let inv;
-    let back_route = match route {
-        Route::Interior => Route::Interior,
-        Route::Face(tr) => {
-            inv = tr.inverse(0, 0); // source ids unused for point mapping
-            Route::Face(&inv)
-        }
-        _ => unreachable!(),
-    };
+    let inv = tr.map(|t| t.inverse(0, 0)); // source ids unused for point mapping
     let npf = re.nodes_per_face(dim);
     let nb = if dim == 3 { re.np } else { 1 };
     let mut m = Matrix::zeros(npf, npf);
     for b in 0..nb {
         for a in 0..re.np {
             let x = face_node_position::<D>(re, dim, fine, fine_face, a, b);
-            let x0 = map_point_real::<D>(&back_route, x);
+            let x0 = map_point_real(inv.as_ref(), x);
             let row = nbr_face_basis_row::<D>(re, dim, coarse, coarse_face, x0);
             let r = b * re.np + a;
             m.data[r * npf..(r + 1) * npf].copy_from_slice(&row);
         }
     }
     m
+}
+
+/// The [`Visit`] implementation that turns the recursive traversal's
+/// face visits into [`FaceConn`] entries for every local element face.
+struct FaceBuilder<'a> {
+    re: &'a RefElement,
+    dim: usize,
+    nfaces: usize,
+    slots: Vec<Option<FaceConn>>,
+}
+
+impl FaceBuilder<'_> {
+    fn set<D: Dim>(&mut self, side: &FaceSide<D>, conn: FaceConn) {
+        let LeafRef::Local(i) = side.elem else {
+            unreachable!("only local sides are classified");
+        };
+        let slot = &mut self.slots[i as usize * self.nfaces + side.face];
+        debug_assert!(slot.is_none(), "face classified twice");
+        *slot = Some(conn);
+    }
+
+    /// `me` receives a Conforming entry interpolating from `other`.
+    fn conforming<D: Dim>(&mut self, me: &FaceSide<D>, other: &FaceSide<D>) {
+        if !me.elem.is_local() {
+            return;
+        }
+        let from_nbr = interp_from_neighbor(
+            self.re,
+            self.dim,
+            &me.octant,
+            me.face,
+            me.transform.as_ref(),
+            &other.octant,
+            other.face,
+        );
+        self.set(
+            me,
+            FaceConn::Conforming {
+                nbr: elem_ref(other.elem),
+                nbr_face: other.face,
+                from_nbr,
+            },
+        );
+    }
+}
+
+impl<D: Dim> Visit<D> for FaceBuilder<'_> {
+    fn face(&mut self, visit: &FaceVisit<D>) {
+        match visit {
+            FaceVisit::Boundary { side } => self.set(side, FaceConn::Boundary),
+            FaceVisit::Conforming { a, b } => {
+                self.conforming(a, b);
+                self.conforming(b, a);
+            }
+            FaceVisit::Hanging { coarse, fine } => {
+                // The small sides interpolate from the coarse neighbor.
+                for sub in fine {
+                    if !sub.elem.is_local() {
+                        continue;
+                    }
+                    let from_nbr = interp_from_neighbor(
+                        self.re,
+                        self.dim,
+                        &sub.octant,
+                        sub.face,
+                        sub.transform.as_ref(),
+                        &coarse.octant,
+                        coarse.face,
+                    );
+                    self.set(
+                        sub,
+                        FaceConn::CoarseNbr {
+                            nbr: elem_ref(coarse.elem),
+                            nbr_face: coarse.face,
+                            from_nbr,
+                        },
+                    );
+                }
+                // The large side gets the mortar onto each fine sub-face,
+                // in ascending fine-frame child order.
+                if coarse.elem.is_local() {
+                    let subs = fine
+                        .iter()
+                        .map(|sub| FineSub {
+                            nbr: elem_ref(sub.elem),
+                            nbr_face: sub.face,
+                            to_fine: interp_to_fine(
+                                self.re,
+                                self.dim,
+                                &coarse.octant,
+                                coarse.face,
+                                coarse.transform.as_ref(),
+                                &sub.octant,
+                                sub.face,
+                            ),
+                        })
+                        .collect();
+                    self.set(coarse, FaceConn::FineNbrs { subs });
+                }
+            }
+        }
+    }
+}
+
+fn elem_ref(r: LeafRef) -> ElemRef {
+    match r {
+        LeafRef::Local(i) => ElemRef::Local(i),
+        LeafRef::Ghost(i) => ElemRef::Ghost(i),
+    }
 }
 
 #[cfg(test)]
