@@ -245,35 +245,40 @@ impl AdvectSolver {
     /// Steady-state allocation-free: the stage vector and the kernel
     /// workspace are solver-owned and only (re)sized when the mesh grows.
     pub fn step(&mut self, comm: &impl Communicator) {
-        let _span = forust_obs::span!("advect.step");
-        let t0 = Instant::now();
-        self.ensure_lane_workspaces();
-        // 2N-storage RK with a hand-rolled loop so the ghost exchange can
-        // borrow disjoint fields. The stage buffer and workspace are
-        // moved out of `self` for the duration of the stages so
-        // `compute_rhs` can borrow `self` immutably alongside them.
-        let mut k = std::mem::take(&mut self.stage_k);
-        k.resize(self.c.len(), 0.0);
-        let mut ws = std::mem::take(&mut self.ws);
-        self.resid.fill(0.0);
-        for s in 0..5 {
-            let _stage = forust_obs::span!("rk.stage");
-            self.compute_rhs(comm, &mut ws, &mut k);
-            let _update = forust_obs::span!("rk.update");
-            for i in 0..self.c.len() {
-                self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
-                self.c[i] += LSERK_B[s] * self.resid[i];
+        {
+            let _span = forust_obs::span!("advect.step");
+            let t0 = Instant::now();
+            self.ensure_lane_workspaces();
+            // 2N-storage RK with a hand-rolled loop so the ghost exchange can
+            // borrow disjoint fields. The stage buffer and workspace are
+            // moved out of `self` for the duration of the stages so
+            // `compute_rhs` can borrow `self` immutably alongside them.
+            let mut k = std::mem::take(&mut self.stage_k);
+            k.resize(self.c.len(), 0.0);
+            let mut ws = std::mem::take(&mut self.ws);
+            self.resid.fill(0.0);
+            for s in 0..5 {
+                let _stage = forust_obs::span!("rk.stage");
+                self.compute_rhs(comm, &mut ws, &mut k);
+                let _update = forust_obs::span!("rk.update");
+                for i in 0..self.c.len() {
+                    self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
+                    self.c[i] += LSERK_B[s] * self.resid[i];
+                }
+            }
+            ws.check_steady();
+            self.ws = ws;
+            self.stage_k = k;
+            self.time += self.dt;
+            self.timers.integrate += t0.elapsed();
+            self.timers.steps += 1;
+            if self.timers.steps % self.config.adapt_every == 0 {
+                self.adapt(comm);
             }
         }
-        ws.check_steady();
-        self.ws = ws;
-        self.stage_k = k;
-        self.time += self.dt;
-        self.timers.integrate += t0.elapsed();
-        self.timers.steps += 1;
-        if self.timers.steps % self.config.adapt_every == 0 {
-            self.adapt(comm);
-        }
+        // Outside the block so the step's spans have closed: the mark
+        // slices everything above into this step's time-series record.
+        forust_obs::step_mark(self.timers.steps as u64);
     }
 
     /// The upwind nodal dG right-hand side (advective volume form plus

@@ -253,3 +253,71 @@ fn corruption_heals_in_band_without_restart() {
     assert!(healed > 0, "no frame was healed by retransmit");
     assert_bitwise_equal(&reference[0], &outcome.result);
 }
+
+#[test]
+fn crash_writes_validated_postmortem_bundle() {
+    // The flight-recorder path: the same mid-run crash as the bitwise
+    // test, but with a postmortem bundle requested. Recovery stays
+    // bitwise identical, and the bundle — validated by the offline
+    // parser — names the crashed rank, its injected call, and the phase
+    // that was in flight when the rank died.
+    const STEPS: usize = 10;
+    const CKPT_EVERY: usize = 3;
+    const RANKS: usize = 3;
+
+    let ref_dir = tmpdir("pm_ref");
+    let s_nockpt = setup(STEPS, usize::MAX);
+    let reference = run_spmd(RANKS, move |comm| attempt(comm, &s_nockpt, &ref_dir));
+
+    let calib_dir = tmpdir("pm_calib");
+    let s_ckpt = setup(STEPS, CKPT_EVERY);
+    let s_calib = s_ckpt.clone();
+    let calib = run_spmd_with(
+        RANKS,
+        CommConfig::default(),
+        |tc| ChaosComm::new(tc, FaultPlan::new(1)),
+        move |comm| (attempt(comm, &s_calib, &calib_dir), comm.calls()),
+    );
+    let at_call = calib[1].1 * 3 / 5;
+    assert!(at_call > 0);
+
+    let chaos_dir = tmpdir("pm_chaos");
+    let pm_path = tmpdir("pm_bundle").join("postmortem.json");
+    let opts = RecoveryOptions {
+        postmortem: Some(pm_path.clone()),
+        ..RecoveryOptions::default()
+    };
+    let plan = FaultPlan::new(7).with_crash(1, at_call);
+    let outcome = run_with_recovery_opts(RANKS, RANKS - 1, Some(plan), &chaos_dir, &s_ckpt, &opts);
+
+    assert_eq!(outcome.attempts, 2, "expected exactly one restart");
+    assert_eq!(
+        outcome.injected_crash,
+        Some(RankCrashed {
+            rank: 1,
+            call: at_call
+        })
+    );
+    // Flight recording must not perturb the recovered solution.
+    assert_bitwise_equal(&reference[0], &outcome.result);
+
+    let text = std::fs::read_to_string(&pm_path).expect("postmortem bundle written");
+    let summary =
+        forust_obs::postmortem::validate_postmortem(&text).expect("bundle passes validation");
+    assert_eq!(summary.dead_rank, 1, "bundle names the crashed rank");
+    assert_eq!(summary.dead_call, format!("call {at_call}"));
+    assert_eq!(summary.attempt, 0, "the first (index 0) attempt failed");
+    let phase = summary
+        .in_flight_phase
+        .expect("dead rank's dump carries its in-flight phase");
+    assert!(!phase.is_empty());
+    assert!(
+        summary.ranks.contains(&1),
+        "dead rank's flight dump made the bundle (got ranks {:?})",
+        summary.ranks
+    );
+    assert!(
+        summary.events_total > 0,
+        "surviving window carries recent span events"
+    );
+}

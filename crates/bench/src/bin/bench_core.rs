@@ -11,7 +11,10 @@
 //! octant counts and the git revision, so every PR leaves a
 //! machine-readable point on the perf trajectory. If a `BENCH_core.json`
 //! from a previous run exists, its kernel table is preserved under
-//! `"prev"` for before/after comparison.
+//! `"prev"` for before/after comparison — capped at depth 1 (the prior
+//! run only, never `prev.prev`). The full trajectory instead accumulates
+//! as one JSONL line per run in `results/bench_history.jsonl`
+//! (gitignored), which the `bench_sentinel` binary gates on.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -20,6 +23,7 @@ use forust::connectivity::builders;
 use forust::dim::D3;
 use forust::forest::{BalanceType, Forest};
 use forust_advect::{four_fronts, rotation_velocity, AdvectConfig, AdvectSolver};
+use forust_bench::sentinel;
 use forust_comm::{
     run_spmd, run_spmd_with, CommConfig, Communicator, ReliableComm, RetryPolicy, SerialComm,
 };
@@ -101,7 +105,10 @@ fn git_rev() -> String {
 /// Extract the first `"kernels": [...]` array and `"git_rev": "..."` value
 /// from a previous `BENCH_core.json`, so the new file can embed them under
 /// `"prev"` without a full JSON parser. The current run's fields are
-/// written before `"prev"`, so "first occurrence" is always the right one.
+/// written before `"prev"`, so "first occurrence" is always the top-level
+/// (current) table — which is also what caps `"prev"` nesting at depth 1:
+/// the previous file's own `"prev"` block is never re-extracted. Deeper
+/// history lives in `results/bench_history.jsonl`.
 fn extract_prev(text: &str) -> Option<(String, String)> {
     let kpos = text.find("\"kernels\"")?;
     let open = kpos + text[kpos..].find('[')?;
@@ -495,4 +502,17 @@ fn main() {
         .and_then(extract_prev);
     write_json(&path, &records, &report, total_wall_s, prev);
     println!("wrote {}", path.display());
+
+    // --- history trajectory (the sentinel's input) ----------------------
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let kernels: Vec<(String, f64)> = records
+        .iter()
+        .map(|r| (r.name.to_string(), r.median_us))
+        .collect();
+    let line = sentinel::history_line("bench_core", &git_rev(), unix_s, &kernels);
+    let hist = root.join(sentinel::HISTORY_REL_PATH);
+    sentinel::append_history(&hist, &line);
+    println!("appended {}", hist.display());
 }

@@ -12,13 +12,15 @@
 //! Besides the human-readable table on stdout, the binary writes
 //! `BENCH_dg.json` at the repo root: per-kernel best microseconds and
 //! element throughput, with the previous run's table preserved under
-//! `"prev"` (same nesting as `BENCH_core.json`). CI gates on the fused
-//! N=3 volume RHS being at least 2x the oracle path recorded in the same
-//! file.
+//! `"prev"` (same depth-1 cap as `BENCH_core.json`; the longer
+//! trajectory goes to `results/bench_history.jsonl` for the
+//! `bench_sentinel` gate). CI gates on the fused N=3 volume RHS being at
+//! least 2x the oracle path recorded in the same file.
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use forust_bench::sentinel;
 use forust_comm::SerialComm;
 use forust_dg::kernels::{self, KernelWorkspace};
 use forust_dg::{Matrix, RefElement};
@@ -109,7 +111,9 @@ fn git_rev() -> String {
 
 /// Extract the first `"kernels": [...]` array and `"git_rev": "..."` value
 /// from a previous `BENCH_dg.json` (mini text extraction, no JSON parser;
-/// the current run's fields precede `"prev"`, so first occurrence wins).
+/// the current run's fields precede `"prev"`, so first occurrence wins —
+/// and the previous file's own `"prev"` is never re-extracted, capping
+/// the nesting at depth 1).
 fn extract_prev(text: &str) -> Option<(String, String)> {
     let kpos = text.find("\"kernels\"")?;
     let open = kpos + text[kpos..].find('[')?;
@@ -471,4 +475,17 @@ fn main() {
         .and_then(extract_prev);
     write_json(&path, &records, &report, total_wall_s, prev);
     println!("wrote {}", path.display());
+
+    // --- history trajectory (the sentinel's input) ----------------------
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let kernels: Vec<(String, f64)> = records
+        .iter()
+        .map(|r| (r.name.clone(), r.best_us))
+        .collect();
+    let line = sentinel::history_line("bench_dg", &git_rev(), unix_s, &kernels);
+    let hist = root.join(sentinel::HISTORY_REL_PATH);
+    sentinel::append_history(&hist, &line);
+    println!("appended {}", hist.display());
 }

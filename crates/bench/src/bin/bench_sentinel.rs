@@ -1,0 +1,72 @@
+//! Perf regression gate over `results/bench_history.jsonl`.
+//!
+//! Reads the JSONL trajectory the bench binaries append to, compares
+//! the latest run of each bench against the median of its prior runs
+//! per kernel (see `forust_bench::sentinel`), prints the verdict table
+//! and exits nonzero when any kernel is more than 25% over its
+//! historical median. An absent or single-run history is not a
+//! failure — there is nothing to compare yet.
+//!
+//! Usage: `bench_sentinel [history.jsonl] [--threshold 1.25]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use forust_bench::sentinel::{check, parse_history, DEFAULT_THRESHOLD, HISTORY_REL_PATH};
+
+fn main() -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threshold" {
+            let v = args.next().and_then(|s| s.parse::<f64>().ok());
+            match v {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => {
+                    eprintln!("--threshold needs a positive number");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            path = Some(PathBuf::from(a));
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(HISTORY_REL_PATH)
+    });
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("no bench history at {} — nothing to gate", path.display());
+            return ExitCode::SUCCESS;
+        }
+    };
+    let entries = match parse_history(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("corrupt bench history {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = check(&entries, threshold);
+    print!("{}", report.render());
+    let regressions = report.regressions().count();
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} kernel(s) regressed more than {:.0}% vs the historical median",
+            (threshold - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sentinel OK: {} kernel(s) within {:.0}% of the historical median",
+        report.verdicts.len(),
+        (threshold - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}

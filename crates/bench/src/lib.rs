@@ -18,6 +18,8 @@
 //! §3, substitution 1) — the *shape* of the results is the reproduction
 //! target, not Jaguar's absolute numbers.
 
+pub mod sentinel;
+
 use std::time::Duration;
 
 /// Format a duration in seconds with millisecond resolution.

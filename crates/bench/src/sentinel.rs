@@ -1,0 +1,378 @@
+//! # Bench-history regression sentinel
+//!
+//! The bench binaries (`bench_core`, `bench_dg`) append one JSONL line
+//! per run to `results/bench_history.jsonl` — the perf trajectory that
+//! used to accumulate as nested `"prev"` blocks inside the
+//! `BENCH_*.json` snapshots (now capped at depth 1). This module reads
+//! that history back and compares the **latest** run of each bench
+//! against the **median of all prior runs**, per kernel: a kernel whose
+//! latest time exceeds `threshold ×` its historical median is flagged
+//! as a regression. The `bench_sentinel` binary exits nonzero when any
+//! kernel is flagged, so CI catches perf cliffs without hand-reading
+//! the JSON.
+//!
+//! Median-of-priors (not previous-run-only) keeps the gate robust to a
+//! single noisy historical run; the strict `>` comparison means a run
+//! at exactly the threshold is *not* flagged. Parsing goes through the
+//! workspace's own mini JSON parser (`forust_obs::json`) — no external
+//! crates.
+
+use std::io::Write;
+use std::path::Path;
+
+use forust_obs::json::{escape, Json};
+
+/// Flag a kernel when its latest time is strictly more than this
+/// multiple of the median of its prior runs (>25% slower).
+pub const DEFAULT_THRESHOLD: f64 = 1.25;
+
+/// Repo-relative path of the bench history file (gitignored).
+pub const HISTORY_REL_PATH: &str = "results/bench_history.jsonl";
+
+/// One bench run as recorded in the history file: which harness, at
+/// which revision and wall-clock second, and the per-kernel times.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    pub bench: String,
+    pub git_rev: String,
+    pub unix_s: u64,
+    /// `(kernel name, representative microseconds)` — median for
+    /// `bench_core`, interleaved best for `bench_dg`.
+    pub kernels: Vec<(String, f64)>,
+}
+
+/// Render one history entry as a single JSONL line (no trailing
+/// newline). The inverse of the per-line parse in [`parse_history`].
+pub fn history_line(bench: &str, git_rev: &str, unix_s: u64, kernels: &[(String, f64)]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\"bench\": \"{}\", \"git_rev\": \"{}\", \"unix_s\": {}, \"kernels\": [",
+        escape(bench),
+        escape(git_rev),
+        unix_s
+    ));
+    for (i, (name, us)) in kernels.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"name\": \"{}\", \"median_us\": {:.2}}}",
+            escape(name),
+            us
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Append one line to the history file, creating `results/` on first
+/// use. Failures are reported but non-fatal: the bench's primary
+/// artifacts (stdout table, `BENCH_*.json`) must not die on a
+/// read-only checkout.
+pub fn append_history(path: &Path, line: &str) {
+    let write = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{line}")
+    };
+    if let Err(e) = write() {
+        eprintln!("bench history append failed ({}): {e}", path.display());
+    }
+}
+
+/// Parse the whole history file: one JSON object per nonempty line.
+/// A malformed line is an error (the file is machine-written; silent
+/// skips would mask corruption the sentinel exists to catch).
+pub fn parse_history(text: &str) -> Result<Vec<HistoryEntry>, String> {
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let root = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let get_str = |key: &str| -> Result<String, String> {
+            root.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {}: missing string \"{key}\"", lineno + 1))
+        };
+        let bench = get_str("bench")?;
+        let git_rev = get_str("git_rev")?;
+        let unix_s = root
+            .get("unix_s")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: missing \"unix_s\"", lineno + 1))?;
+        let karr = root
+            .get("kernels")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("line {}: missing \"kernels\" array", lineno + 1))?;
+        let mut kernels = Vec::with_capacity(karr.len());
+        for k in karr {
+            let name = k
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: kernel without \"name\"", lineno + 1))?;
+            let us = k
+                .get("median_us")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {}: kernel without \"median_us\"", lineno + 1))?;
+            kernels.push((name.to_string(), us));
+        }
+        entries.push(HistoryEntry {
+            bench,
+            git_rev,
+            unix_s,
+            kernels,
+        });
+    }
+    Ok(entries)
+}
+
+/// One kernel's latest-vs-baseline comparison.
+#[derive(Debug, Clone)]
+pub struct KernelVerdict {
+    pub bench: String,
+    pub name: String,
+    pub latest_us: f64,
+    /// Median microseconds over the prior runs that contained this
+    /// kernel.
+    pub baseline_us: f64,
+    /// `latest / baseline`.
+    pub ratio: f64,
+    pub regressed: bool,
+}
+
+/// The sentinel's full output for one history file.
+#[derive(Debug, Clone, Default)]
+pub struct SentinelReport {
+    /// All compared kernels, regressions first, worst ratio first.
+    pub verdicts: Vec<KernelVerdict>,
+    /// Benches with fewer than two runs (nothing to compare against).
+    pub skipped_benches: Vec<String>,
+}
+
+impl SentinelReport {
+    pub fn regressions(&self) -> impl Iterator<Item = &KernelVerdict> {
+        self.verdicts.iter().filter(|v| v.regressed)
+    }
+
+    /// Human-readable table of the verdicts.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for b in &self.skipped_benches {
+            s.push_str(&format!("{b}: fewer than 2 runs in history, skipped\n"));
+        }
+        if self.verdicts.is_empty() && self.skipped_benches.is_empty() {
+            s.push_str("bench history is empty\n");
+        }
+        for v in &self.verdicts {
+            s.push_str(&format!(
+                "{:<10} {:<30} {:>10.1} us vs median {:>10.1} us  ({:>5.2}x){}\n",
+                v.bench,
+                v.name,
+                v.latest_us,
+                v.baseline_us,
+                v.ratio,
+                if v.regressed { "  REGRESSION" } else { "" }
+            ));
+        }
+        s
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Compare the latest run of each bench against the median of its
+/// prior runs. The "latest" run is the entry with the greatest
+/// `unix_s` (file order breaks ties, so append order wins when clocks
+/// collide). Kernels that only appear in the latest run have no
+/// baseline and are not compared; kernels that disappeared are not an
+/// error — the sentinel gates times, not coverage.
+pub fn check(entries: &[HistoryEntry], threshold: f64) -> SentinelReport {
+    let mut report = SentinelReport::default();
+    let mut benches: Vec<&str> = entries.iter().map(|e| e.bench.as_str()).collect();
+    benches.sort_unstable();
+    benches.dedup();
+
+    for bench in benches {
+        let runs: Vec<&HistoryEntry> = entries.iter().filter(|e| e.bench == bench).collect();
+        if runs.len() < 2 {
+            report.skipped_benches.push(bench.to_string());
+            continue;
+        }
+        // Latest = max unix_s, later file position winning ties.
+        let latest_idx = runs
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, e)| (e.unix_s, *i))
+            .map(|(i, _)| i)
+            .unwrap();
+        let latest = runs[latest_idx];
+        for (name, latest_us) in &latest.kernels {
+            let mut prior: Vec<f64> = runs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != latest_idx)
+                .filter_map(|(_, e)| e.kernels.iter().find(|(n, _)| n == name).map(|(_, us)| *us))
+                .collect();
+            if prior.is_empty() {
+                continue;
+            }
+            let baseline_us = median(&mut prior);
+            let ratio = if baseline_us > 0.0 {
+                latest_us / baseline_us
+            } else {
+                1.0
+            };
+            report.verdicts.push(KernelVerdict {
+                bench: bench.to_string(),
+                name: name.clone(),
+                latest_us: *latest_us,
+                baseline_us,
+                ratio,
+                regressed: ratio > threshold,
+            });
+        }
+    }
+    report.verdicts.sort_by(|a, b| {
+        b.regressed
+            .cmp(&a.regressed)
+            .then(b.ratio.partial_cmp(&a.ratio).unwrap())
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bench: &str, unix_s: u64, kernels: &[(&str, f64)]) -> HistoryEntry {
+        HistoryEntry {
+            bench: bench.to_string(),
+            git_rev: format!("rev{unix_s}"),
+            unix_s,
+            kernels: kernels.iter().map(|(n, us)| (n.to_string(), *us)).collect(),
+        }
+    }
+
+    #[test]
+    fn line_round_trips_through_parser() {
+        let line = history_line(
+            "bench_core",
+            "abc1234",
+            1_700_000_000,
+            &[
+                ("ghost_l3".to_string(), 812.5),
+                ("balance_full_l3".to_string(), 1500.0),
+            ],
+        );
+        let entries = parse_history(&line).expect("parse own output");
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.bench, "bench_core");
+        assert_eq!(e.git_rev, "abc1234");
+        assert_eq!(e.unix_s, 1_700_000_000);
+        assert_eq!(e.kernels.len(), 2);
+        assert_eq!(e.kernels[0].0, "ghost_l3");
+        assert!((e.kernels[0].1 - 812.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_line() {
+        let err = parse_history("{\"bench\": \"x\"").unwrap_err();
+        assert!(err.contains("line 1"), "error names the line: {err}");
+        let err = parse_history("{\"bench\": \"x\", \"unix_s\": 1, \"kernels\": []}").unwrap_err();
+        assert!(err.contains("git_rev"), "missing field named: {err}");
+    }
+
+    #[test]
+    fn flags_synthetic_25_percent_regression() {
+        // Three prior runs around 100us, latest at 130us: 30% over the
+        // 100us median — flagged. The stable kernel stays green.
+        let entries = vec![
+            entry("bench_core", 1, &[("hot", 98.0), ("stable", 50.0)]),
+            entry("bench_core", 2, &[("hot", 100.0), ("stable", 51.0)]),
+            entry("bench_core", 3, &[("hot", 102.0), ("stable", 49.0)]),
+            entry("bench_core", 4, &[("hot", 130.0), ("stable", 50.0)]),
+        ];
+        let report = check(&entries, DEFAULT_THRESHOLD);
+        let hot = report.verdicts.iter().find(|v| v.name == "hot").unwrap();
+        assert!(hot.regressed, "30% over median must be flagged");
+        assert!((hot.baseline_us - 100.0).abs() < 1e-9);
+        let stable = report.verdicts.iter().find(|v| v.name == "stable").unwrap();
+        assert!(!stable.regressed);
+        assert_eq!(report.regressions().count(), 1);
+        // Regressions sort first in the rendered table.
+        assert_eq!(report.verdicts[0].name, "hot");
+        assert!(report.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn exactly_at_threshold_is_not_flagged() {
+        let entries = vec![
+            entry("bench_dg", 1, &[("k", 100.0)]),
+            entry("bench_dg", 2, &[("k", 100.0)]),
+            entry("bench_dg", 3, &[("k", 125.0)]),
+        ];
+        let report = check(&entries, DEFAULT_THRESHOLD);
+        let k = &report.verdicts[0];
+        assert!((k.ratio - 1.25).abs() < 1e-12);
+        assert!(!k.regressed, "exactly 1.25x is within tolerance");
+    }
+
+    #[test]
+    fn latest_run_is_by_timestamp_not_file_order() {
+        // The 130us run is *earlier* than the 100us run despite coming
+        // later in the file: the 100us entry is latest and is green.
+        let entries = vec![
+            entry("bench_core", 5, &[("k", 100.0)]),
+            entry("bench_core", 9, &[("k", 100.0)]),
+            entry("bench_core", 7, &[("k", 130.0)]),
+        ];
+        let report = check(&entries, DEFAULT_THRESHOLD);
+        assert_eq!(report.regressions().count(), 0);
+        assert!((report.verdicts[0].latest_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_kernel_and_single_run_bench_are_skipped() {
+        let entries = vec![
+            entry("bench_core", 1, &[("old", 10.0)]),
+            entry("bench_core", 2, &[("old", 10.0), ("brand_new", 999.0)]),
+            entry("bench_dg", 3, &[("only_run", 5.0)]),
+        ];
+        let report = check(&entries, DEFAULT_THRESHOLD);
+        assert!(
+            report.verdicts.iter().all(|v| v.name != "brand_new"),
+            "kernel with no baseline is not compared"
+        );
+        assert_eq!(report.skipped_benches, vec!["bench_dg".to_string()]);
+        assert_eq!(report.regressions().count(), 0);
+    }
+
+    #[test]
+    fn benches_are_compared_independently() {
+        // bench_dg regresses; bench_core's identical kernel name does
+        // not bleed into its baseline.
+        let entries = vec![
+            entry("bench_core", 1, &[("k", 1000.0)]),
+            entry("bench_core", 2, &[("k", 1000.0)]),
+            entry("bench_dg", 3, &[("k", 10.0)]),
+            entry("bench_dg", 4, &[("k", 20.0)]),
+        ];
+        let report = check(&entries, DEFAULT_THRESHOLD);
+        let regs: Vec<_> = report.regressions().collect();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].bench, "bench_dg");
+        assert!((regs[0].ratio - 2.0).abs() < 1e-9);
+    }
+}

@@ -120,8 +120,18 @@ impl RetryPolicy {
     }
 }
 
+/// Log2 bucket count of the heal-latency histogram; matches
+/// `forust_obs::HIST_BUCKETS` (bucket 0 holds 0, bucket `b >= 1` holds
+/// `[2^(b-1), 2^b)`), so drivers can forward the buckets verbatim via
+/// `obs::histogram_merge`.
+pub const LATENCY_BUCKETS: usize = 65;
+
+fn log2_bucket(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
 /// Protocol-level healing counters, named for the observability layer.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct RetryCounters {
     /// Broken receives (CRC failure or sequence mismatch) detected.
     detected: AtomicU64,
@@ -133,6 +143,22 @@ struct RetryCounters {
     exhausted: AtomicU64,
     /// Blocking receives that hit the configured deadline.
     timeout: AtomicU64,
+    /// Wall-clock of each completed heal loop (healed or exhausted),
+    /// log2-bucketed microseconds.
+    heal_us: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for RetryCounters {
+    fn default() -> Self {
+        RetryCounters {
+            detected: AtomicU64::new(0),
+            requested: AtomicU64::new(0),
+            healed: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+            timeout: AtomicU64::new(0),
+            heal_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 /// How often the deadline path re-polls the transport.
@@ -199,8 +225,26 @@ impl<C: Communicator> ReliableComm<C> {
         .collect()
     }
 
+    /// Wall-clock distribution of completed heal loops as log2-bucketed
+    /// microsecond counts (layout of [`LATENCY_BUCKETS`]). Like
+    /// [`retry_counts`](Self::retry_counts) this cannot reach the obs
+    /// layer from here; drivers forward it:
+    /// `obs::histogram_merge("comm.retry.heal_us", &comm.retry_latency_buckets())`.
+    pub fn retry_latency_buckets(&self) -> Vec<u64> {
+        self.retries
+            .heal_us
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
     fn bump(a: &AtomicU64) {
         a.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_heal_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.retries.heal_us[log2_bucket(us)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Allocate the next sequence number of the `(dest, tag)` link.
@@ -280,6 +324,7 @@ impl<C: Communicator> ReliableComm<C> {
         original: CommError,
     ) -> Result<Vec<u8>, CommError> {
         Self::bump(&self.retries.detected);
+        let heal_start = Instant::now();
         for attempt in 1..=self.policy.max_attempts {
             Self::bump(&self.retries.requested);
             self.backoff(attempt);
@@ -287,17 +332,20 @@ impl<C: Communicator> ReliableComm<C> {
                 // No retained copy: corruption is fatal, as it was before
                 // the reliable layer existed.
                 Self::bump(&self.retries.exhausted);
+                self.record_heal_latency(heal_start.elapsed());
                 return Err(original);
             };
             self.inner.stats().record_retransmit(tag, raw.len());
             if let Ok((seq, payload)) = self.validate(src, tag, &raw) {
                 if seq == expected {
                     Self::bump(&self.retries.healed);
+                    self.record_heal_latency(heal_start.elapsed());
                     return Ok(payload);
                 }
             }
         }
         Self::bump(&self.retries.exhausted);
+        self.record_heal_latency(heal_start.elapsed());
         Err(original)
     }
 

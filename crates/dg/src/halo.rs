@@ -345,10 +345,9 @@ impl<D: Dim> HaloExchange<D> {
             }
             buf
         });
-        forust_obs::counter_add(
-            "halo.bytes_sent",
-            outgoing.iter().map(|b| b.len() as u64).sum(),
-        );
+        let bytes_sent: u64 = outgoing.iter().map(|b| b.len() as u64).sum();
+        forust_obs::counter_add("halo.bytes_sent", bytes_sent);
+        forust_obs::histogram!("halo.bytes_per_exchange", bytes_sent);
         HaloPending {
             halo: self,
             pending: comm.start_alltoallv_bytes(outgoing, TAG_HALO_EXCHANGE),

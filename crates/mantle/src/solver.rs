@@ -172,6 +172,10 @@ impl MantleSolver {
             self.adapt(comm);
         }
         self.picard_done = it + 1;
+        // The per-step time series treats one Picard iteration as a step
+        // (the enclosing `mantle.solve` span is still open and excluded;
+        // the closed inner spans and counters are sliced into deltas).
+        forust_obs::step_mark(self.picard_done as u64);
     }
 
     /// Global solution norm `sqrt(<x, x>)` (diagnostic; bitwise

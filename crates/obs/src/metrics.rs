@@ -113,6 +113,69 @@ pub fn reduce_metrics<C: Communicator>(comm: &C, entries: &[(String, f64)]) -> V
         .collect()
 }
 
+/// Cross-rank summary of one log2 histogram: per-bucket statistics of
+/// the per-rank sample counts (so `mean * ranks` is the global bucket
+/// sum and `imbalance` says which ranks fill a bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Histogram name.
+    pub name: String,
+    /// `(bucket index, cross-rank count summary)`, ascending by bucket,
+    /// only buckets some rank populated. Bucket `b` covers values in
+    /// `[hist_bucket_floor(b), 2 * hist_bucket_floor(b))`.
+    pub buckets: Vec<(usize, MetricSummary)>,
+}
+
+impl HistSummary {
+    /// Mean per-rank sample count (sum of bucket means).
+    pub fn samples_mean(&self) -> f64 {
+        self.buckets.iter().map(|(_, m)| m.mean).sum()
+    }
+
+    /// Lower bound of the bucket holding quantile `q` (by per-rank mean
+    /// counts): `quantile_floor(0.5)` is a log2-resolution median.
+    pub fn quantile_floor(&self, q: f64) -> u64 {
+        let total = self.samples_mean();
+        let target = q.clamp(0.0, 1.0) * total;
+        let mut cum = 0.0;
+        for (b, m) in &self.buckets {
+            cum += m.mean;
+            if cum >= target {
+                return crate::hist_bucket_floor(*b);
+            }
+        }
+        self.buckets
+            .last()
+            .map(|(b, _)| crate::hist_bucket_floor(*b))
+            .unwrap_or(0)
+    }
+}
+
+/// Cross-rank summary of one [`step_mark`](crate::step_mark) step: the
+/// per-rank wall seconds of the step (sum of phase self-time deltas)
+/// plus the per-phase and per-counter deltas, each reduced across ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSummary {
+    /// The step index.
+    pub step: u64,
+    /// Per-rank wall seconds spent in the step (its imbalance is the
+    /// paper's per-step load-imbalance metric).
+    pub wall_s: MetricSummary,
+    /// Per-phase self-second deltas within the step, sorted by name.
+    pub phases: Vec<MetricSummary>,
+    /// Counter deltas within the step, sorted by name.
+    pub counters: Vec<MetricSummary>,
+}
+
+impl StepSummary {
+    /// The phase with the largest mean self-time delta in this step.
+    pub fn top_phase(&self) -> Option<&MetricSummary> {
+        self.phases
+            .iter()
+            .max_by(|a, b| a.mean.partial_cmp(&b.mean).unwrap())
+    }
+}
+
 /// Cross-rank summary of one span phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseSummary {
@@ -137,6 +200,12 @@ pub struct MetricsReport {
     /// Counter statistics (includes `comm.*` traffic counters), sorted
     /// by name.
     pub counters: Vec<MetricSummary>,
+    /// Log2 histogram statistics, sorted by name.
+    pub hists: Vec<HistSummary>,
+    /// Gauge statistics (last-write-wins per rank), sorted by name.
+    pub gauges: Vec<MetricSummary>,
+    /// Per-step time series, ascending by step index.
+    pub steps: Vec<StepSummary>,
 }
 
 /// Snapshots per-rank recorder state and reduces it across ranks.
@@ -164,6 +233,34 @@ impl Registry {
         for (name, v) in &local.counters {
             entries.push((format!("c:{name}"), *v as f64));
         }
+        // Histograms travel bucket-first ("h:<bb>:<name>") so names
+        // containing ':' stay unambiguous; only populated buckets ship.
+        for (name, buckets) in &local.hists {
+            for (b, &count) in buckets.iter().enumerate() {
+                if count > 0 {
+                    entries.push((format!("h:{b:02}:{name}"), count as f64));
+                }
+            }
+        }
+        for (name, v) in &local.gauges {
+            entries.push((format!("g:{name}"), *v as f64));
+        }
+        // Per-step deltas: a zero-padded step index keys the sort, "w"
+        // is the step's per-rank wall (sum of self deltas), "s:"/"c:"
+        // the per-phase and per-counter deltas.
+        for sr in &local.steps {
+            let wall_ns: u64 = sr.phases.iter().map(|p| p.self_ns).sum();
+            entries.push((format!("e:{:012}:w", sr.step), wall_ns as f64 * 1e-9));
+            for ph in &sr.phases {
+                entries.push((
+                    format!("e:{:012}:s:{}", sr.step, ph.name),
+                    ph.self_ns as f64 * 1e-9,
+                ));
+            }
+            for (name, v) in &sr.counters {
+                entries.push((format!("e:{:012}:c:{}", sr.step, name), *v as f64));
+            }
+        }
         let snap = comm.stats().snapshot();
         entries.push(("c:comm.p2p_msgs".to_string(), snap.p2p_msgs as f64));
         entries.push(("c:comm.p2p_bytes".to_string(), snap.p2p_bytes as f64));
@@ -179,6 +276,21 @@ impl Registry {
         let mut selfs: BTreeMap<String, MetricSummary> = BTreeMap::new();
         let mut counts: BTreeMap<String, u64> = BTreeMap::new();
         let mut counters = Vec::new();
+        let mut hists: BTreeMap<String, Vec<(usize, MetricSummary)>> = BTreeMap::new();
+        let mut gauges = Vec::new();
+        let mut steps: BTreeMap<u64, StepSummary> = BTreeMap::new();
+        let blank_step = |step: u64| StepSummary {
+            step,
+            wall_s: MetricSummary {
+                name: "wall".to_string(),
+                min: 0.0,
+                mean: 0.0,
+                max: 0.0,
+                imbalance: 1.0,
+            },
+            phases: Vec::new(),
+            counters: Vec::new(),
+        };
         for mut m in reduced {
             let (kind, name) = {
                 let (k, n) = m.name.split_at(2);
@@ -196,6 +308,32 @@ impl Registry {
                     counts.insert(name, m.max as u64);
                 }
                 "c:" => counters.push(m),
+                "h:" => {
+                    let (bucket, rest) = name.split_at(2);
+                    let bucket: usize = bucket.parse().expect("histogram bucket index");
+                    let hist_name = rest[1..].to_string();
+                    m.name = hist_name.clone();
+                    hists.entry(hist_name).or_default().push((bucket, m));
+                }
+                "g:" => gauges.push(m),
+                "e:" => {
+                    let (step, rest) = name.split_at(12);
+                    let step: u64 = step.parse().expect("step index");
+                    let rest = &rest[1..];
+                    let entry = steps.entry(step).or_insert_with(|| blank_step(step));
+                    if rest == "w" {
+                        m.name = "wall".to_string();
+                        entry.wall_s = m;
+                    } else if let Some(phase) = rest.strip_prefix("s:") {
+                        m.name = phase.to_string();
+                        entry.phases.push(m);
+                    } else if let Some(counter) = rest.strip_prefix("c:") {
+                        m.name = counter.to_string();
+                        entry.counters.push(m);
+                    } else {
+                        unreachable!("bad step metric {rest}");
+                    }
+                }
                 _ => unreachable!("unprefixed metric {name}"),
             }
         }
@@ -208,10 +346,20 @@ impl Registry {
                 name,
             })
             .collect();
+        let hists = hists
+            .into_iter()
+            .map(|(name, mut buckets)| {
+                buckets.sort_by_key(|(b, _)| *b);
+                HistSummary { name, buckets }
+            })
+            .collect();
         MetricsReport {
             ranks: comm.size(),
             phases,
             counters,
+            hists,
+            gauges,
+            steps: steps.into_values().collect(),
         }
     }
 }
@@ -295,6 +443,55 @@ impl MetricsReport {
         s
     }
 
+    /// Histogram summary table: per-rank mean sample count plus
+    /// log2-resolution p50/p95 and the largest populated bucket.
+    pub fn hist_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<32} {:>12} {:>12} {:>12} {:>12}\n",
+            "histogram", "samples/rank", "p50 >=", "p95 >=", "max >="
+        ));
+        for h in &self.hists {
+            let max_floor = h
+                .buckets
+                .last()
+                .map(|(b, _)| crate::hist_bucket_floor(*b))
+                .unwrap_or(0);
+            s.push_str(&format!(
+                "{:<32} {:>12.1} {:>12} {:>12} {:>12}\n",
+                h.name,
+                h.samples_mean(),
+                h.quantile_floor(0.5),
+                h.quantile_floor(0.95),
+                max_floor
+            ));
+        }
+        s
+    }
+
+    /// Per-step table: wall seconds of each step (mean/max/imbalance
+    /// across ranks) and the step's dominant phase. At most `max_rows`
+    /// most-recent steps are rendered, with an ellipsis row for the rest.
+    pub fn step_table(&self, max_rows: usize) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<8} {:>12} {:>12} {:>9}  {}\n",
+            "step", "wall mean s", "wall max s", "max/mean", "top phase"
+        ));
+        let skip = self.steps.len().saturating_sub(max_rows);
+        if skip > 0 {
+            s.push_str(&format!("(... {skip} earlier steps)\n"));
+        }
+        for st in &self.steps[skip..] {
+            let top = st.top_phase().map(|p| p.name.as_str()).unwrap_or("-");
+            s.push_str(&format!(
+                "{:<8} {:>12.6} {:>12.6} {:>9.3}  {}\n",
+                st.step, st.wall_s.mean, st.wall_s.max, st.wall_s.imbalance, top
+            ));
+        }
+        s
+    }
+
     /// Look up a counter summary by name.
     pub fn counter(&self, name: &str) -> Option<&MetricSummary> {
         self.counters.iter().find(|c| c.name == name)
@@ -303,5 +500,20 @@ impl MetricsReport {
     /// Look up a phase summary by name.
     pub fn phase(&self, name: &str) -> Option<&PhaseSummary> {
         self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Look up a histogram summary by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSummary> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Look up a gauge summary by name.
+    pub fn gauge(&self, name: &str) -> Option<&MetricSummary> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+
+    /// Look up a step summary by step index.
+    pub fn step(&self, step: u64) -> Option<&StepSummary> {
+        self.steps.iter().find(|s| s.step == step)
     }
 }

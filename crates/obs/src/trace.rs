@@ -14,6 +14,7 @@ use std::path::Path;
 
 use forust_comm::Communicator;
 
+use crate::json::Json;
 use crate::{snapshot_local, LocalReport, TraceEvent};
 
 fn encode_events(rank: usize, report: &LocalReport) -> Vec<u8> {
@@ -63,18 +64,7 @@ fn track_tid(rank: usize, lane: u32) -> usize {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use crate::json::escape as json_escape;
 
 /// Write the gathered trace as Chrome Trace Event Format JSON.
 fn write_trace(
@@ -175,28 +165,16 @@ pub struct TraceSummary {
     pub names: BTreeSet<String>,
 }
 
-/// Minimal JSON scanner for Chrome Trace files: checks the overall
-/// structure parses and summarizes the complete events. Not a general
-/// JSON parser — enough to gate CI on "Perfetto would load this".
+/// Re-parse an emitted Chrome Trace file with the built-in JSON parser
+/// ([`crate::json`]): checks the overall structure parses and summarizes
+/// the complete events, enough to gate CI on "Perfetto would load this".
 pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
-    let mut p = Parser {
-        b: text.as_bytes(),
-        at: 0,
-    };
-    p.skip_ws();
-    let root = p.value()?;
-    p.skip_ws();
-    if p.at != p.b.len() {
-        return Err(format!("trailing bytes at offset {}", p.at));
-    }
-    let Json::Object(fields) = root else {
+    let root = Json::parse(text)?;
+    if !matches!(root, Json::Object(_)) {
         return Err("root is not an object".into());
-    };
-    let events = fields
-        .iter()
-        .find(|(k, _)| k == "traceEvents")
-        .ok_or("missing traceEvents")?;
-    let Json::Array(events) = &events.1 else {
+    }
+    let events = root.get("traceEvents").ok_or("missing traceEvents")?;
+    let Json::Array(events) = events else {
         return Err("traceEvents is not an array".into());
     };
     let mut summary = TraceSummary::default();
@@ -232,183 +210,6 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
         }
     }
     Ok(summary)
-}
-
-enum Json {
-    Null,
-    Bool,
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-struct Parser<'a> {
-    b: &'a [u8],
-    at: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self.at < self.b.len() && self.b[self.at].is_ascii_whitespace() {
-            self.at += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.b.get(self.at).copied()
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.at += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at offset {}", c as char, self.at))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::String(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool),
-            Some(b'f') => self.literal("false", Json::Bool),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected byte at offset {}", self.at)),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        if self.b[self.at..].starts_with(word.as_bytes()) {
-            self.at += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at offset {}", self.at))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.at;
-        while let Some(c) = self.peek() {
-            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.at += 1;
-            } else {
-                break;
-            }
-        }
-        std::str::from_utf8(&self.b[start..self.at])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Number)
-            .ok_or_else(|| format!("bad number at offset {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.at += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.at += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .b
-                                .get(self.at + 1..self.at + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.at += 4;
-                        }
-                        _ => return Err("bad escape".into()),
-                    }
-                    self.at += 1;
-                }
-                Some(_) => {
-                    // Advance one UTF-8 scalar, not one byte.
-                    let s = std::str::from_utf8(&self.b[self.at..])
-                        .map_err(|_| "invalid utf8 in string")?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.at += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.at += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.at += 1;
-                }
-                Some(b']') => {
-                    self.at += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at offset {}", self.at)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.at += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let v = self.value()?;
-            fields.push((key, v));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.at += 1;
-                }
-                Some(b'}') => {
-                    self.at += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at offset {}", self.at)),
-            }
-        }
-    }
 }
 
 /// Round-trip helper for tests: write the given per-rank events into a

@@ -3,7 +3,7 @@
 
 use forust_comm::{run_spmd, Communicator, SerialComm};
 use forust_obs::metrics::{reduce_metrics, MetricSummary, Registry};
-use forust_obs::{LocalReport, PhaseStat};
+use forust_obs::{hist_bucket, LocalReport, PhaseStat, StepRecord, HIST_BUCKETS};
 
 fn entry(name: &str, v: f64) -> (String, f64) {
     (name.to_string(), v)
@@ -107,6 +107,7 @@ fn registry_collect_from_three_ranks() {
             counters: vec![("octants".to_string(), 100 * (r + 1))],
             events: Vec::new(),
             dropped_events: 0,
+            ..Default::default()
         };
         Registry::collect_from(comm, &local)
     });
@@ -158,6 +159,7 @@ fn phase_table_sums_to_total() {
         counters: vec![],
         events: vec![],
         dropped_events: 0,
+        ..Default::default()
     };
     let rep = Registry::collect_from(&comm, &local);
     assert!((rep.tracked_self_s() - 0.9).abs() < 1e-9);
@@ -168,4 +170,175 @@ fn phase_table_sums_to_total() {
     assert!(table.contains("60.00%"));
     assert!(table.contains("30.00%"));
     assert!(table.contains("10.00%"));
+}
+
+/// Histogram reduction, 1 rank on `SerialComm`: the summary is the
+/// identity of the local bucket counts.
+#[test]
+fn serial_hist_single_rank_identity() {
+    let comm = SerialComm::new();
+    let mut buckets = vec![0u64; HIST_BUCKETS];
+    buckets[hist_bucket(3)] = 4; // 4 samples of value 3 → bucket 2
+    buckets[hist_bucket(100)] = 1; // value 100 → bucket 7
+    let local = LocalReport {
+        rank: 0,
+        hists: vec![("lat".to_string(), buckets)],
+        ..Default::default()
+    };
+    let rep = Registry::collect_from(&comm, &local);
+    let h = rep.hist("lat").expect("lat histogram");
+    assert_eq!(h.buckets.len(), 2, "only populated buckets ship");
+    assert_eq!(h.buckets[0].0, 2);
+    assert_eq!(
+        (h.buckets[0].1.min, h.buckets[0].1.mean, h.buckets[0].1.max),
+        (4.0, 4.0, 4.0)
+    );
+    assert_eq!(h.buckets[1].0, 7);
+    assert!((h.samples_mean() - 5.0).abs() < 1e-9);
+    // p50 of {4 @ bucket 2, 1 @ bucket 7} lands in bucket 2: floor 2.
+    assert_eq!(h.quantile_floor(0.5), 2);
+}
+
+/// Histogram reduction, 3 ranks: per-bucket counts reduce like any
+/// other metric, hand-computed. Rank r contributes r+1 samples to
+/// bucket 2; only rank 2 touches bucket 5.
+#[test]
+fn thread_three_ranks_hist_bucket_sums() {
+    let reports = run_spmd(3, |comm| {
+        let r = comm.rank() as u64;
+        let mut buckets = vec![0u64; HIST_BUCKETS];
+        buckets[2] = r + 1; // counts 1, 2, 3 across ranks
+        if comm.rank() == 2 {
+            buckets[5] = 6;
+        }
+        let local = LocalReport {
+            rank: comm.rank(),
+            hists: vec![("lat".to_string(), buckets)],
+            ..Default::default()
+        };
+        Registry::collect_from(comm, &local)
+    });
+    for rep in &reports {
+        let h = rep.hist("lat").expect("lat histogram");
+        let b2 = &h.buckets.iter().find(|(b, _)| *b == 2).unwrap().1;
+        // counts 1,2,3 → min 1, mean 2, max 3, imbalance 1.5
+        assert_eq!((b2.min, b2.mean, b2.max), (1.0, 2.0, 3.0));
+        assert_eq!(b2.imbalance, 1.5);
+        let b5 = &h.buckets.iter().find(|(b, _)| *b == 5).unwrap().1;
+        // counts 0,0,6 → mean 2, max 6, imbalance 3
+        assert_eq!((b5.min, b5.mean, b5.max), (0.0, 2.0, 6.0));
+        assert_eq!(b5.imbalance, 3.0);
+        // global sample count = mean * ranks = (2 + 2) * 3 = 12
+        assert!((h.samples_mean() * rep.ranks as f64 - 12.0).abs() < 1e-9);
+    }
+    // Bitwise identical on every rank.
+    assert_eq!(reports[0].hists, reports[1].hists);
+    assert_eq!(reports[1].hists, reports[2].hists);
+}
+
+/// Gauge reduction, 5 ranks: last-write-wins locally, min/mean/max
+/// across ranks. Rank r reports lanes = r.
+#[test]
+fn thread_five_ranks_gauges() {
+    let reports = run_spmd(5, |comm| {
+        let local = LocalReport {
+            rank: comm.rank(),
+            gauges: vec![("pool.lanes".to_string(), comm.rank() as u64)],
+            ..Default::default()
+        };
+        Registry::collect_from(comm, &local)
+    });
+    for rep in &reports {
+        let g = rep.gauge("pool.lanes").expect("lanes gauge");
+        // values 0..=4 → min 0, mean 2, max 4, imbalance 2
+        assert_eq!((g.min, g.mean, g.max), (0.0, 2.0, 4.0));
+        assert_eq!(g.imbalance, 2.0);
+    }
+    assert_eq!(reports[0].gauges, reports[4].gauges);
+}
+
+/// Per-step reduction, 3 ranks: the step's wall seconds, per-phase and
+/// per-counter deltas all reduce across ranks; the step wall imbalance
+/// is the paper's per-step load-imbalance metric. Rank r spends
+/// (r+1) seconds of self time in "rk" during step 7.
+#[test]
+fn thread_three_ranks_step_series() {
+    let reports = run_spmd(3, |comm| {
+        let r = comm.rank() as u64;
+        let local = LocalReport {
+            rank: comm.rank(),
+            steps: vec![
+                StepRecord {
+                    step: 7,
+                    phases: vec![PhaseStat {
+                        name: "rk".to_string(),
+                        count: 5,
+                        total_ns: (r + 1) * 1_000_000_000,
+                        self_ns: (r + 1) * 1_000_000_000,
+                    }],
+                    counters: vec![("flux".to_string(), 10 * (r + 1))],
+                },
+                StepRecord {
+                    step: 8,
+                    phases: Vec::new(),
+                    counters: Vec::new(),
+                },
+            ],
+            ..Default::default()
+        };
+        Registry::collect_from(comm, &local)
+    });
+    for rep in &reports {
+        assert_eq!(rep.steps.len(), 2);
+        let s7 = rep.step(7).expect("step 7");
+        // wall seconds 1,2,3 → mean 2, max 3, imbalance 1.5
+        assert!((s7.wall_s.mean - 2.0).abs() < 1e-9);
+        assert!((s7.wall_s.max - 3.0).abs() < 1e-9);
+        assert!((s7.wall_s.imbalance - 1.5).abs() < 1e-9);
+        let rk = s7.top_phase().expect("top phase");
+        assert_eq!(rk.name, "rk");
+        assert!((rk.mean - 2.0).abs() < 1e-9);
+        // counter deltas 10,20,30 → mean 20
+        assert_eq!(s7.counters.len(), 1);
+        assert!((s7.counters[0].mean - 20.0).abs() < 1e-9);
+        // The idle step reduces to zero wall with unit imbalance.
+        let s8 = rep.step(8).expect("step 8");
+        assert_eq!(s8.wall_s.mean, 0.0);
+        assert_eq!(s8.wall_s.imbalance, 1.0);
+        assert!(s8.phases.is_empty());
+        // Steps ascend by index.
+        assert!(rep.steps.windows(2).all(|w| w[0].step < w[1].step));
+    }
+    assert_eq!(reports[0].steps, reports[2].steps);
+}
+
+/// Probes-to-report integration at 5 ranks: real `histogram!` calls on
+/// each rank thread, reduced via `Registry::collect`, with the global
+/// bucket sums hand-computed from what each rank recorded.
+#[test]
+fn thread_five_ranks_recorded_hist_end_to_end() {
+    let reports = run_spmd(5, |comm| {
+        forust_obs::install(comm.rank());
+        forust_obs::reset();
+        // Every rank records one value 1 (bucket 1); rank r additionally
+        // records r values of 1024 (bucket 11).
+        forust_obs::histogram!("bytes", 1);
+        for _ in 0..comm.rank() {
+            forust_obs::histogram!("bytes", 1024);
+        }
+        let rep = Registry::collect(comm);
+        forust_obs::uninstall();
+        rep
+    });
+    for rep in &reports {
+        let h = rep.hist("bytes").expect("bytes histogram");
+        let b1 = &h.buckets.iter().find(|(b, _)| *b == 1).unwrap().1;
+        assert_eq!((b1.min, b1.mean, b1.max), (1.0, 1.0, 1.0));
+        let b11 = &h.buckets.iter().find(|(b, _)| *b == 11).unwrap().1;
+        // counts 0,1,2,3,4 → mean 2, max 4
+        assert_eq!((b11.min, b11.mean, b11.max), (0.0, 2.0, 4.0));
+        // hist_table renders every histogram with its quantiles.
+        let table = rep.hist_table();
+        assert!(table.contains("bytes"));
+    }
 }

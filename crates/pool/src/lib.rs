@@ -157,6 +157,22 @@ pub fn with<R>(f: impl FnOnce(&Pool) -> R) -> R {
     f(&pool)
 }
 
+/// Discard any worker-lane observability drains the calling thread's
+/// pool is still holding (left behind by a job that unwound before its
+/// absorb ran). Registered as an `obs` reset hook so `obs::reset()`
+/// clears worker-lane state along with the rank recorder; callable
+/// directly for the same effect without a full reset.
+pub fn clear_pending_drains() {
+    if IS_WORKER.with(|w| w.get()) {
+        return;
+    }
+    POOL.with(|p| {
+        if let Some(pool) = p.borrow().as_ref() {
+            pool.shared.drains.lock().expect("pool drains").clear();
+        }
+    });
+}
+
 /// Convenience: fixed-chunk parallel loop on the calling thread's pool.
 /// See [`Pool::par_for_each`].
 pub fn par_for_each(n: usize, grain: usize, body: impl Fn(Range<usize>, usize) + Sync) {
@@ -246,6 +262,11 @@ impl Pool {
     }
 
     fn new(width: usize) -> Pool {
+        // `obs::reset()` must also discard this layer's undrained
+        // worker-lane state (a job that unwound mid-run leaves its
+        // drains pending), or the next measurement section would absorb
+        // stale `pool.worker.<i>.busy_us` from before the reset.
+        obs::register_reset_hook(clear_pending_drains);
         let width = width.clamp(1, MAX_LANES);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -347,13 +368,16 @@ impl Pool {
             let drains = std::mem::take(&mut *self.shared.drains.lock().expect("pool drains"));
             obs::event_add("pool.busy", ts, dur0, 0);
             obs::counter_add("pool.worker.0.busy_us", dur0 / 1_000);
+            obs::histogram!("pool.lane_busy_us", dur0 / 1_000);
             for d in drains {
                 if let Some(rep) = &d.report {
                     obs::absorb(rep, d.lane);
                 }
                 obs::event_add("pool.busy", d.ts_ns, d.dur_ns, d.lane);
                 obs::counter_add(&format!("pool.worker.{}.busy_us", d.lane), d.dur_ns / 1_000);
+                obs::histogram!("pool.lane_busy_us", d.dur_ns / 1_000);
             }
+            obs::gauge_set("pool.lanes", self.width as u64);
         }
         let panicked = self.shared.state.lock().expect("pool state").panicked;
         if panicked {
@@ -763,6 +787,52 @@ mod tests {
             .collect();
         assert!(!busy.is_empty(), "per-worker busy counters missing");
         assert!(rep.events.iter().any(|e| e.name == "pool.busy"));
+        set_worker_override(None);
+    }
+
+    #[test]
+    fn reset_hook_clears_pending_worker_drains() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_worker_override(Some(3));
+        obs::install(12);
+        obs::reset();
+        // A job whose rank-lane (lane 0) body panics: the unwind skips
+        // the absorb at the end of `run`, so the workers' per-job drains
+        // stay pending in the pool.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with(|p| {
+                p.par_for_each(30, 1, |_, lane| {
+                    if lane == 0 {
+                        panic!("injected");
+                    }
+                    obs::counter_add("pool.leak.visits", 1);
+                });
+            });
+        }));
+        assert!(caught.is_err());
+        with(|p| {
+            assert!(
+                !p.shared.drains.lock().unwrap().is_empty(),
+                "a panicked job should leave worker drains pending"
+            );
+        });
+        // The fix under test: obs::reset() runs the registered pool hook,
+        // so a fresh measurement section starts with no stale lane state …
+        obs::reset();
+        with(|p| {
+            assert!(
+                p.shared.drains.lock().unwrap().is_empty(),
+                "obs::reset() must clear pending worker drains"
+            );
+        });
+        // … and the next section's report carries nothing recorded by the
+        // pre-reset job's workers.
+        with(|p| p.par_for_each(8, 4, |_, _| {}));
+        let rep = obs::uninstall().expect("recorder installed");
+        assert!(
+            rep.counters.iter().all(|(k, _)| k != "pool.leak.visits"),
+            "stale worker drains leaked across obs::reset()"
+        );
         set_worker_override(None);
     }
 

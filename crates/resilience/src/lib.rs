@@ -232,6 +232,14 @@ pub struct RecoveryOptions {
     pub mode: CheckpointMode,
     /// The buddy memory (required for `Buddy`/`Both` modes).
     pub buddy: Option<Arc<BuddyStore>>,
+    /// Where to write the crash post-mortem bundle. `Some(path)` turns
+    /// the flight recorder on: every rank records spans/counters during
+    /// attempts, deposits its last [`RecoveryOptions::flight_window_ms`]
+    /// on a crash, and the supervisor writes the bundle when it catches
+    /// an injected rank death.
+    pub postmortem: Option<PathBuf>,
+    /// Flight-recorder lookback window, ms.
+    pub flight_window_ms: u64,
 }
 
 impl Default for RecoveryOptions {
@@ -242,6 +250,8 @@ impl Default for RecoveryOptions {
             retry: Some(RetryPolicy::default()),
             mode: CheckpointMode::Disk,
             buddy: None,
+            postmortem: None,
+            flight_window_ms: forust_obs::DEFAULT_FLIGHT_WINDOW_MS,
         }
     }
 }
@@ -425,6 +435,91 @@ struct RankReport<F> {
     faults: Vec<(&'static str, u64)>,
 }
 
+/// [`attempt`] wrapped in the crash flight recorder. When the options
+/// carry a post-mortem path this installs a per-rank obs recorder for
+/// the attempt, and on a panic — the rank's own injected crash, or the
+/// deadline/peer-death panic a survivor hits once the victim is gone —
+/// forwards the stack's counters (`on_crash`) and deposits the rank's
+/// last `flight_window_ms` of spans and counters into the process-wide
+/// flight store before resuming the unwind to the supervisor.
+fn flight_guarded_attempt<C: Communicator, R: Recoverable>(
+    comm: &C,
+    exp: &R,
+    ckpt_root: &Path,
+    opts: &RecoveryOptions,
+    on_crash: impl Fn(),
+) -> (R::Final, RestoreSource) {
+    if opts.postmortem.is_none() {
+        return attempt(comm, exp, ckpt_root, opts);
+    }
+    let had_recorder = forust_obs::installed();
+    if !had_recorder {
+        forust_obs::install(comm.rank());
+    }
+    let out = catch_unwind(AssertUnwindSafe(|| attempt(comm, exp, ckpt_root, opts)));
+    match out {
+        Ok(v) => {
+            if !had_recorder {
+                forust_obs::uninstall();
+            }
+            v
+        }
+        Err(payload) => {
+            on_crash();
+            forust_obs::flight_deposit(opts.flight_window_ms);
+            if !had_recorder {
+                forust_obs::uninstall();
+            }
+            resume_unwind(payload)
+        }
+    }
+}
+
+fn forward_counter_pairs(pairs: &[(&'static str, u64)]) {
+    for &(k, v) in pairs {
+        forust_obs::counter_add(k, v);
+    }
+}
+
+/// Assemble and write the post-mortem bundle for one caught crash: the
+/// supervisor (the driver thread — the stand-in for rank 0, exactly as
+/// with [`BuddyStore`]) pairs the drained flight dumps with the crash
+/// payload and the newest checkpoint epoch still available for restore.
+/// A write failure is reported, not fatal — the recovery itself must
+/// proceed regardless.
+fn write_crash_postmortem(
+    path: &Path,
+    rc: &RankCrashed,
+    attempt_idx: usize,
+    ckpt_root: &Path,
+    opts: &RecoveryOptions,
+    dumps: Vec<forust_obs::FlightDump>,
+) {
+    let mut newest_epoch: Option<u64> = None;
+    if opts.mode != CheckpointMode::Buddy {
+        newest_epoch = epochs_newest_first(ckpt_root).first().map(|&(n, _)| n);
+    }
+    if opts.mode != CheckpointMode::Disk {
+        if let Some(store) = &opts.buddy {
+            if let Some((n, _)) = store.epochs_newest_first().first() {
+                let n = *n;
+                newest_epoch = Some(newest_epoch.map_or(n, |m| m.max(n)));
+            }
+        }
+    }
+    let pm = forust_obs::postmortem::Postmortem {
+        dead_rank: rc.rank,
+        dead_call: format!("call {}", rc.call),
+        attempt: attempt_idx,
+        checkpoint_epoch: newest_epoch,
+        window_ms: opts.flight_window_ms,
+        ranks: dumps,
+    };
+    if let Err(e) = forust_obs::postmortem::write_postmortem(path, &pm) {
+        eprintln!("recovery: failed to write post-mortem bundle {path:?}: {e}");
+    }
+}
+
 /// [`run_with_recovery`] with full control over transport healing,
 /// checkpoint placement, and buddy memory.
 pub fn run_with_recovery_opts<R: Recoverable>(
@@ -461,7 +556,15 @@ pub fn run_with_recovery_opts<R: Recoverable>(
                             ReliableComm::new(ChaosComm::new(tc, plan.clone()), policy.clone())
                         },
                         |comm| {
-                            let (result, source) = attempt(comm, exp, ckpt_root, opts);
+                            let (result, source) =
+                                flight_guarded_attempt(comm, exp, ckpt_root, opts, || {
+                                    forward_counter_pairs(&comm.retry_counts());
+                                    forust_obs::histogram_merge(
+                                        "comm.retry.heal_us",
+                                        &comm.retry_latency_buckets(),
+                                    );
+                                    forward_counter_pairs(&comm.inner().fault_counts());
+                                });
                             RankReport {
                                 result,
                                 source,
@@ -478,7 +581,10 @@ pub fn run_with_recovery_opts<R: Recoverable>(
                         config.clone(),
                         move |tc| ChaosComm::new(tc, plan.clone()),
                         |comm| {
-                            let (result, source) = attempt(comm, exp, ckpt_root, opts);
+                            let (result, source) =
+                                flight_guarded_attempt(comm, exp, ckpt_root, opts, || {
+                                    forward_counter_pairs(&comm.fault_counts());
+                                });
                             RankReport {
                                 result,
                                 source,
@@ -495,7 +601,14 @@ pub fn run_with_recovery_opts<R: Recoverable>(
                         config.clone(),
                         move |tc| ReliableComm::new(tc, policy.clone()),
                         |comm| {
-                            let (result, source) = attempt(comm, exp, ckpt_root, opts);
+                            let (result, source) =
+                                flight_guarded_attempt(comm, exp, ckpt_root, opts, || {
+                                    forward_counter_pairs(&comm.retry_counts());
+                                    forust_obs::histogram_merge(
+                                        "comm.retry.heal_us",
+                                        &comm.retry_latency_buckets(),
+                                    );
+                                });
                             RankReport {
                                 result,
                                 source,
@@ -510,7 +623,8 @@ pub fn run_with_recovery_opts<R: Recoverable>(
                     config.clone(),
                     |tc| tc,
                     |comm| {
-                        let (result, source) = attempt(comm, exp, ckpt_root, opts);
+                        let (result, source) =
+                            flight_guarded_attempt(comm, exp, ckpt_root, opts, || {});
                         RankReport {
                             result,
                             source,
@@ -553,10 +667,16 @@ pub fn run_with_recovery_opts<R: Recoverable>(
                 };
             }
             Err(payload) => {
+                // Drain the flight store in every failure case so one
+                // attempt's dumps never leak into the next crash.
+                let dumps = forust_obs::flight_take_all();
                 let why = if let Some(rc) = payload.downcast_ref::<RankCrashed>() {
                     injected_crash = Some(*rc);
                     if let Some(store) = &opts.buddy {
                         store.mark_dead(rc.rank);
+                    }
+                    if let Some(path) = &opts.postmortem {
+                        write_crash_postmortem(path, rc, attempts - 1, ckpt_root, opts, dumps);
                     }
                     format!("rank {} crashed at communication call {}", rc.rank, rc.call)
                 } else if let Some(s) = payload.downcast_ref::<String>() {

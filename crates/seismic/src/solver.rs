@@ -262,29 +262,34 @@ impl SeismicSolver {
     /// Steady-state allocation-free: the stage vector and the kernel
     /// workspace are solver-owned and reused every stage.
     pub fn step(&mut self, comm: &impl Communicator) {
-        let _span = forust_obs::span!("seismic.step");
-        let t0 = Instant::now();
-        self.ensure_lane_workspaces();
-        let mut k = std::mem::take(&mut self.stage_k);
-        k.resize(self.q.len(), 0.0);
-        let mut ws = std::mem::take(&mut self.ws);
-        self.resid.fill(0.0);
-        for s in 0..5 {
-            let _stage = forust_obs::span!("rk.stage");
-            let ts = self.time + LSERK_C[s] * self.dt;
-            self.compute_rhs(comm, ts, &mut ws, &mut k);
-            let _update = forust_obs::span!("rk.update");
-            for i in 0..self.q.len() {
-                self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
-                self.q[i] += LSERK_B[s] * self.resid[i];
+        {
+            let _span = forust_obs::span!("seismic.step");
+            let t0 = Instant::now();
+            self.ensure_lane_workspaces();
+            let mut k = std::mem::take(&mut self.stage_k);
+            k.resize(self.q.len(), 0.0);
+            let mut ws = std::mem::take(&mut self.ws);
+            self.resid.fill(0.0);
+            for s in 0..5 {
+                let _stage = forust_obs::span!("rk.stage");
+                let ts = self.time + LSERK_C[s] * self.dt;
+                self.compute_rhs(comm, ts, &mut ws, &mut k);
+                let _update = forust_obs::span!("rk.update");
+                for i in 0..self.q.len() {
+                    self.resid[i] = LSERK_A[s] * self.resid[i] + self.dt * k[i];
+                    self.q[i] += LSERK_B[s] * self.resid[i];
+                }
             }
+            ws.check_steady();
+            self.ws = ws;
+            self.stage_k = k;
+            self.time += self.dt;
+            self.timers.wave_prop += t0.elapsed();
+            self.timers.steps += 1;
         }
-        ws.check_steady();
-        self.ws = ws;
-        self.stage_k = k;
-        self.time += self.dt;
-        self.timers.wave_prop += t0.elapsed();
-        self.timers.steps += 1;
+        // Outside the block so the step's spans have closed before the
+        // per-step time-series mark slices them into deltas.
+        forust_obs::step_mark(self.timers.steps as u64);
     }
 
     /// **Test oracle.** One RK step through the pre-kernel-engine RHS

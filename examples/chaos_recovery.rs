@@ -10,15 +10,15 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use extreme_amr::advect::{
-    attempt, four_fronts, rotation_velocity, run_with_recovery, AdvectConfig, RecoverySetup,
-};
+use extreme_amr::advect::{attempt, four_fronts, rotation_velocity, AdvectConfig, RecoverySetup};
 use extreme_amr::comm::{run_spmd_with, ChaosComm, CommConfig, Communicator, FaultPlan};
 use extreme_amr::forust::connectivity::{builders, Connectivity};
 use extreme_amr::forust::dim::D3;
 use extreme_amr::geom::{Mapping, ShellMap};
 use extreme_amr::obs;
 use extreme_amr::obs::metrics::Registry;
+use extreme_amr::obs::postmortem::validate_postmortem;
+use extreme_amr::resilience::{run_with_recovery_opts, RecoveryOptions};
 
 fn build_conn() -> Connectivity<D3> {
     builders::cubed_sphere()
@@ -115,11 +115,20 @@ fn main() {
     let plan = FaultPlan::new(2026).with_crash(CRASH_RANK, crash_at_call);
     println!("injecting:  crash of rank {CRASH_RANK} at its communication call #{crash_at_call}");
     let chaos_dir = root.join("chaos");
+    // The crash flight recorder: each rank deposits its last window of
+    // spans and counters while unwinding, and the supervisor writes the
+    // bundle before restarting.
+    std::fs::create_dir_all("obs_out").expect("create output dir");
+    let pm_path = std::path::PathBuf::from("obs_out/postmortem.json");
+    let opts = RecoveryOptions {
+        postmortem: Some(pm_path.clone()),
+        ..RecoveryOptions::default()
+    };
     // The injected crash panics inside rank threads; keep the demo
     // output readable by muting the default hook's backtrace while the
     // recovery driver is catching panics on purpose.
     std::panic::set_hook(Box::new(|_| {}));
-    let outcome = run_with_recovery(RANKS, RANKS - 1, Some(plan), &chaos_dir, &setup, 3);
+    let outcome = run_with_recovery_opts(RANKS, RANKS - 1, Some(plan), &chaos_dir, &setup, &opts);
     let _ = std::panic::take_hook();
 
     match outcome.injected_crash {
@@ -142,6 +151,24 @@ fn main() {
     println!(
         "recovered:  t = {:.6}, {} steps, {} attempts",
         outcome.result.time, outcome.result.steps, outcome.attempts
+    );
+
+    // The post-mortem bundle the supervisor wrote on the failed attempt,
+    // validated offline by the same zero-dep parser CI uses.
+    let pm_text = std::fs::read_to_string(&pm_path).expect("postmortem.json written");
+    let pm = validate_postmortem(&pm_text).expect("postmortem.json must validate");
+    println!(
+        "postmortem: {} — rank {} died at {} during \"{}\"; {} rank dump(s), {} recent events",
+        pm_path.display(),
+        pm.dead_rank,
+        pm.dead_call,
+        pm.in_flight_phase.as_deref().unwrap_or("<no open span>"),
+        pm.ranks.len(),
+        pm.events_total
+    );
+    assert_eq!(
+        pm.dead_rank, CRASH_RANK,
+        "bundle must name the injected crash rank"
     );
 
     let bitwise = reference[0].solution.len() == outcome.result.solution.len()

@@ -5,7 +5,11 @@
 //!   rank; load it in <https://ui.perfetto.dev> to see the nested
 //!   RK-stage / exchange / balance spans per rank, and
 //! - a paper-style per-phase percentage table plus cross-rank counter
-//!   statistics (octants moved, halo bytes, per-tag traffic) on stdout.
+//!   statistics (octants moved, halo bytes, per-tag traffic), the
+//!   per-step time-series table (wall seconds and load imbalance per RK
+//!   step, sliced by `obs::step_mark`), and the log2 histogram
+//!   summaries (halo bytes per exchange, pool lane busy times) on
+//!   stdout.
 //!
 //! Run with: `cargo run --release --example obs_trace`
 
@@ -71,6 +75,27 @@ fn main() {
             print!("{}", report.phase_table(total_wall_s));
             println!();
             print!("{}", report.counter_table());
+
+            // The per-step series: the solver calls obs::step_mark after
+            // every step, so each row is one RK step's wall time and
+            // cross-rank imbalance plus its dominant phase.
+            println!();
+            print!("{}", report.step_table(8));
+            assert_eq!(report.steps.len(), 16, "one step record per RK step");
+            let imbalanced = report
+                .steps
+                .iter()
+                .filter(|s| s.wall_s.imbalance > 1.0)
+                .count();
+            println!("({imbalanced}/16 steps show cross-rank wall imbalance > 1.0)");
+
+            // Histogram summaries: distributions, not just totals.
+            println!();
+            print!("{}", report.hist_table());
+            let halo = report
+                .hist("halo.bytes_per_exchange")
+                .expect("halo byte histogram recorded");
+            assert!(halo.samples_mean() > 0.0, "halo histogram is empty");
 
             let text = std::fs::read_to_string(&tp).expect("read trace.json");
             let summary = validate_trace(&text).expect("trace.json must parse");

@@ -15,4 +15,5 @@ pub use forust_dg as dg;
 pub use forust_geom as geom;
 pub use forust_mantle as mantle;
 pub use forust_obs as obs;
+pub use forust_resilience as resilience;
 pub use forust_seismic as seismic;
