@@ -59,6 +59,12 @@ use crate::mesh::{DgMesh, ElemRef, FaceConn};
 /// communicator at a time.
 pub const TAG_HALO_EXCHANGE: u32 = TAG_COLLECTIVE - 32;
 
+/// Message tag of the **single-precision** face-trace halo exchange (the
+/// device backend's wire lane, Fig. 10 analogue). Its own tag keeps f32
+/// traffic attributable separately from the f64 lane in `TrafficStats`,
+/// which is how the ≤ 0.55× bytes contract is asserted.
+pub const TAG_HALO_EXCHANGE_F32: u32 = TAG_COLLECTIVE - 80;
+
 /// One mirror element's contribution to one destination rank.
 #[derive(Debug, Clone)]
 struct SendEntry {
@@ -78,6 +84,14 @@ struct Scratch {
     data: Vec<f64>,
     /// Times `data` had to grow. Steady-state RK stages must not bump
     /// this — asserted by a debug-counter test.
+    grow_events: u64,
+}
+
+/// Reusable unpack target of the **f32** trace exchange (the device
+/// lane). Same layout contract as [`Scratch`], half the bytes.
+#[derive(Debug, Default)]
+struct Scratch32 {
+    data: Vec<f32>,
     grow_events: u64,
 }
 
@@ -113,6 +127,7 @@ pub struct HaloExchange<D: Dim> {
     /// Local elements with at least one ghost-face neighbor.
     boundary: Vec<u32>,
     scratch: Mutex<Scratch>,
+    scratch32: Mutex<Scratch32>,
     _dim: std::marker::PhantomData<D>,
 }
 
@@ -245,6 +260,7 @@ impl<D: Dim> HaloExchange<D> {
             interior,
             boundary,
             scratch: Mutex::new(Scratch::default()),
+            scratch32: Mutex::new(Scratch32::default()),
             _dim: std::marker::PhantomData,
         }
     }
@@ -265,6 +281,13 @@ impl<D: Dim> HaloExchange<D> {
         {
             let mut old = self.lock_scratch();
             let mut new = fresh.lock_scratch();
+            std::mem::swap(&mut new.data, &mut old.data);
+            new.data.clear();
+            new.grow_events = 0;
+        }
+        {
+            let mut old = self.lock_scratch32();
+            let mut new = fresh.lock_scratch32();
             std::mem::swap(&mut new.data, &mut old.data);
             new.data.clear();
             new.grow_events = 0;
@@ -308,6 +331,135 @@ impl<D: Dim> HaloExchange<D> {
 
     fn lock_scratch(&self) -> MutexGuard<'_, Scratch> {
         self.scratch.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_scratch32(&self) -> MutexGuard<'_, Scratch32> {
+        self.scratch32.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Bytes this rank puts on the wire per **f32** exchange of `ncomp`
+    /// components (payload only, before CRC framing): same mask byte per
+    /// entry, 4-byte values — `(1 + 4·ncomp·nodes) / (1 + 8·ncomp·nodes)`
+    /// of the f64 lane per entry, i.e. strictly under 0.55× for any
+    /// non-empty trace with `ncomp ≥ 1`.
+    pub fn send_bytes_per_exchange_f32(&self, ncomp: usize) -> u64 {
+        self.send_entries
+            .iter()
+            .flatten()
+            .map(|e| (e.nodes.len() * ncomp * 4 + 1) as u64)
+            .sum()
+    }
+
+    /// Times the f32 unpack scratch had to grow (device-lane mirror of
+    /// [`scratch_grow_events`](Self::scratch_grow_events)).
+    pub fn scratch32_grow_events(&self) -> u64 {
+        self.lock_scratch32().grow_events
+    }
+
+    /// Start the **single-precision** trace exchange of `ncomp`
+    /// components, reading values through `get(elem, comp, node)` instead
+    /// of a borrowed AoS slice — the device backend's state lives in
+    /// lane-batched SoA arenas, and the accessor lets it pack straight
+    /// from them without materializing a host-layout copy. Wire format is
+    /// the f64 lane's (mask byte per mirror entry, then per entry ×
+    /// component × sorted trace node), with f32-LE values on its own tag
+    /// [`TAG_HALO_EXCHANGE_F32`]. Bytes land in the same
+    /// `halo.bytes_sent` counter and `halo.bytes_per_exchange` histogram,
+    /// so the halved traffic is visible to the existing dashboards.
+    pub fn begin_f32_with<'a, C: Communicator, F>(
+        &'a self,
+        comm: &'a C,
+        get: F,
+        ncomp: usize,
+    ) -> HaloPendingF32<'a, C, D>
+    where
+        F: Fn(usize, usize, usize) -> f32 + Sync,
+    {
+        let _span = forust_obs::span!("halo.begin_f32");
+        let outgoing: Vec<Vec<u8>> = forust_pool::par_map(self.send_entries.len(), 1, |r| {
+            let entries = &self.send_entries[r];
+            let payload: usize = entries.iter().map(|en| en.nodes.len()).sum();
+            let mut buf = Vec::with_capacity(entries.len() + payload * ncomp * 4);
+            for en in entries {
+                buf.push(en.mask);
+            }
+            for en in entries {
+                for c in 0..ncomp {
+                    for &n in &en.nodes {
+                        let v = get(en.elem as usize, c, n as usize);
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            buf
+        });
+        let bytes_sent: u64 = outgoing.iter().map(|b| b.len() as u64).sum();
+        forust_obs::counter_add("halo.bytes_sent", bytes_sent);
+        forust_obs::histogram!("halo.bytes_per_exchange", bytes_sent);
+        HaloPendingF32 {
+            halo: self,
+            pending: comm.start_alltoallv_bytes(outgoing, TAG_HALO_EXCHANGE_F32),
+            ncomp,
+        }
+    }
+
+    /// Blocking wrapper around [`begin_f32_with`](Self::begin_f32_with).
+    pub fn exchange_f32_with<'a, C: Communicator, F>(
+        &'a self,
+        comm: &'a C,
+        get: F,
+        ncomp: usize,
+    ) -> HaloDataF32<'a, D>
+    where
+        F: Fn(usize, usize, usize) -> f32 + Sync,
+    {
+        self.begin_f32_with(comm, get, ncomp).finish()
+    }
+
+    /// Unpack the received f32 buffers into the f32 scratch.
+    fn unpack_f32(&self, incoming: Vec<Vec<u8>>, ncomp: usize) -> HaloDataF32<'_, D> {
+        let mut scratch = self.lock_scratch32();
+        let needed = self.trace_len() * ncomp;
+        if needed > scratch.data.capacity() {
+            scratch.grow_events += 1;
+            forust_obs::counter_add("halo.scratch_grow", 1);
+            let additional = needed - scratch.data.len();
+            scratch.data.reserve(additional);
+        }
+        scratch.data.clear();
+        scratch.data.resize(needed, 0.0);
+        for (r, buf) in incoming.iter().enumerate() {
+            let ghosts = &self.ghosts_of_rank[r];
+            let payload: usize = ghosts
+                .iter()
+                .map(|&g| self.recv_nodes[g as usize].len())
+                .sum();
+            assert_eq!(
+                buf.len(),
+                ghosts.len() + payload * ncomp * 4,
+                "f32 halo exchange: rank {r} sent a malformed trace buffer"
+            );
+            let mut cur = ghosts.len();
+            for (i, &g) in ghosts.iter().enumerate() {
+                let g = g as usize;
+                assert_eq!(
+                    buf[i], self.recv_mask[g],
+                    "f32 halo exchange: face-visibility mask mismatch for ghost {g} from rank {r}"
+                );
+                let len = self.recv_nodes[g].len();
+                let base = self.recv_off[g] * ncomp;
+                for k in 0..len * ncomp {
+                    let raw: [u8; 4] = buf[cur..cur + 4].try_into().unwrap();
+                    scratch.data[base + k] = f32::from_le_bytes(raw);
+                    cur += 4;
+                }
+            }
+        }
+        HaloDataF32 {
+            halo: self,
+            scratch,
+            ncomp,
+        }
     }
 
     /// Start the trace exchange: restrict `local` (`ncomp` components
@@ -435,6 +587,68 @@ impl<'a, C: Communicator, D: Dim> HaloPending<'a, C, D> {
         let _span = forust_obs::span!("halo.finish");
         let incoming = self.pending.wait();
         self.halo.unpack(incoming, self.ncomp)
+    }
+}
+
+/// An in-flight **f32** halo exchange (device lane); complete it with
+/// [`finish`](Self::finish).
+#[must_use = "complete the halo exchange with finish()"]
+pub struct HaloPendingF32<'a, C: Communicator, D: Dim> {
+    halo: &'a HaloExchange<D>,
+    pending: PendingExchange<'a, C>,
+    ncomp: usize,
+}
+
+impl<'a, C: Communicator, D: Dim> HaloPendingF32<'a, C, D> {
+    /// Receive whatever has already arrived, without blocking.
+    pub fn poll(&mut self) -> bool {
+        self.pending.poll()
+    }
+
+    /// Block until the exchange completes and unpack the ghost traces.
+    pub fn finish(self) -> HaloDataF32<'a, D> {
+        let _span = forust_obs::span!("halo.finish_f32");
+        let incoming = self.pending.wait();
+        self.halo.unpack_f32(incoming, self.ncomp)
+    }
+}
+
+/// Read view of the received **f32** ghost face traces (holds the f32
+/// scratch lock until dropped). The f64 and f32 lanes have independent
+/// scratches, so a device exchange may overlap a host exchange.
+pub struct HaloDataF32<'a, D: Dim> {
+    halo: &'a HaloExchange<D>,
+    scratch: MutexGuard<'a, Scratch32>,
+    ncomp: usize,
+}
+
+impl<D: Dim> HaloDataF32<'_, D> {
+    /// True if `face` of ghost `g` was exchanged.
+    pub fn has_face(&self, g: usize, face: usize) -> bool {
+        self.halo.face_pos[g][face].is_some()
+    }
+
+    /// Write the trace of component `comp` of ghost `g` on `face` into
+    /// `out` (face-lattice order). Values are bitwise equal to demoting
+    /// the sender's f64 nodal values to f32 — the wire truncates
+    /// precision exactly once, at pack time.
+    pub fn face_values(&self, g: usize, face: usize, comp: usize, out: &mut Vec<f32>) {
+        debug_assert!(comp < self.ncomp);
+        let pos = self.halo.face_pos[g][face]
+            .as_deref()
+            .unwrap_or_else(|| panic!("halo exchange: face {face} of ghost {g} was not exchanged"));
+        let len = self.halo.recv_nodes[g].len();
+        let base = self.halo.recv_off[g] * self.ncomp + comp * len;
+        out.clear();
+        out.extend(pos.iter().map(|&k| self.scratch.data[base + k as usize]));
+    }
+
+    /// The raw trace of component `comp` of ghost `g` (sorted
+    /// volume-node order).
+    pub fn trace(&self, g: usize, comp: usize) -> &[f32] {
+        let len = self.halo.recv_nodes[g].len();
+        let base = self.halo.recv_off[g] * self.ncomp + comp * len;
+        &self.scratch.data[base..base + len]
     }
 }
 

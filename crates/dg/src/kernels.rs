@@ -34,6 +34,7 @@
 //! [`RefElement::apply_axis`]: crate::element::RefElement::apply_axis
 
 use crate::matrix::Matrix;
+use crate::real::Real;
 
 /// Paper production degrees compiled as const-generic instances: N=3
 /// advection (`np = 4`) and N=6/7 seismic (`np = 7/8`).
@@ -60,25 +61,44 @@ pub fn apply_axis_into(
 ) {
     assert_eq!(op.cols, np);
     assert!(axis < dim);
-    let npo = op.rows;
+    apply_axis_any(&op.data, np, op.rows, dim, axis, input, out)
+}
+
+/// Precision-generic form of [`apply_axis_into`]: the operator is a raw
+/// row-major `npo x np` slice in the same scalar tier as the data. The
+/// f64 instantiation is the exact code the concrete path compiled to
+/// before the tier split (same loop bodies, same accumulation order), so
+/// the bitwise oracle contract is unchanged; the f32 instantiation feeds
+/// the device backend's runtime-np mortar ops.
+pub fn apply_axis_any<R: Real>(
+    op: &[R],
+    np: usize,
+    npo: usize,
+    dim: usize,
+    axis: usize,
+    input: &[R],
+    out: &mut [R],
+) {
+    assert!(axis < dim);
+    assert_eq!(op.len(), npo * np);
     assert_eq!(input.len(), np.pow(dim as u32));
     assert_eq!(out.len(), npo * np.pow(dim as u32 - 1));
     if npo == np {
         // Square operators (differentiation, same-degree interpolation)
         // at the production degrees take the monomorphized path.
         match np {
-            4 => return apply_axis_fixed::<4>(&op.data, axis, input, out),
-            7 => return apply_axis_fixed::<7>(&op.data, axis, input, out),
-            8 => return apply_axis_fixed::<8>(&op.data, axis, input, out),
+            4 => return apply_axis_fixed::<R, 4>(op, axis, input, out),
+            7 => return apply_axis_fixed::<R, 7>(op, axis, input, out),
+            8 => return apply_axis_fixed::<R, 8>(op, axis, input, out),
             _ => {}
         }
     }
-    apply_axis_runtime(&op.data, np, npo, dim, axis, input, out)
+    apply_axis_runtime(op, np, npo, dim, axis, input, out)
 }
 
 /// Const-`NP` instance of the axis sweep: loop bounds known at compile
 /// time. Same loop body as [`apply_axis_runtime`] — bitwise identical.
-fn apply_axis_fixed<const NP: usize>(op: &[f64], axis: usize, input: &[f64], out: &mut [f64]) {
+fn apply_axis_fixed<R: Real, const NP: usize>(op: &[R], axis: usize, input: &[R], out: &mut [R]) {
     if axis == 0 {
         // x sweep: one small matvec per pencil. The operator is staged
         // column-major on the stack so the accumulator update runs across
@@ -87,14 +107,14 @@ fn apply_axis_fixed<const NP: usize>(op: &[f64], axis: usize, input: &[f64], out
         // `op[a][q] * pin[q]` over ascending `q` from 0.0 — the exact
         // accumulation order of the oracle, so results stay bitwise
         // identical (Rust never contracts the mul+add into an FMA).
-        let mut op_t = [[0.0; NP]; NP];
+        let mut op_t = [[R::ZERO; NP]; NP];
         for (a, row) in op.chunks_exact(NP).enumerate() {
             for q in 0..NP {
                 op_t[q][a] = row[q];
             }
         }
         for (pin, pout) in input.chunks_exact(NP).zip(out.chunks_exact_mut(NP)) {
-            let mut acc = [0.0; NP];
+            let mut acc = [R::ZERO; NP];
             for q in 0..NP {
                 let x = pin[q];
                 for a in 0..NP {
@@ -111,7 +131,7 @@ fn apply_axis_fixed<const NP: usize>(op: &[f64], axis: usize, input: &[f64], out
         for (bin, bout) in input.chunks_exact(block).zip(out.chunks_exact_mut(block)) {
             for a in 0..NP {
                 let o = &mut bout[a * panel..(a + 1) * panel];
-                o.fill(0.0);
+                o.fill(R::ZERO);
                 let row = &op[a * NP..(a + 1) * NP];
                 for q in 0..NP {
                     let c = row[q];
@@ -127,14 +147,14 @@ fn apply_axis_fixed<const NP: usize>(op: &[f64], axis: usize, input: &[f64], out
 
 /// Runtime-`np` fallback (and the only path for rectangular operators).
 /// Same loop structure and accumulation order as the const instances.
-fn apply_axis_runtime(
-    op: &[f64],
+fn apply_axis_runtime<R: Real>(
+    op: &[R],
     np: usize,
     npo: usize,
     dim: usize,
     axis: usize,
-    input: &[f64],
-    out: &mut [f64],
+    input: &[R],
+    out: &mut [R],
 ) {
     if axis == 0 {
         let pencils = np.pow(dim as u32 - 1);
@@ -143,7 +163,7 @@ fn apply_axis_runtime(
             let pout = &mut out[p * npo..(p + 1) * npo];
             for a in 0..npo {
                 let row = &op[a * np..(a + 1) * np];
-                let mut acc = 0.0;
+                let mut acc = R::ZERO;
                 for q in 0..np {
                     acc += row[q] * pin[q];
                 }
@@ -158,7 +178,7 @@ fn apply_axis_runtime(
             let bout = &mut out[b * npo * panel..(b + 1) * npo * panel];
             for a in 0..npo {
                 let o = &mut bout[a * panel..(a + 1) * panel];
-                o.fill(0.0);
+                o.fill(R::ZERO);
                 let row = &op[a * np..(a + 1) * np];
                 for q in 0..np {
                     let c = row[q];
@@ -190,6 +210,21 @@ pub fn batched_gradient_into(
     nf: usize,
     grad: &mut [f64],
 ) {
+    assert_eq!(diff.cols, np);
+    assert_eq!(diff.rows, np);
+    batched_gradient_any(&diff.data, np, dim, fields, nf, grad)
+}
+
+/// Precision-generic form of [`batched_gradient_into`] over a raw square
+/// `np x np` differentiation operator in the `R` tier.
+pub fn batched_gradient_any<R: Real>(
+    diff: &[R],
+    np: usize,
+    dim: usize,
+    fields: &[R],
+    nf: usize,
+    grad: &mut [R],
+) {
     let npe = np.pow(dim as u32);
     assert_eq!(fields.len(), nf * npe);
     assert_eq!(grad.len(), nf * dim * npe);
@@ -197,7 +232,7 @@ pub fn batched_gradient_into(
         for f in 0..nf {
             let input = &fields[f * npe..(f + 1) * npe];
             let out = &mut grad[(f * dim + axis) * npe..(f * dim + axis + 1) * npe];
-            apply_axis_into(diff, np, dim, axis, input, out);
+            apply_axis_any(diff, np, np, dim, axis, input, out);
         }
     }
 }
@@ -259,9 +294,9 @@ pub fn advect_volume_rhs(
         // Production degrees: monomorphize the whole fused pass so both
         // the sweeps and the contraction have compile-time trip counts.
         match np {
-            4 => return advect_volume_fixed::<4>(&diff.data, ce, metr, vels, grad, out),
-            7 => return advect_volume_fixed::<7>(&diff.data, ce, metr, vels, grad, out),
-            8 => return advect_volume_fixed::<8>(&diff.data, ce, metr, vels, grad, out),
+            4 => return advect_volume_fixed::<f64, 4>(&diff.data, ce, metr, vels, grad, out),
+            7 => return advect_volume_fixed::<f64, 7>(&diff.data, ce, metr, vels, grad, out),
+            8 => return advect_volume_fixed::<f64, 8>(&diff.data, ce, metr, vels, grad, out),
             _ => {}
         }
     }
@@ -273,20 +308,20 @@ pub fn advect_volume_rhs(
 
 /// Const-`NP` instance of the fused advection volume pass. Same loop
 /// bodies as the runtime path — bitwise identical.
-fn advect_volume_fixed<const NP: usize>(
-    diff: &[f64],
-    ce: &[f64],
-    metr: &[f64],
-    vels: &[f64],
-    grad: &mut [f64],
-    out: &mut [f64],
+fn advect_volume_fixed<R: Real, const NP: usize>(
+    diff: &[R],
+    ce: &[R],
+    metr: &[R],
+    vels: &[R],
+    grad: &mut [R],
+    out: &mut [R],
 ) {
     let npe = NP * NP * NP;
     let (gx, rest) = grad[..3 * npe].split_at_mut(npe);
     let (gy, gz) = rest.split_at_mut(npe);
-    apply_axis_fixed::<NP>(diff, 0, ce, gx);
-    apply_axis_fixed::<NP>(diff, 1, ce, gy);
-    apply_axis_fixed::<NP>(diff, 2, ce, gz);
+    apply_axis_fixed::<R, NP>(diff, 0, ce, gx);
+    apply_axis_fixed::<R, NP>(diff, 1, ce, gy);
+    apply_axis_fixed::<R, NP>(diff, 2, ce, gz);
     advect_contract(npe, metr, vels, gx, gy, gz, out);
 }
 
@@ -299,25 +334,25 @@ fn advect_volume_fixed<const NP: usize>(
 /// `0.0` — but every load is unit-stride in `v`, so the (independent)
 /// node iterations vectorize.
 #[inline]
-fn advect_contract(
+fn advect_contract<R: Real>(
     npe: usize,
-    metr: &[f64],
-    vels: &[f64],
-    gx: &[f64],
-    gy: &[f64],
-    gz: &[f64],
-    out: &mut [f64],
+    metr: &[R],
+    vels: &[R],
+    gx: &[R],
+    gy: &[R],
+    gz: &[R],
+    out: &mut [R],
 ) {
     // Pre-slice every plane to exactly `npe` so the indexing below is
     // provably in-bounds and the node loop vectorizes cleanly.
-    let m: [&[f64]; 9] = std::array::from_fn(|p| &metr[p * npe..(p + 1) * npe]);
-    let u: [&[f64]; 3] = std::array::from_fn(|p| &vels[p * npe..(p + 1) * npe]);
+    let m: [&[R]; 9] = std::array::from_fn(|p| &metr[p * npe..(p + 1) * npe]);
+    let u: [&[R]; 3] = std::array::from_fn(|p| &vels[p * npe..(p + 1) * npe]);
     let g = [&gx[..npe], &gy[..npe], &gz[..npe]];
     let out = &mut out[..npe];
     for v in 0..npe {
-        let mut adv = 0.0;
+        let mut adv = R::ZERO;
         for i in 0..3 {
-            let mut gi = 0.0;
+            let mut gi = R::ZERO;
             for r in 0..3 {
                 gi += m[r * 3 + i][v] * g[r][v];
             }

@@ -25,6 +25,12 @@
 //!   multi-field batching and the reusable [`KernelWorkspace`] scratch
 //!   arena (with `element::RefElement::apply_axis` kept as the bitwise
 //!   test oracle);
+//! - [`real`]: the precision tier seam — the [`Real`] scalar trait with
+//!   the bitwise-pinned `f64` host tier and the `f32` device tier;
+//! - [`soa`]: the lane-batched structure-of-arrays engine — packs
+//!   [`soa::LANES`] elements per sweep so the `target-cpu=native` build
+//!   vectorizes *across* elements the way the paper's GPU port batches
+//!   threads (Fig. 10 analogue);
 //! - [`cg`]: continuous-Galerkin hanging-node interpolation built on
 //!   `forust`'s `Nodes`.
 
@@ -37,9 +43,15 @@ pub mod legendre;
 pub mod lserk;
 pub mod matrix;
 pub mod mesh;
+pub mod real;
+pub mod soa;
 pub mod transfer;
 
 pub use element::RefElement;
-pub use halo::{HaloData, HaloExchange, HaloPending, TAG_HALO_EXCHANGE};
+pub use halo::{
+    HaloData, HaloDataF32, HaloExchange, HaloPending, HaloPendingF32, TAG_HALO_EXCHANGE,
+    TAG_HALO_EXCHANGE_F32,
+};
 pub use kernels::KernelWorkspace;
 pub use matrix::Matrix;
+pub use real::Real;

@@ -1,0 +1,145 @@
+//! The f32 tier of the precision-generic kernel engine: the same loop
+//! bodies monomorphized at `R = f32` must (a) track the f64 engine
+//! within single-precision rounding, and (b) agree **bitwise** with the
+//! f32 SoA lane-batched engine — the device backend's determinism
+//! contract is built on (b).
+
+use forust_dg::kernels::{apply_axis_any, batched_gradient_any};
+use forust_dg::real::demote_slice;
+use forust_dg::soa::{self, LANES};
+use forust_dg::RefElement;
+
+/// Deterministic pseudo-random values in [-1, 1].
+fn synth(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// f32 sweeps track the f64 engine within single-precision rounding on
+/// every production degree and axis (fixed and runtime dispatch paths).
+#[test]
+fn f32_engine_tracks_f64_within_rounding() {
+    for degree in [1usize, 3, 5, 6, 7] {
+        let re = RefElement::new(degree);
+        let np = re.np;
+        let npe = np * np * np;
+        let input = synth(npe, degree as u64);
+        let mut out64 = vec![0.0f64; npe];
+        let mut op32: Vec<f32> = Vec::new();
+        demote_slice(&re.diff.data, &mut op32);
+        let mut in32: Vec<f32> = Vec::new();
+        demote_slice(&input, &mut in32);
+        let mut out32 = vec![0.0f32; npe];
+        for axis in 0..3 {
+            apply_axis_any(&re.diff.data, np, np, 3, axis, &input, &mut out64);
+            apply_axis_any(&op32, np, np, 3, axis, &in32, &mut out32);
+            let scale: f64 = out64.iter().fold(1e-30, |m, &x| m.max(x.abs()));
+            for (v, (&a, &b)) in out64.iter().zip(&out32).enumerate() {
+                let err = (a - b as f64).abs() / scale;
+                assert!(
+                    err < 1e-5,
+                    "degree {degree} axis {axis} node {v}: f32 engine off by {err:.2e}"
+                );
+            }
+        }
+    }
+}
+
+/// The SoA f32 engine must agree bitwise with the scalar f32 engine,
+/// lane by lane — including zero-padded lanes of the last block. This
+/// is the determinism contract the device worker-matrix test relies on:
+/// per-lane arithmetic never mixes lanes, so batching order and lane
+/// width cannot change bits.
+#[test]
+fn soa_f32_matches_scalar_f32_bitwise() {
+    for degree in [2usize, 3, 6] {
+        let re = RefElement::new(degree);
+        let np = re.np;
+        let npe = np * np * np;
+        let nel = LANES + 5; // exercise a padded tail block
+        let mut op32: Vec<f32> = Vec::new();
+        demote_slice(&re.diff.data, &mut op32);
+
+        let aos = synth(npe * nel, 7 + degree as u64);
+        let nblocks = soa::num_blocks(nel);
+        let mut plane = vec![0.0f32; npe * LANES];
+        let mut out_plane = vec![0.0f32; npe * LANES];
+        let mut scalar_in = vec![0.0f32; npe];
+        let mut scalar_out = vec![0.0f32; npe];
+        let mut unpacked = vec![0.0f64; npe * nel];
+        for axis in 0..3 {
+            for b in 0..nblocks {
+                soa::pack_plane(&aos, npe, nel, b * LANES, &mut plane);
+                soa::soa_apply_axis(&op32, np, axis, &plane, &mut out_plane);
+                soa::unpack_plane(&out_plane, npe, nel, b * LANES, &mut unpacked);
+            }
+            for e in 0..nel {
+                for v in 0..npe {
+                    scalar_in[v] = aos[e * npe + v] as f32;
+                }
+                apply_axis_any(&op32, np, np, 3, axis, &scalar_in, &mut scalar_out);
+                for v in 0..npe {
+                    assert_eq!(
+                        (unpacked[e * npe + v] as f32).to_bits(),
+                        scalar_out[v].to_bits(),
+                        "degree {degree} axis {axis} elem {e} node {v}: SoA != scalar f32"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same contract for the batched-gradient wrapper (all three axes of
+/// several fields in one call) at the f32 tier.
+#[test]
+fn soa_f32_gradient_matches_scalar_f32_bitwise() {
+    let degree = 3;
+    let re = RefElement::new(degree);
+    let np = re.np;
+    let npe = np * np * np;
+    let nf = 9;
+    let mut op32: Vec<f32> = Vec::new();
+    demote_slice(&re.diff.data, &mut op32);
+
+    let fields64 = synth(nf * npe, 99);
+    let mut fields32: Vec<f32> = Vec::new();
+    demote_slice(&fields64, &mut fields32);
+    let mut grad_scalar = vec![0.0f32; nf * 3 * npe];
+    batched_gradient_any(&op32, np, 3, &fields32, nf, &mut grad_scalar);
+
+    // One element replicated into every lane: all lanes must reproduce
+    // the scalar result exactly.
+    let mut fields_soa = vec![0.0f32; nf * npe * LANES];
+    for f in 0..nf {
+        for v in 0..npe {
+            for l in 0..LANES {
+                fields_soa[(f * npe + v) * LANES + l] = fields32[f * npe + v];
+            }
+        }
+    }
+    let mut grad_soa = vec![0.0f32; nf * 3 * npe * LANES];
+    soa::soa_batched_gradient(&op32, np, &fields_soa, nf, &mut grad_soa);
+    for f in 0..nf {
+        for axis in 0..3 {
+            for v in 0..npe {
+                let want = grad_scalar[(f * 3 + axis) * npe + v];
+                for l in 0..LANES {
+                    let got = grad_soa[((f * 3 + axis) * npe + v) * LANES + l];
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "field {f} axis {axis} node {v} lane {l}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@ pub mod model;
 pub mod recovery;
 pub mod solver;
 
-pub use model::{prem_like, prem_like_at, ricker, Material};
+pub use device::DeviceState;
+pub use model::{homogeneous, plane_wave_state, prem_like, prem_like_at, ricker, Material};
 pub use recovery::{SeismicAttemptResult, SeismicRecoverySetup};
 pub use solver::{SeismicConfig, SeismicSolver, SeismicTimers, NCOMP};

@@ -106,6 +106,42 @@ pub fn ricker(t: f64, f0: f64, t0: f64) -> f64 {
     (1.0 - 2.0 * a2) * (-a2).exp()
 }
 
+/// Closed-form monochromatic plane wave of the velocity–strain system in
+/// a homogeneous medium — the absolute accuracy anchor for the f64
+/// engine and the f32 device backend (DESIGN.md §7g).
+///
+/// A wave with unit propagation direction `k`, unit polarization `d` and
+/// speed `c` carries velocity `v = −c d p(φ)` and strain
+/// `E = sym(d ⊗ k) p(φ)` with phase `φ = k·x − c t` and profile
+/// `p(φ) = amp · sin(2π φ / wavelen)`. Substituting into eqs. 3a/3b
+/// shows this solves the system exactly when `c² = (λ+2μ)/ρ` and `d = k`
+/// (P wave), or `c² = μ/ρ` and `d ⊥ k` (S wave). Returns the nine state
+/// components in solver order `(vx, vy, vz, Exx, Eyy, Ezz, Eyz, Exz,
+/// Exy)`.
+pub fn plane_wave_state(
+    k: [f64; 3],
+    d: [f64; 3],
+    c: f64,
+    wavelen: f64,
+    amp: f64,
+    x: [f64; 3],
+    t: f64,
+) -> [f64; 9] {
+    let phase = k[0] * x[0] + k[1] * x[1] + k[2] * x[2] - c * t;
+    let p = amp * (2.0 * std::f64::consts::PI * phase / wavelen).sin();
+    [
+        -c * d[0] * p,
+        -c * d[1] * p,
+        -c * d[2] * p,
+        d[0] * k[0] * p,
+        d[1] * k[1] * p,
+        d[2] * k[2] * p,
+        0.5 * (d[1] * k[2] + d[2] * k[1]) * p,
+        0.5 * (d[0] * k[2] + d[2] * k[0]) * p,
+        0.5 * (d[0] * k[1] + d[1] * k[0]) * p,
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +182,79 @@ mod tests {
     fn clamps_outside_shell() {
         assert_eq!(prem_like(0.1), prem_like(R_CMB));
         assert_eq!(prem_like(1.5), prem_like(1.0));
+    }
+
+    /// The closed form must satisfy the velocity–strain system: check
+    /// `∂t v = (1/ρ) div σ` and `∂t E = sym grad v` by central
+    /// differences, for both a P and an S wave.
+    #[test]
+    fn plane_wave_solves_velocity_strain_system() {
+        let m = Material {
+            rho: 1.3,
+            vp: 1.9,
+            vs: 1.1,
+        };
+        let (lam, mu) = (m.lambda(), m.mu());
+        let s3 = 1.0 / 3.0f64.sqrt();
+        let k = [s3, s3, s3];
+        let s2 = 1.0 / 2.0f64.sqrt();
+        let cases = [
+            (k, k, m.vp),              // P: d parallel to k
+            (k, [s2, -s2, 0.0], m.vs), // S: d orthogonal to k
+        ];
+        let (x0, t0, h) = ([0.31, -0.12, 0.44], 0.23, 1e-5);
+        for (k, d, c) in cases {
+            let q = |x: [f64; 3], t: f64| plane_wave_state(k, d, c, 0.7, 1e-3, x, t);
+            let dt_q: Vec<f64> = (0..9)
+                .map(|i| (q(x0, t0 + h)[i] - q(x0, t0 - h)[i]) / (2.0 * h))
+                .collect();
+            // Spatial derivatives of all components.
+            let mut dx_q = [[0.0; 9]; 3];
+            for (j, row) in dx_q.iter_mut().enumerate() {
+                let mut xp = x0;
+                let mut xm = x0;
+                xp[j] += h;
+                xm[j] -= h;
+                let (qp, qm) = (q(xp, t0), q(xm, t0));
+                for i in 0..9 {
+                    row[i] = (qp[i] - qm[i]) / (2.0 * h);
+                }
+            }
+            // Voigt stress gradient: sigma = lam tr(E) I + 2 mu E.
+            let dsig = |j: usize, voigt: usize| -> f64 {
+                let tr = dx_q[j][3] + dx_q[j][4] + dx_q[j][5];
+                if voigt < 3 {
+                    2.0 * mu * dx_q[j][3 + voigt] + lam * tr
+                } else {
+                    2.0 * mu * dx_q[j][3 + voigt]
+                }
+            };
+            let div_sig = [
+                dsig(0, 0) + dsig(1, 5) + dsig(2, 4),
+                dsig(0, 5) + dsig(1, 1) + dsig(2, 3),
+                dsig(0, 4) + dsig(1, 3) + dsig(2, 2),
+            ];
+            for i in 0..3 {
+                assert!(
+                    (dt_q[i] - div_sig[i] / m.rho).abs() < 1e-8,
+                    "momentum eq violated (c={c}, comp {i})"
+                );
+            }
+            let de = [
+                dx_q[0][0],
+                dx_q[1][1],
+                dx_q[2][2],
+                0.5 * (dx_q[2][1] + dx_q[1][2]),
+                0.5 * (dx_q[2][0] + dx_q[0][2]),
+                0.5 * (dx_q[1][0] + dx_q[0][1]),
+            ];
+            for i in 0..6 {
+                assert!(
+                    (dt_q[3 + i] - de[i]).abs() < 1e-8,
+                    "strain eq violated (c={c}, comp {i})"
+                );
+            }
+        }
     }
 
     #[test]
